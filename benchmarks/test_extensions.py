@@ -1,0 +1,49 @@
+"""Benchmarks for the extension studies: taxonomy, footprint, schedule."""
+
+from repro.accel import compile_network
+from repro.experiments.memory_footprint import (
+    format_memory_footprint,
+    run_memory_footprint,
+)
+from repro.experiments.taxonomy import format_taxonomy, run_taxonomy
+from repro.models import squeezenet_v1_0
+
+
+def test_taxonomy(benchmark):
+    rows = benchmark(run_taxonomy)
+    print()
+    print(format_taxonomy(rows))
+    # The taxonomy's structural claims:
+    for row in rows:
+        # NLR never wins (Eyeriss's criticism of reuse-free designs).
+        assert row.fastest() != "NLR"
+        # NLR is the energy-worst architecture on every network.
+        assert max(row.energy, key=row.energy.get) == "NLR"
+    # Among the two SOC-implementable dataflows, neither dominates —
+    # the Squeezelerator's raison d'etre.
+    ws_wins = sum(1 for r in rows if r.cycles["WS"] < r.cycles["OS"])
+    assert 1 <= ws_wins <= len(rows) - 1
+
+
+def test_memory_footprint(benchmark):
+    rows = benchmark(run_memory_footprint)
+    print()
+    print(format_memory_footprint(rows))
+    classifier, detector, segmenter = rows
+    # §2: detection/segmentation footprints are "much larger".
+    assert (detector.profile.peak_activation_bytes
+            > 5 * classifier.profile.peak_activation_bytes)
+    assert (segmenter.profile.peak_activation_bytes
+            > 5 * classifier.profile.peak_activation_bytes)
+    # Same conv primitives -> same accelerator runs all three.
+    assert all(r.inference_ms > 0 for r in rows)
+
+
+def test_schedule_compiler(benchmark):
+    program = benchmark(compile_network, squeezenet_v1_0())
+    print()
+    print(program.disassemble().splitlines()[0])
+    assert program.validate() == []
+    histogram = program.dataflow_histogram()
+    # The static schedule mixes both dataflows (Figure 1's story).
+    assert set(histogram) == {"WS", "OS"}

@@ -1,0 +1,28 @@
+"""Benchmark + regeneration of Figure 1 (SqueezeNet per-layer profile)."""
+
+from repro.experiments.figure1 import format_figure1, run_figure1
+
+
+def test_figure1(benchmark):
+    result = benchmark(run_figure1)
+    print()
+    print(format_figure1(result))
+
+    # The figure's observations:
+    # 1. conv1 is the WS architecture's biggest bar and improves sharply;
+    conv1 = result.layers[0]
+    assert conv1.ws_cycles == max(l.ws_cycles for l in result.layers)
+    assert conv1.hybrid_cycles < conv1.ws_cycles / 3
+    # 2. most 3x3 expand layers choose OS (paper: "for most of the 3x3
+    #    convolutions, the accelerator chooses OS dataflow");
+    expand3x3 = [l for l in result.layers if "expand3x3" in l.layer]
+    os_picks = sum(1 for l in expand3x3 if l.hybrid_dataflow == "OS")
+    assert os_picks >= len(expand3x3) // 2 + 1
+    # 3. all 1x1 squeeze/expand layers in the early/mid network pick WS;
+    early_1x1 = [l for l in result.layers
+                 if "1x1" in l.layer and "fire9" not in l.layer]
+    assert all(l.hybrid_dataflow == "WS" for l in early_1x1)
+    # 4. overall improvements in the paper's neighbourhood
+    #    (paper: +26% vs OS, +106% vs WS).
+    assert 0.10 < result.improvement_vs_os < 0.80
+    assert 0.50 < result.improvement_vs_ws < 1.60

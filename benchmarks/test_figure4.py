@@ -1,0 +1,27 @@
+"""Benchmark + regeneration of Figure 4 (accuracy/efficiency spectrum)."""
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+
+def test_figure4(benchmark):
+    result = benchmark(run_figure4)
+    print()
+    print(format_figure4(result))
+
+    points = {p.model: p for p in result.points}
+    # The paper's structural claims:
+    # 1. some SqueezeNext point dominates SqueezeNet v1.0 on all axes;
+    assert result.squeezenext_dominates_squeezenet()
+    # 2. AlexNet sits far to the right (slowest, most energy);
+    alexnet = points["AlexNet"]
+    assert alexnet.inference_ms == max(p.inference_ms for p in result.points)
+    assert alexnet.energy == max(p.energy for p in result.points)
+    # 3. within each family, bigger members are slower but more accurate
+    #    (the family "spectrum" the user selects from);
+    mobilenets = sorted((p for p in result.points if p.family == "MobileNet"),
+                        key=lambda p: p.inference_ms)
+    accuracies = [p.top1_accuracy for p in mobilenets]
+    assert accuracies == sorted(accuracies)
+    # 4. the frontier is non-empty and excludes AlexNet.
+    assert result.front
+    assert alexnet not in result.front

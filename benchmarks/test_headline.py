@@ -1,0 +1,17 @@
+"""Benchmark + check of the paper's headline co-design numbers."""
+
+from repro.experiments.headline import format_headline, run_headline
+
+
+def test_headline(benchmark):
+    result = benchmark(run_headline)
+    print()
+    print(format_headline(result))
+
+    # Paper: 2.59x speed / 2.25x energy vs SqueezeNet v1.0;
+    #        8.26x / 7.5x vs AlexNet; accuracy improves.
+    assert 1.7 < result.speed_vs_squeezenet < 3.3
+    assert 1.6 < result.energy_vs_squeezenet < 3.0
+    assert 6.5 < result.speed_vs_alexnet < 11.5
+    assert 5.5 < result.energy_vs_alexnet < 9.5
+    assert result.accuracy_improved

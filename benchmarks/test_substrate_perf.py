@@ -1,0 +1,57 @@
+"""Performance benchmarks of the substrates themselves.
+
+Not paper artifacts — these track the cost of the repository's own
+machinery (simulator throughput, numpy kernel speed, training step), so
+regressions in the tooling are visible.
+"""
+
+import numpy as np
+
+from repro.accel import Squeezelerator
+from repro.graph import NetworkBuilder, TensorShape
+from repro.models import build_model, squeezenet_v1_0
+from repro.nn import GraphNetwork, SGD, Trainer, make_shapes_dataset
+from repro.nn.layers import Conv2D
+
+
+def test_simulator_throughput_squeezenet(benchmark):
+    """Full-network analytical simulation must stay interactive."""
+    accelerator = Squeezelerator(32)
+    network = squeezenet_v1_0()
+    report = benchmark(accelerator.run, network)
+    assert report.total_cycles > 0
+
+
+def test_model_zoo_build(benchmark):
+    """Graph construction + shape inference for the heaviest model."""
+    network = benchmark(build_model, "SqueezeNext")
+    assert len(network) > 100
+
+
+def test_conv_forward_backward(benchmark):
+    conv = Conv2D(16, 32, (3, 3), padding=(1, 1),
+                  rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).normal(size=(8, 16, 16, 16))
+
+    def step():
+        out = conv.forward(x)
+        conv.zero_grad()
+        conv.backward(np.ones_like(out))
+        return out
+
+    out = benchmark(step)
+    assert out.shape == (8, 32, 16, 16)
+
+
+def test_training_epoch(benchmark):
+    b = NetworkBuilder("bench", TensorShape(3, 16, 16))
+    b.conv("c1", 8, kernel_size=3, padding=1, stride=2)
+    b.conv("c2", 16, kernel_size=3, padding=1, stride=2)
+    b.global_avg_pool("gap")
+    b.dense("fc", 4, activation="identity")
+    net = GraphNetwork(b.build(), rng=np.random.default_rng(2))
+    trainer = Trainer(net, SGD(net.parameters(), lr=0.05), batch_size=32)
+    dataset = make_shapes_dataset(128, image_size=16, num_classes=4, seed=3)
+
+    stats = benchmark(trainer.train_epoch, dataset)
+    assert stats.train_loss > 0

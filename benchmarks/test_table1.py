@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of Table 1 (per-category MAC shares)."""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.graph.categories import LayerCategory
+
+
+def test_table1(benchmark):
+    rows = benchmark(run_table1)
+    print()
+    print(format_table1(rows))
+    # Structural assertions: the paper's qualitative mix must hold.
+    by_name = {r.network: r for r in rows}
+    assert by_name["1.0 MobileNet-224"].measured[LayerCategory.POINTWISE] > 90
+    assert by_name["AlexNet"].measured[LayerCategory.DEPTHWISE] == 0
+    assert by_name["Tiny Darknet"].measured[LayerCategory.SPATIAL] > 75
+    # SqueezeNet rows match the paper within a couple of points.
+    sq = by_name["SqueezeNet v1.0"]
+    for category, paper in zip(
+            (LayerCategory.CONV1, LayerCategory.POINTWISE,
+             LayerCategory.SPATIAL, LayerCategory.DEPTHWISE), sq.paper):
+        assert sq.measured[category] == pytest.approx(paper, abs=3)

@@ -1,0 +1,25 @@
+"""Benchmark + regeneration of Table 2 (hybrid vs single-dataflow)."""
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(run_table2)
+    print()
+    print(format_table2(rows))
+    by_name = {r.network: r for r in rows}
+
+    # Who wins, by roughly what factor (the paper's shape):
+    # 1. the hybrid never loses to either reference;
+    for row in rows:
+        assert row.speedup_vs_os >= 1.0 - 1e-9
+        assert row.speedup_vs_ws >= 1.0 - 1e-9
+    # 2. MobileNet shows by far the largest WS gap (paper: 6.35x);
+    assert (by_name["1.0 MobileNet-224"].speedup_vs_ws
+            == max(r.speedup_vs_ws for r in rows))
+    assert by_name["1.0 MobileNet-224"].speedup_vs_ws > 3.0
+    # 3. AlexNet benefits least vs OS (paper: 1.00x);
+    assert (by_name["AlexNet"].speedup_vs_os
+            == min(r.speedup_vs_os for r in rows))
+    # 4. SqueezeNet v1.0 gains ~2x vs WS (paper: 2.06x).
+    assert 1.5 < by_name["SqueezeNet v1.0"].speedup_vs_ws < 2.6

@@ -1,0 +1,68 @@
+"""Accelerator design-space exploration for a mobile SOC IP block.
+
+The scenario from the paper's §4.1: you are tailoring a Squeezelerator
+instance to a target DNN (SqueezeNet v1.0) under SOC area constraints.
+This script sweeps the main machine knobs — PE array size, per-PE
+register file, global buffer capacity, and the weight-sparsity
+assumption — and prints how latency, energy and utilization move.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+from repro.core import (
+    array_size_sweep,
+    buffer_size_sweep,
+    rf_size_sweep,
+    sparsity_sweep,
+    tune_for_network,
+)
+from repro.experiments.formatting import format_table
+from repro.models import squeezenet_v1_0
+
+
+def print_sweep(title, points, extra=None):
+    rows = []
+    for point in points:
+        row = [point.label, f"{point.inference_ms:.2f}",
+               f"{point.energy / 1e9:.2f}",
+               f"{point.report.mean_utilization:.0%}"]
+        if extra is not None:
+            row.append(extra(point))
+        rows.append(row)
+    headers = ["config", "latency ms", "energy (G)", "mean util"]
+    if extra is not None:
+        headers.append("note")
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+def main() -> None:
+    network = squeezenet_v1_0()
+    print(f"Design-space exploration for {network.name}\n")
+
+    print_sweep(
+        "PE array size (paper range: 8x8 .. 32x32)",
+        array_size_sweep(network, sizes=(8, 16, 24, 32)),
+        extra=lambda p: f"{p.config.num_pes} PEs",
+    )
+    print_sweep(
+        "Per-PE register file (the paper's final tune-up doubles 8 -> 16)",
+        rf_size_sweep(network, rf_entries=(4, 8, 16, 32)),
+    )
+    print_sweep(
+        "Global buffer capacity (paper: 128 KB)",
+        buffer_size_sweep(network, buffer_kib=(32, 64, 128, 256)),
+    )
+    print_sweep(
+        "Modelled weight sparsity (paper fixes a conservative 40%)",
+        sparsity_sweep(network, sparsities=(0.0, 0.2, 0.4, 0.6)),
+    )
+
+    best = tune_for_network(network, array_sizes=(8, 16, 32),
+                            rf_entries=(8, 16))
+    print(f"joint search winner: {best.label} -> "
+          f"{best.inference_ms:.2f} ms, {best.energy / 1e9:.2f} G energy")
+
+
+if __name__ == "__main__":
+    main()

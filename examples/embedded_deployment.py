@@ -1,0 +1,67 @@
+"""Pick a DNN + accelerator for two embedded-vision products.
+
+The paper's §2 scenario made concrete: an always-on smart doorbell
+camera (tight power, modest accuracy) and an automotive perception
+module (tight latency, high accuracy).  For each we enumerate candidate
+models and machine sizes, simulate them, discard budget violators and
+report the chosen deployment.
+
+Run:  python examples/embedded_deployment.py
+"""
+
+from repro.accel import squeezelerator
+from repro.models import mobilenet, squeezenet_v1_1, squeezenext
+from repro.vision import ApplicationConstraints, plan_deployment
+
+
+def candidates():
+    return [
+        squeezenet_v1_1(),
+        squeezenext(variant=1),
+        squeezenext(variant=5),
+        mobilenet(0.25),
+        mobilenet(0.5),
+        mobilenet(1.0),
+    ]
+
+
+def show_plan(plan) -> None:
+    print(f"scenario: {plan.constraints.name} — "
+          f"{plan.feasible_count}/{len(plan.candidates)} candidates feasible")
+    for candidate in plan.candidates:
+        m = candidate.metrics
+        status = "ok " if candidate.feasible else "NO "
+        print(f"  [{status}] {m.model:<22} on {m.machine:<22} "
+              f"{m.latency_ms:6.2f} ms  {m.average_power_mw:7.1f} mW  "
+              f"{m.top1_accuracy:4.1f}%")
+        for problem in candidate.problems:
+            print(f"         - {problem}")
+    if plan.selected:
+        m = plan.selected.metrics
+        print(f"  => deploy {m.model} on {m.machine}")
+    else:
+        print("  => no feasible deployment; relax the budget")
+    print()
+
+
+def main() -> None:
+    doorbell = ApplicationConstraints(
+        "smart-doorbell (battery, always on)",
+        min_top1_accuracy=55.0,
+        max_power_mw=1500.0,
+        max_energy_mj=6.0,
+        max_model_mib=4.0,
+    )
+    automotive = ApplicationConstraints(
+        "automotive perception (30 fps hard real time)",
+        min_top1_accuracy=58.0,
+        max_latency_ms=2.0,
+    )
+    machines = [squeezelerator(16), squeezelerator(32)]
+    for constraints in (doorbell, automotive):
+        show_plan(plan_deployment(constraints, candidates(),
+                                  configs=machines))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Hardware-aware architecture search with real training in the loop.
+
+Goes one step beyond the paper: instead of hand-designing variants and
+reading accuracy off published tables, this searches a small family of
+fire-module classifiers, trains each candidate for real (numpy,
+synthetic shapes data), simulates each on the Squeezelerator, and
+prints the measured accuracy/latency/energy frontier — then picks the
+most accurate candidate under a latency budget.
+
+Takes ~30-60 seconds on a laptop.
+
+Run:  python examples/hardware_aware_search.py
+"""
+
+from repro.core.search import hardware_aware_search
+from repro.experiments.formatting import format_table
+from repro.nn import make_shapes_dataset
+
+
+def main() -> None:
+    dataset = make_shapes_dataset(600, image_size=32, seed=42)
+    result = hardware_aware_search(dataset=dataset, epochs=5, seed=42)
+
+    frontier = {c.spec.name for c in result.frontier}
+    print(format_table(
+        ["candidate", "test acc", "latency ms", "energy (M)", "frontier"],
+        [[c.spec.name, f"{c.test_accuracy:.1%}", f"{c.latency_ms:.4f}",
+          f"{c.energy / 1e6:.1f}", "*" if c.spec.name in frontier else ""]
+         for c in sorted(result.candidates, key=lambda c: c.latency_ms)],
+        title="Hardware-aware NAS over tiny fire-module classifiers "
+              "(trained accuracies)",
+    ))
+    print()
+
+    budget = sorted(c.latency_ms for c in result.candidates)[2]
+    chosen = result.best_under_latency(budget)
+    print(f"under a {budget:.4f} ms budget, deploy {chosen.spec.name} "
+          f"({chosen.test_accuracy:.1%} measured accuracy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Look inside the accelerator: schedule, pipeline timeline, roofline.
+
+Three inspection tools a Squeezelerator SDK user would reach for when a
+model runs slower than expected:
+
+1. the compiled static schedule (per-layer dataflow, tiling, buffer
+   residency, DMA volumes) — `compile_network().disassemble()`;
+2. the event-level pipeline timeline of one layer (preload / compute /
+   drain overlap) — `ReferenceSimulator` Gantt charts;
+3. the roofline: which layers are memory-bound on this machine and how
+   close each runs to its bound.
+
+Run:  python examples/inspect_schedule.py
+"""
+
+from repro.accel import ReferenceSimulator, compile_network, squeezelerator
+from repro.accel.roofline import memory_bound_fraction, render_roofline, roofline
+from repro.accel.workload import network_workloads
+from repro.models import squeezenet_v1_1
+
+
+def main() -> None:
+    network = squeezenet_v1_1()
+    config = squeezelerator(32)
+
+    # 1. The static schedule.
+    program = compile_network(network, config)
+    print(program.disassemble())
+    problems = program.validate()
+    print(f"\nschedule validation: "
+          f"{'clean' if not problems else problems}")
+    print()
+
+    # 2. Pipeline timeline of two contrasting layers.
+    reference = ReferenceSimulator(config)
+    workloads = {w.name: w for w in network_workloads(network)}
+    for name in ("fire2/expand3x3", "fire9/squeeze1x1"):
+        workload = workloads[name]
+        print(f"--- {name} ---")
+        ws_run = reference.simulate_ws(workload)
+        os_run = reference.simulate_os(workload)
+        print(ws_run.gantt(width=64))
+        print(os_run.gantt(width=64))
+        print()
+
+    # 3. The roofline.
+    points = roofline(network, config)
+    print(render_roofline(points))
+    print(f"\nmemory-bound MAC fraction: "
+          f"{memory_bound_fraction(points):.0%} "
+          f"(ridge = {points[0].ridge_intensity:.0f} MACs/byte)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: simulate a DNN on the Squeezelerator.
+
+Builds SqueezeNet v1.0, runs it on the paper's 32x32-PE hybrid-dataflow
+accelerator, and prints the per-layer schedule (which dataflow each
+layer chose and why), the end-to-end latency/energy, and the comparison
+against the single-dataflow reference architectures of Table 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.accel import Squeezelerator
+from repro.models import squeezenet_v1_0
+
+
+def main() -> None:
+    network = squeezenet_v1_0()
+    accelerator = Squeezelerator(array_size=32, rf_entries=8)
+
+    print(f"Model: {network.name}  (input {network.input_shape}, "
+          f"{len(network.compute_nodes())} compute layers)")
+    print(f"Machine: {accelerator.config.name}, "
+          f"{accelerator.config.num_pes} PEs, "
+          f"{accelerator.config.global_buffer_bytes // 1024} KB buffer")
+    print()
+
+    # Per-layer dataflow selection: the Squeezelerator's key feature.
+    decisions = accelerator.decisions(network)
+    print(f"{'layer':<20} {'chosen':<7} {'advantage':>9}")
+    for name, decision in decisions.items():
+        print(f"{name:<20} {decision.chosen:<7} "
+              f"{decision.advantage:>8.2f}x")
+    print()
+
+    # End-to-end batch-1 inference.
+    report = accelerator.run(network)
+    print(f"total: {report.total_cycles:,.0f} cycles = "
+          f"{report.inference_ms:.2f} ms at "
+          f"{accelerator.config.frequency_hz / 1e6:.0f} MHz")
+    print(f"energy: {report.total_energy / 1e9:.2f} G MAC-equivalents; "
+          f"mean PE utilization {report.mean_utilization:.0%}")
+    print()
+
+    # Against the Table 2 reference architectures.
+    reports = accelerator.compare_with_references(network)
+    hybrid = reports["hybrid"]
+    for name in ("OS", "WS"):
+        ref = reports[name]
+        print(f"vs pure-{name}: {ref.total_cycles / hybrid.total_cycles:.2f}x "
+              f"faster, "
+              f"{(1 - hybrid.total_energy / ref.total_energy) * 100:+.0f}% "
+              f"energy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments without the `wheel` package (legacy `setup.py develop` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Co-Design of Deep Neural Nets and Neural Net "
+        "Accelerators for Embedded Vision Applications' (DAC 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.runner:main",
+        ]
+    },
+)

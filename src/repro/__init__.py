@@ -1,0 +1,28 @@
+"""Reproduction of "Co-Design of Deep Neural Nets and Neural Net
+Accelerators for Embedded Vision Applications" (Kwon et al., DAC 2018).
+
+Subpackages
+-----------
+``repro.graph``
+    Shape-checked layer-graph IR for DNN workloads.
+``repro.models``
+    The paper's six evaluation networks (AlexNet, SqueezeNet v1.0/v1.1,
+    MobileNet, Tiny Darknet, SqueezeNext + variants).
+``repro.accel``
+    Analytical simulator of Squeezelerator-class spatial accelerators
+    (WS / OS / per-layer hybrid dataflows, DRAM model, Eyeriss-style
+    energy model).
+``repro.nn``
+    From-scratch numpy NN framework: training, quantization, synthetic
+    datasets (the offline PyTorch/ImageNet substitute).
+``repro.core``
+    The co-design engine: dataflow selection analysis, DNN variant
+    transforms, hardware tuning, Pareto analysis, the co-design loop.
+``repro.vision``
+    Embedded-vision application layer: constraints, deployment planning,
+    the end-to-end train/quantize/simulate pipeline.
+``repro.experiments``
+    One module per paper table/figure, printing measured-vs-paper.
+"""
+
+__version__ = "1.0.0"

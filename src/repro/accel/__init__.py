@@ -1,0 +1,81 @@
+"""Analytical simulator of Squeezelerator-class spatial NN accelerators.
+
+The public surface:
+
+* :class:`AcceleratorConfig` plus the :func:`squeezelerator`,
+  :func:`reference_ws` and :func:`reference_os` presets;
+* :class:`AcceleratorSimulator` / :func:`simulate` for running a
+  network graph on a machine;
+* :class:`Squeezelerator` for the paper's hybrid accelerator with its
+  per-layer dataflow decisions and reference comparisons;
+* the report dataclasses (:class:`LayerReport`, :class:`NetworkReport`).
+"""
+
+from repro.accel.config import (
+    AcceleratorConfig,
+    DataflowPolicy,
+    SelectionObjective,
+    reference_os,
+    reference_ws,
+    squeezelerator,
+)
+from repro.accel.area import AreaBreakdown, estimate_area, performance_per_area
+from repro.accel.dataflows.no_local_reuse import NoLocalReuseModel
+from repro.accel.dataflows.output_stationary import OutputStationaryModel
+from repro.accel.dataflows.row_stationary import RowStationaryModel
+from repro.accel.dataflows.weight_stationary import WeightStationaryModel
+from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.accel.reference import Event, ReferenceResult, ReferenceSimulator
+from repro.accel.report import AccessCounts, DataflowPerf, LayerReport, NetworkReport
+from repro.accel.schedule import LayerDirective, Program, compile_network
+from repro.accel.simulator import AcceleratorSimulator, simulate
+from repro.accel.hybrid import DataflowDecision, Squeezelerator
+from repro.accel.multicore import MulticoreReport, core_scaling, simulate_multicore
+from repro.accel.roofline import (
+    RooflinePoint,
+    memory_bound_fraction,
+    render_roofline,
+    roofline,
+)
+from repro.accel.workload import ConvWorkload, network_workloads
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorSimulator",
+    "AccessCounts",
+    "AreaBreakdown",
+    "ConvWorkload",
+    "DEFAULT_ENERGY_MODEL",
+    "DataflowDecision",
+    "DataflowPerf",
+    "DataflowPolicy",
+    "EnergyModel",
+    "Event",
+    "LayerDirective",
+    "LayerReport",
+    "MulticoreReport",
+    "NetworkReport",
+    "NoLocalReuseModel",
+    "OutputStationaryModel",
+    "RowStationaryModel",
+    "Program",
+    "ReferenceResult",
+    "ReferenceSimulator",
+    "RooflinePoint",
+    "SelectionObjective",
+    "Squeezelerator",
+    "WeightStationaryModel",
+    "compile_network",
+    "core_scaling",
+    "estimate_area",
+    "memory_bound_fraction",
+    "network_workloads",
+    "performance_per_area",
+    "reference_os",
+    "render_roofline",
+    "roofline",
+    "reference_ws",
+    "simulate",
+    "simulate_multicore",
+    "squeezelerator",
+]

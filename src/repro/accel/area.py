@@ -1,0 +1,91 @@
+"""First-order silicon area model for Squeezelerator configurations.
+
+The paper positions the Squeezelerator as "an IP block in a
+systems-on-a-chip (SOC) targeted for mobile or IoT applications", which
+makes silicon area a first-class design constraint alongside speed and
+energy.  This model assigns each structure a gate-count-derived area in
+a normalized unit (the area of one 16-bit MAC), using standard-cell
+ratios consistent with published accelerator breakdowns (Eyeriss,
+ShiDianNao):
+
+* one 16-bit multiplier + 32-bit adder  = 1.0 unit (the normalizer);
+* one 16-bit register file entry        = 0.04 units;
+* SRAM                                  = 0.002 units per byte
+  (dense 6T SRAM is far smaller per bit than flop-based storage);
+* mesh/broadcast interconnect overhead  = 15% of the PE array;
+* DMA + control                         = a small fixed block.
+
+Absolute mm^2 values would need a process node; ratios are what the
+area-constrained design-space search needs, so everything stays
+normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+
+#: Area of one register-file entry relative to a MAC.
+RF_ENTRY_AREA = 0.04
+#: SRAM area per byte relative to a MAC.
+SRAM_AREA_PER_BYTE = 0.002
+#: Interconnect overhead as a fraction of PE-array area.
+INTERCONNECT_FRACTION = 0.15
+#: Fixed DMA/control block, in MAC units.
+CONTROL_AREA = 64.0
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Normalized area of one machine configuration."""
+
+    pe_array: float
+    register_files: float
+    interconnect: float
+    global_buffer: float
+    staging_buffers: float
+    control: float
+
+    @property
+    def total(self) -> float:
+        return (self.pe_array + self.register_files + self.interconnect
+                + self.global_buffer + self.staging_buffers + self.control)
+
+    def fractions(self) -> dict:
+        total = self.total
+        return {
+            "pe_array": self.pe_array / total,
+            "register_files": self.register_files / total,
+            "interconnect": self.interconnect / total,
+            "global_buffer": self.global_buffer / total,
+            "staging_buffers": self.staging_buffers / total,
+            "control": self.control / total,
+        }
+
+
+def estimate_area(config: AcceleratorConfig) -> AreaBreakdown:
+    """First-order area of a configuration, in MAC-equivalents."""
+    pes = config.num_pes
+    pe_array = float(pes)
+    register_files = pes * config.rf_entries_per_pe * RF_ENTRY_AREA
+    interconnect = (pe_array + register_files) * INTERCONNECT_FRACTION
+    global_buffer = config.global_buffer_bytes * SRAM_AREA_PER_BYTE
+    staging = 2 * config.preload_buffer_bytes * SRAM_AREA_PER_BYTE
+    return AreaBreakdown(
+        pe_array=pe_array,
+        register_files=register_files,
+        interconnect=interconnect,
+        global_buffer=global_buffer,
+        staging_buffers=staging,
+        control=CONTROL_AREA,
+    )
+
+
+def performance_per_area(total_cycles: float,
+                         config: AcceleratorConfig) -> float:
+    """Inverse latency per unit area — the SOC designer's figure of
+    merit when choosing how much silicon to spend on the NN block."""
+    if total_cycles <= 0:
+        raise ValueError("total_cycles must be positive")
+    return 1.0 / (total_cycles * estimate_area(config).total)

@@ -1,0 +1,197 @@
+"""Accelerator machine description.
+
+The paper's Squeezelerator (Figure 2) is an N x N PE array (N = 8..32)
+with a 128 KB global buffer, preload and stream buffers, a DMA engine,
+16-bit integer MACs and a small per-PE register file.  DRAM is modelled
+with two numbers — 100 cycles latency and 16 GB/s effective bandwidth —
+and double buffering hides transfer time behind compute.
+
+All of that is captured here as one frozen dataclass so a configuration
+is a value: the reference pure-WS and pure-OS architectures of Table 2
+are literally the same machine with the dataflow policy pinned.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class DataflowPolicy(enum.Enum):
+    """Which dataflow(s) the control logic may schedule."""
+
+    WEIGHT_STATIONARY = "WS"
+    OUTPUT_STATIONARY = "OS"
+    HYBRID = "hybrid"  # per-layer WS-or-OS selection: the Squeezelerator
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class SelectionObjective(enum.Enum):
+    """What the hybrid policy minimizes when choosing a dataflow.
+
+    The paper selects by execution time; minimizing energy or the
+    energy-delay product are natural alternatives for battery-bound
+    deployments, studied as an extension ablation.
+    """
+
+    TIME = "time"
+    ENERGY = "energy"
+    EDP = "edp"  # energy-delay product
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Static machine parameters of a Squeezelerator-class accelerator.
+
+    Attributes
+    ----------
+    array_rows, array_cols:
+        PE array geometry.  In WS mode rows map input channels and
+        columns map output channels; in OS mode the array maps a 2-D
+        block of one output feature map.
+    rf_entries_per_pe:
+        16-bit words of local register file per PE.  In OS mode the RF
+        holds the partial sums of ``os_group_size`` output channels at
+        once (input reuse across filters — §4.1.2 of the paper); two
+        entries are reserved for operand double buffering.
+    global_buffer_bytes:
+        On-chip SRAM shared by all PEs (128 KB in the paper).
+    preload_elems_per_cycle / stream_elems_per_cycle / drain_elems_per_cycle:
+        Port widths, in 16-bit elements per cycle, between the buffers
+        and the PE array edge rows.
+    broadcast_lanes:
+        Distinct weights the stream buffer can broadcast per cycle in OS
+        mode.  With several output channels packed side by side on the
+        array, each lane feeds one packed sub-tile, so small-plane
+        layers advance up to this many channels per broadcast round.
+    ws_tap_fold_limit:
+        Width of the sliding pixel window the stream buffer can feed in
+        WS mode; lets up to this many horizontally adjacent filter taps
+        share the array when input channels under-fill the rows (the
+        first layer's C = 3 case).
+    frequency_hz:
+        Clock used only to convert cycles to wall-clock milliseconds.
+    dram_latency_cycles / dram_bandwidth_gbps:
+        The paper's two-number DRAM model (100 cycles, 16 GB/s).
+    weight_sparsity:
+        Fraction of zero weights; the paper conservatively models 40%.
+        Only the OS dataflow's broadcast skipping exploits it.
+    batch_size:
+        Images processed back to back.  The paper evaluates batch 1
+        (typical for embedded vision); larger batches amortize weight
+        DRAM traffic across images, which mostly rescues FC layers.
+        All reported numbers remain per image.
+    """
+
+    name: str = "squeezelerator-32x32"
+    array_rows: int = 32
+    array_cols: int = 32
+    rf_entries_per_pe: int = 8
+    global_buffer_bytes: int = 128 * 1024
+    preload_buffer_bytes: int = 16 * 1024
+    bytes_per_element: int = 2
+    preload_elems_per_cycle: int = 32
+    stream_elems_per_cycle: int = 32
+    drain_elems_per_cycle: int = 32
+    frequency_hz: float = 500e6
+    dram_latency_cycles: int = 100
+    dram_bandwidth_gbps: float = 16.0
+    weight_sparsity: float = 0.40
+    broadcast_lanes: int = 2
+    ws_tap_fold_limit: int = 2
+    batch_size: int = 1
+    objective: "SelectionObjective" = None  # type: ignore[assignment]
+    policy: DataflowPolicy = DataflowPolicy.HYBRID
+
+    def __post_init__(self) -> None:
+        if self.objective is None:
+            object.__setattr__(self, "objective", SelectionObjective.TIME)
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ValueError("PE array dimensions must be positive")
+        if self.rf_entries_per_pe < 3:
+            raise ValueError(
+                "rf_entries_per_pe must be >= 3 (2 operand entries + "
+                ">= 1 partial-sum entry)"
+            )
+        if self.global_buffer_bytes <= 0:
+            raise ValueError("global_buffer_bytes must be positive")
+        if self.preload_buffer_bytes <= 0:
+            raise ValueError("preload_buffer_bytes must be positive")
+        if not 0.0 <= self.weight_sparsity < 1.0:
+            raise ValueError("weight_sparsity must be in [0, 1)")
+        for field_name in ("preload_elems_per_cycle", "stream_elems_per_cycle",
+                           "drain_elems_per_cycle", "bytes_per_element",
+                           "broadcast_lanes", "ws_tap_fold_limit",
+                           "batch_size"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.frequency_hz <= 0 or self.dram_bandwidth_gbps <= 0:
+            raise ValueError("frequency and DRAM bandwidth must be positive")
+        if self.dram_latency_cycles < 0:
+            raise ValueError("dram_latency_cycles must be non-negative")
+
+    @property
+    def num_pes(self) -> int:
+        """Total multiply-accumulate units."""
+        return self.array_rows * self.array_cols
+
+    @property
+    def os_group_size(self) -> int:
+        """Output channels a PE accumulates concurrently in OS mode.
+
+        Each register-file entry holds one partial sum (operands live in
+        pipeline registers), so the OS dataflow reuses every preloaded
+        input across ``rf_entries_per_pe`` filters (§4.1.2 "PEs reuse
+        each input they receive across different filters").  Doubling
+        the RF from 8 to 16 — the paper's final tune-up — doubles this
+        reuse, which is exactly what it was for.
+        """
+        return self.rf_entries_per_pe
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Effective DRAM bandwidth expressed in bytes per core cycle."""
+        return self.dram_bandwidth_gbps * 1e9 / self.frequency_hz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds at the configured clock."""
+        return cycles / self.frequency_hz * 1e3
+
+    def with_policy(self, policy: DataflowPolicy) -> "AcceleratorConfig":
+        """Same machine, different dataflow policy."""
+        suffix = str(policy).lower()
+        base = self.name.split("@")[0]
+        return replace(self, policy=policy, name=f"{base}@{suffix}")
+
+    def scaled_array(self, rows: int, cols: int) -> "AcceleratorConfig":
+        """Same machine with a different PE array geometry."""
+        return replace(
+            self, array_rows=rows, array_cols=cols,
+            name=f"squeezelerator-{rows}x{cols}",
+            preload_elems_per_cycle=cols,
+            stream_elems_per_cycle=cols,
+            drain_elems_per_cycle=cols,
+        )
+
+
+def squeezelerator(array_size: int = 32, rf_entries: int = 8) -> AcceleratorConfig:
+    """The paper's proposed accelerator (hybrid per-layer dataflow)."""
+    base = AcceleratorConfig().scaled_array(array_size, array_size)
+    return replace(base, rf_entries_per_pe=rf_entries,
+                   policy=DataflowPolicy.HYBRID,
+                   name=f"squeezelerator-{array_size}x{array_size}")
+
+
+def reference_ws(array_size: int = 32) -> AcceleratorConfig:
+    """Table 2's reference weight-stationary architecture."""
+    return squeezelerator(array_size).with_policy(DataflowPolicy.WEIGHT_STATIONARY)
+
+
+def reference_os(array_size: int = 32) -> AcceleratorConfig:
+    """Table 2's reference output-stationary architecture."""
+    return squeezelerator(array_size).with_policy(DataflowPolicy.OUTPUT_STATIONARY)

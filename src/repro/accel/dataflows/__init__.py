@@ -1,0 +1,18 @@
+"""Dataflow performance models (weight-stationary, output-stationary)."""
+
+from repro.accel.dataflows.base import DataflowModel, OsBlock, block_sizes, os_blocks
+from repro.accel.dataflows.no_local_reuse import NoLocalReuseModel
+from repro.accel.dataflows.output_stationary import OutputStationaryModel
+from repro.accel.dataflows.row_stationary import RowStationaryModel
+from repro.accel.dataflows.weight_stationary import WeightStationaryModel
+
+__all__ = [
+    "DataflowModel",
+    "NoLocalReuseModel",
+    "OsBlock",
+    "OutputStationaryModel",
+    "RowStationaryModel",
+    "WeightStationaryModel",
+    "block_sizes",
+    "os_blocks",
+]

@@ -1,0 +1,103 @@
+"""Dataflow model interface and shared OS block geometry.
+
+A dataflow model answers one question: given a convolution workload and a
+machine configuration, how many PE-array cycles does the layer take and
+what on-chip traffic does it generate?  DRAM behaviour is *not* the
+dataflow's business — the simulator combines the dataflow's compute time
+with the DRAM model under double buffering.  The OS output-block geometry
+lives here because both the OS cycle model and the DRAM traffic model
+need the identical tiling.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.report import DataflowPerf
+from repro.accel.workload import ConvWorkload
+
+
+class DataflowModel(abc.ABC):
+    """Analytical performance model of one dataflow style."""
+
+    #: Short tag used in reports ("WS" / "OS").
+    name: str = "?"
+
+    @abc.abstractmethod
+    def simulate(self, workload: ConvWorkload,
+                 config: AcceleratorConfig) -> DataflowPerf:
+        """Predict compute cycles and on-chip access counts for one layer."""
+
+    @staticmethod
+    def _ceil_div(a: int, b: int) -> int:
+        if b <= 0:
+            raise ValueError("division by non-positive tile size")
+        return -(-a // b)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def block_sizes(extent: int, tile: int) -> list:
+    """Sizes of the tiles covering ``extent`` in steps of ``tile``.
+
+    >>> block_sizes(55, 32)
+    [32, 23]
+    """
+    if extent <= 0 or tile <= 0:
+        raise ValueError("extent and tile must be positive")
+    full, rem = divmod(extent, tile)
+    return [tile] * full + ([rem] if rem else [])
+
+
+@dataclass(frozen=True)
+class OsBlock:
+    """One distinct output-block shape in the OS spatial tiling.
+
+    ``count`` is how many blocks of this shape cover the plane (per
+    group), ``pack`` how many output channels sit side by side on the
+    array, and ``passes`` how many filter groups iterate over the block
+    (each pass re-reads the block's input channels).
+    """
+
+    bh: int
+    bw: int
+    count: int
+    pack: int
+    passes: int
+    in_block_elems: int  # input halo pixels per input channel
+
+    def out_elems(self) -> int:
+        return self.bh * self.bw
+
+
+def os_blocks(workload: ConvWorkload,
+              config: AcceleratorConfig) -> List[OsBlock]:
+    """The OS dataflow's output-plane tiling for one group.
+
+    The output plane tiles into at most four distinct block shapes
+    (full / right edge / bottom edge / corner).
+    """
+    rows, cols = config.array_rows, config.array_cols
+    heights = block_sizes(workload.out_h, min(rows, workload.out_h))
+    widths = block_sizes(workload.out_w, min(cols, workload.out_w))
+    shapes = {}
+    for bh in heights:
+        for bw in widths:
+            shapes[(bh, bw)] = shapes.get((bh, bw), 0) + 1
+    blocks = []
+    for (bh, bw), count in shapes.items():
+        pack = max(1, rows // bh) * max(1, cols // bw)
+        channels_per_pass = config.os_group_size * pack
+        passes = _ceil_div(workload.group_out_channels, channels_per_pass)
+        in_h = (bh - 1) * workload.stride_h + workload.kernel_h
+        in_w = (bw - 1) * workload.stride_w + workload.kernel_w
+        blocks.append(OsBlock(
+            bh=bh, bw=bw, count=count, pack=pack, passes=passes,
+            in_block_elems=in_h * in_w,
+        ))
+    return blocks

@@ -1,0 +1,55 @@
+"""No-local-reuse (NLR) dataflow model (DianNao/DaDianNao-style).
+
+The fourth entry of the paper's §3.2 taxonomy: PEs keep *nothing*
+resident — every multiplier operand streams from the global buffer each
+cycle, and adder trees reduce across input channels.  With a
+sufficiently wide buffer port this achieves excellent PE utilization
+(there is no mapping mismatch to under-fill the array), but every MAC
+costs two global-buffer reads, which is exactly why Eyeriss named and
+criticized the pattern and why DaDianNao needed eDRAM.
+
+Cycle model: the array performs up to ``num_pes`` MACs per cycle but is
+throttled by the buffer port, which must deliver one weight and
+(amortized by output-channel sharing) one input per MAC:
+
+    cycles = max(macs / num_pes, operand_elems / nlr_port_width)
+
+The port width defaults to four stream-buffer widths, reflecting the
+fat SRAM arrays NLR designs provision.
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.dataflows.base import DataflowModel
+from repro.accel.report import AccessCounts, DataflowPerf
+from repro.accel.workload import ConvWorkload
+
+#: NLR machines provision several banks of buffer bandwidth.
+_PORT_WIDTH_FACTOR = 4
+
+
+class NoLocalReuseModel(DataflowModel):
+    """Analytical model of a DianNao-style NLR architecture."""
+
+    name = "NLR"
+
+    def simulate(self, workload: ConvWorkload,
+                 config: AcceleratorConfig) -> DataflowPerf:
+        macs = float(workload.macs)
+        port = config.stream_elems_per_cycle * _PORT_WIDTH_FACTOR
+
+        # Each MAC consumes one weight; inputs are shared across the
+        # output channels computed in the same cycle group (bounded by
+        # the adder-tree fan-in = array columns).
+        sharing = min(workload.group_out_channels, config.array_cols)
+        operand_elems = macs + macs / sharing
+        compute_cycles = max(macs / config.num_pes, operand_elems / port)
+
+        accesses = AccessCounts(
+            macs=macs,
+            rf_accesses=0.0,          # nothing is locally resident
+            array_transfers=macs,     # adder-tree reduction hops
+            gb_accesses=operand_elems + float(workload.output_elems),
+        )
+        return DataflowPerf(self.name, float(compute_cycles), accesses)

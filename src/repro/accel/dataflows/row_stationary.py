@@ -1,0 +1,104 @@
+"""Row-stationary (RS) dataflow model (Eyeriss).
+
+The paper's §3.2 taxonomy lists four dataflows — WS, OS, RS and NLR —
+and builds the Squeezelerator from the first two.  We model the other
+two as well so the taxonomy can be studied quantitatively
+(:mod:`repro.experiments.taxonomy`).
+
+RS maps *1-D convolution primitives* onto PEs: PE (r, s) holds filter
+row ``r`` and slides it along input rows to produce partial sums for
+output row ``s``; a vertical chain of ``F_h`` PEs completes one output
+row.  The array therefore fits ``floor(rows / F_h) * cols`` such
+chains ("strips"), each strip handling one (input-channel,
+output-channel, output-row) assignment at a time.
+
+Per assignment a strip performs ``W_o * F_w`` MACs in ``W_o * F_w``
+cycles (one MAC per PE per cycle, F_h PEs working in parallel on the
+same output row's taps).  Psums accumulate inside the strip across
+filter rows and in the strip-local RF across input channels, so — as in
+Eyeriss — every datatype enjoys local reuse and the global buffer sees
+little traffic.  Zero weights cannot be skipped (the schedule is
+static), matching Eyeriss.
+
+Input rows reach the strips over a multicast NoC: strips computing
+different output channels of the same (input channel, row) pair share
+one delivery, and each strip consumes roughly one fresh pixel per
+``F_w`` cycles.  When the aggregate demand exceeds the stream port the
+array stalls proportionally — this is what keeps depthwise layers (no
+cross-channel sharing) from enjoying RS's otherwise excellent
+utilization.
+
+Note: beyond that bus constraint the NoC is modelled ideally (no
+congestion, free diagonal psum routing), so this RS model is an upper
+bound — consistent with Eyeriss's own claims, and part of why the
+paper's Squeezelerator sticks to the simpler WS/OS pair for an SOC IP
+block despite RS's strength on paper.
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.dataflows.base import DataflowModel
+from repro.accel.report import AccessCounts, DataflowPerf
+from repro.accel.workload import ConvWorkload
+
+
+class RowStationaryModel(DataflowModel):
+    """Analytical model of an Eyeriss-style RS architecture."""
+
+    name = "RS"
+
+    def simulate(self, workload: ConvWorkload,
+                 config: AcceleratorConfig) -> DataflowPerf:
+        rows, cols = config.array_rows, config.array_cols
+        fh = min(workload.kernel_h, rows)
+        strips = max(1, rows // fh) * cols
+
+        # Assignments: every (c, k, output-row) triple of every group.
+        assignments = (workload.group_in_channels
+                       * workload.group_out_channels
+                       * workload.out_h * workload.groups)
+        waves = self._ceil_div(assignments, strips)
+        cycles_per_wave = workload.out_w * workload.kernel_w
+
+        # Multicast-bus constraint: strips sharing an input row (same c,
+        # different k) are served by one delivery; each strip consumes a
+        # fresh pixel every F_w cycles.
+        sharing = min(workload.group_out_channels, cols)
+        demand = strips / (workload.kernel_w * sharing)
+        stall = max(1.0, demand / config.stream_elems_per_cycle)
+        compute_cycles = waves * cycles_per_wave * stall
+
+        # Filter rows stay resident while a strip walks the output-row
+        # dimension (Eyeriss reuses filters vertically), so reloads
+        # happen once per (c, k) reassignment — every `out_h` waves —
+        # and only their non-hidden remainder is charged.
+        preload = self._ceil_div(fh * workload.kernel_w * strips,
+                                 config.preload_elems_per_cycle)
+        reloads = self._ceil_div(waves, workload.out_h)
+        compute_cycles += max(0, preload - cycles_per_wave) * reloads
+
+        accesses = self._accesses(workload)
+        return DataflowPerf(self.name, float(compute_cycles), accesses)
+
+    def _accesses(self, workload: ConvWorkload) -> AccessCounts:
+        macs = float(workload.macs)
+        # Eyeriss's RS keeps weights, input rows and psums in the PE RF:
+        # roughly one weight read, one input read and one psum
+        # read-modify-write per MAC, all at RF cost.
+        rf = 3.0 * macs
+        # Psums hop up the strip once per filter row boundary; input
+        # rows are multicast diagonally (counted as one hop per MAC).
+        array = macs
+        # The global buffer sees each operand near-minimally: inputs
+        # once per output-channel reuse group, weights once per
+        # output-row reuse group, outputs once.
+        gb = (float(workload.input_elems)
+              + float(workload.weight_elems)
+              + float(workload.output_elems)) * 2.0
+        return AccessCounts(
+            macs=macs,
+            rf_accesses=rf,
+            array_transfers=array,
+            gb_accesses=gb,
+        )

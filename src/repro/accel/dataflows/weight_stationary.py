@@ -1,0 +1,184 @@
+"""Weight-stationary (WS) dataflow model.
+
+The WS engine is a TPU-like matrix-vector unit (paper §3.2): the PE array
+holds an ``array_rows x array_cols`` tile of the layer's input-channel x
+output-channel weight matrix; activations stream in from the stream
+buffer, one pixel per input-channel row per cycle, and partial sums
+reduce down each column through a chain of adders.
+
+Mapping rules
+-------------
+* Dense convolution: ``ceil(C/rows) * ceil(K/cols)`` weight tiles, each
+  visited once per filter tap; every visit streams all ``H_o * W_o``
+  output positions.  Grouped convolutions run each group independently.
+* Tap folding: when the layer has fewer input channels than array rows
+  (the first layer's C = 3 being the extreme case), the stream buffer
+  feeds a sliding window of up to ``ws_tap_fold_limit`` horizontally
+  adjacent filter taps, so several taps of the same channel occupy
+  otherwise idle rows.  This softens — but far from removes — the WS
+  first-layer penalty the paper reports (OS 1.6x-6.3x faster there).
+* Depthwise convolution: the C x C weight matrix of a filter tap is
+  diagonal, but a matrix-vector engine has no way to pack a diagonal —
+  it walks the (mostly zero) dense matrix, which is why the paper
+  measures DW layers 19x-96x slower here than on OS.
+* Fully-connected: the degenerate case ``F = 1, H_o = W_o = 1``; with a
+  single output position per tile the weight preload cannot be hidden,
+  so FC throughput collapses to the preload (and in practice DRAM)
+  bandwidth — matching the paper's AlexNet observation.
+
+Weight preload is double-buffered against the previous tile's streaming
+phase; only the non-hidden remainder is charged.
+
+Sparsity: the WS engine cannot *skip* zero weights (they are resident in
+the array), so sparsity saves no time.  It does save dynamic energy: a
+PE whose stationary weight is zero gates its multiplier and register
+file, so MAC and RF energy scale with weight density while the partial
+sums still traverse the full adder chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.dataflows.base import DataflowModel
+from repro.accel.report import AccessCounts, DataflowPerf
+from repro.accel.workload import ConvWorkload
+
+#: Width factor of partial sums relative to the 16-bit datapath: psums
+#: move through the column accumulators at 32-bit precision.
+_PSUM_WIDTH = 2
+
+
+@dataclass(frozen=True)
+class WsGeometry:
+    """The WS mapping of one layer: tile grid and tap folding."""
+
+    tiles_c: int       # input-channel tiles down the array rows
+    tiles_k: int       # output-channel tiles across the array columns
+    tap_groups: int    # temporal filter-tap groups (after folding)
+    fold: int          # horizontally adjacent taps folded onto rows
+    groups: int        # independent convolution groups walked serially
+
+    @property
+    def tile_visits(self) -> int:
+        return self.tiles_c * self.tiles_k * self.tap_groups * self.groups
+
+
+def ws_geometry(workload: ConvWorkload,
+                config: AcceleratorConfig) -> WsGeometry:
+    """The WS dataflow's mapping decisions for one layer."""
+    rows, cols = config.array_rows, config.array_cols
+    if workload.is_depthwise:
+        # Dense walk of the diagonal C x C per-tap weight matrix.
+        return WsGeometry(
+            tiles_c=-(-workload.in_channels // rows),
+            tiles_k=-(-workload.out_channels // cols),
+            tap_groups=workload.filter_taps,
+            fold=1,
+            groups=1,
+        )
+    spare = rows // workload.group_in_channels
+    if spare < 2:
+        fold = 1
+    else:
+        fold = max(1, min(workload.kernel_w, spare,
+                          config.ws_tap_fold_limit))
+    return WsGeometry(
+        tiles_c=-(-(workload.group_in_channels * fold) // rows),
+        tiles_k=-(-workload.group_out_channels // cols),
+        tap_groups=-(-workload.filter_taps // fold),
+        fold=fold,
+        groups=workload.groups,
+    )
+
+
+class WeightStationaryModel(DataflowModel):
+    """Analytical model of the reference WS architecture."""
+
+    name = "WS"
+
+    def simulate(self, workload: ConvWorkload,
+                 config: AcceleratorConfig) -> DataflowPerf:
+        rows, cols = config.array_rows, config.array_cols
+        pixels = workload.out_pixels
+
+        geometry = ws_geometry(workload, config)
+        tiles_c = geometry.tiles_c
+        tiles_k = geometry.tiles_k
+        tap_groups = geometry.tap_groups
+
+        # A batch streams back to back through each resident weight
+        # tile, so the streaming phase grows with the batch while the
+        # preload happens once per tile visit; everything is reported
+        # per image.  At batch 1 this reduces to the paper's setup.
+        batch_pixels = pixels * config.batch_size
+        tile_visits = geometry.tile_visits
+        stream_cycles = tile_visits * batch_pixels
+
+        # Preload of the next weight tile overlaps the current tile's
+        # streaming phase; charge only the exposed remainder.  The first
+        # tile is pre-staged during the layer's DMA startup window (the
+        # simulator's exposed DRAM latency), so exposure applies to the
+        # remaining visits.
+        preload_cycles = self._ceil_div(rows * cols,
+                                        config.preload_elems_per_cycle)
+        exposed = (max(0, preload_cycles - batch_pixels)
+                   * max(0, tile_visits - 1))
+        compute_cycles = (stream_cycles + exposed) / config.batch_size
+
+        accesses = self._accesses(workload, config, tiles_c, tiles_k, tap_groups)
+        return DataflowPerf(self.name, float(compute_cycles), accesses)
+
+    def _accesses(
+        self,
+        workload: ConvWorkload,
+        config: AcceleratorConfig,
+        tiles_c: int,
+        tiles_k: int,
+        tap_groups: int,
+    ) -> AccessCounts:
+        useful_macs = float(workload.macs)
+        density = 1.0 - config.weight_sparsity
+
+        # A PE whose stationary weight is zero gates its multiplier and
+        # RF read, and passes the incoming partial sum straight through
+        # (no adder toggle), so chain energy also scales with density.
+        gated_macs = useful_macs * density
+        rf = gated_macs
+        array = gated_macs
+
+        # Inputs are re-streamed from the global buffer once per
+        # output-channel tile and per tap group.  For a depthwise layer
+        # only the diagonal tile column carries non-zero weights, and
+        # the stream buffer skips fetching input rows for all-zero tile
+        # columns (the array still walks them — see simulate()).
+        input_tiles_k = 1 if workload.is_depthwise else tiles_k
+        gb_inputs = float(workload.in_channels * workload.out_pixels
+                          * input_tiles_k * tap_groups)
+        # Each weight enters the array exactly once (that is the point
+        # of weight stationarity).
+        gb_weights = float(workload.weight_elems)
+        # Partial sums revisit a 32-bit accumulator SRAM between
+        # accumulation segments (input-channel tiles x tap groups).  The
+        # accumulator must hold one partial sum per output element, so
+        # it is a global-buffer-class SRAM and is charged as such; this
+        # is the WS dataflow's structural energy cost, and it is largest
+        # exactly where WS is slow (many-segment layers: the first
+        # layer, FxF convolutions with several input-channel tiles).
+        # Depthwise outputs accumulate only over their own channel's
+        # taps; the accumulator ignores the all-zero tile rows it walks.
+        if workload.is_depthwise:
+            segments = workload.filter_taps
+        else:
+            segments = tiles_c * tap_groups
+        out_elems = float(workload.output_elems)
+        psum_accesses = out_elems * max(0, segments - 1) * 2 * _PSUM_WIDTH
+        gb_outputs = out_elems
+
+        return AccessCounts(
+            macs=gated_macs,
+            rf_accesses=rf,
+            array_transfers=array,
+            gb_accesses=gb_inputs + gb_weights + gb_outputs + psum_accesses,
+        )

@@ -1,0 +1,165 @@
+"""DRAM traffic and double-buffering model.
+
+The paper approximates DRAM with two numbers — 100 cycles latency and
+16 GB/s effective bandwidth — and hides transfer time behind compute with
+double buffering; when a layer's footprint exceeds the 128 KB global
+buffer, the convolution loops are tiled and some operands are re-fetched.
+
+This module computes, per layer and per dataflow, how many times each
+operand class crosses the DRAM boundary, and combines transfer time with
+compute time under double buffering:
+
+    total = max(compute_cycles, transfer_cycles) + exposed_latency
+
+Re-fetch rules (derived from each dataflow's loop nest):
+
+* **Weights** are used once per inference (batch 1): fetched once —
+  except under OS when the layer's weights exceed the buffer *and* the
+  output plane needs several spatial blocks, in which case the whole
+  weight set streams again per block.
+* **Inputs, WS**: fetched once when either the weights or the input map
+  fit in the buffer (the six-loop tiling keeps the other class
+  streaming); when neither fits, the cheaper of "weights resident per
+  chunk" and "inputs resident per chunk" is chosen.
+* **Inputs, OS**: each output block fetches its input halo.  The halo
+  stays buffered across the block's filter passes when it fits; a block
+  whose input set exceeds the buffer re-streams it once per pass —
+  this is what makes the OS dataflow so expensive on large pointwise
+  layers (MobileNet's tail).
+* **Outputs** are written exactly once; partial sums never spill to DRAM
+  (they spill to on-chip structures, which the energy model charges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.dataflows.base import os_blocks
+from repro.accel.workload import ConvWorkload
+
+#: Fraction of the global buffer usable for a *streaming* operand class
+#: under double buffering (the other half holds the in-flight tile).
+_STREAM_FRACTION = 0.5
+
+#: Fraction usable for an operand that stays *resident* across a block's
+#: passes (only its initial fill needs double buffering).
+_RESIDENT_FRACTION = 1.0
+
+
+@dataclass(frozen=True)
+class DramTraffic:
+    """Per-layer DRAM movement, in 16-bit elements."""
+
+    weight_elems: float
+    input_elems: float
+    output_elems: float
+
+    @property
+    def total_elems(self) -> float:
+        return self.weight_elems + self.input_elems + self.output_elems
+
+    def transfer_cycles(self, config: AcceleratorConfig) -> float:
+        """Bandwidth-limited transfer time in core cycles."""
+        bytes_moved = self.total_elems * config.bytes_per_element
+        return bytes_moved / config.dram_bytes_per_cycle
+
+
+def _buffer_elems(config: AcceleratorConfig, fraction: float) -> float:
+    return config.global_buffer_bytes * fraction / config.bytes_per_element
+
+
+def _fits(elems: float, config: AcceleratorConfig,
+          fraction: float = _STREAM_FRACTION) -> bool:
+    return elems <= _buffer_elems(config, fraction)
+
+
+def _ws_traffic(workload: ConvWorkload,
+                config: AcceleratorConfig) -> "DramTraffic":
+    weights = float(workload.weight_elems)
+    inputs = float(workload.input_elems)
+    outputs = float(workload.output_elems)
+    # The six-loop tiling search (paper §4.1.3) keeps one operand class
+    # resident in the buffer.  When either the weights or the input map
+    # fit, everything streams from DRAM exactly once; when neither fits,
+    # the cheaper of "weights resident per output-channel chunk" and
+    # "inputs resident per pixel chunk" is chosen.
+    if not _fits(weights, config) and not _fits(inputs, config):
+        budget = _buffer_elems(config, _STREAM_FRACTION)
+        n_weight_chunks = max(1.0, -(-weights // budget))
+        n_pixel_chunks = max(1.0, -(-inputs // budget))
+        weight_resident = weights + inputs * n_weight_chunks
+        input_resident = inputs + weights * n_pixel_chunks
+        if weight_resident <= input_resident:
+            inputs *= n_weight_chunks
+        else:
+            weights *= n_pixel_chunks
+    return DramTraffic(weights, inputs, outputs)
+
+
+def _os_traffic(workload: ConvWorkload,
+                config: AcceleratorConfig) -> "DramTraffic":
+    weights = float(workload.weight_elems)
+    outputs = float(workload.output_elems)
+    blocks = os_blocks(workload, config)
+    c = workload.group_in_channels
+
+    inputs = 0.0
+    n_blocks = 0
+    resident_budget = _buffer_elems(config, _RESIDENT_FRACTION)
+    for block in blocks:
+        block_input = float(block.in_block_elems * c)
+        # Input channels that fit in the buffer stay resident across the
+        # block's filter passes; the excess re-streams from DRAM every
+        # pass.  This is what makes the OS dataflow expensive on large
+        # pointwise layers (MobileNet's tail, SqueezeNet's squeeze
+        # layers): almost no compute per fetched input, many passes.
+        excess = max(0.0, block_input - resident_budget)
+        inputs += block.count * (block_input + excess * (block.passes - 1))
+        n_blocks += block.count
+    inputs *= workload.groups
+
+    if not _fits(weights, config):
+        # Weights stream once per spatial block when they cannot stay
+        # resident in the buffer.
+        weights *= n_blocks
+    return DramTraffic(weights, inputs, outputs)
+
+
+def layer_traffic(workload: ConvWorkload, dataflow: str,
+                  config: AcceleratorConfig) -> DramTraffic:
+    """DRAM element movement for one layer under one dataflow.
+
+    RS and NLR (the taxonomy-study dataflows) stream every operand once
+    when anything fits, with the same neither-fits chunking fallback as
+    WS — their loop nests admit the identical resident-operand tilings.
+    """
+    if dataflow in ("WS", "RS", "NLR"):
+        traffic = _ws_traffic(workload, config)
+    elif dataflow == "OS":
+        traffic = _os_traffic(workload, config)
+    else:
+        raise ValueError(f"unknown dataflow {dataflow!r}")
+    if config.batch_size > 1:
+        # Weights stay resident (or re-stream once) for the whole batch;
+        # activations move per image.  Traffic is reported per image.
+        traffic = DramTraffic(
+            weight_elems=traffic.weight_elems / config.batch_size,
+            input_elems=traffic.input_elems,
+            output_elems=traffic.output_elems,
+        )
+    return traffic
+
+
+def combine_compute_and_dram(
+    compute_cycles: float,
+    traffic: DramTraffic,
+    config: AcceleratorConfig,
+) -> float:
+    """Total layer time under double buffering.
+
+    Transfers overlap compute; the DRAM round-trip latency is exposed
+    once at the start of the layer (subsequent tiles are prefetched).
+    """
+    transfer = traffic.transfer_cycles(config)
+    return max(compute_cycles, transfer) + config.dram_latency_cycles

@@ -1,0 +1,50 @@
+"""Eyeriss-style normalized energy model.
+
+The paper follows Chen et al. (Eyeriss, ISCA 2016): count the accesses to
+the MAC units and to each level of the memory hierarchy, then weight each
+count by a unit energy normalized to one 16-bit MAC.  "Here we modified
+the unit energy slightly to match this hardware configuration" — we keep
+the canonical Eyeriss ratios (RF 1x, inter-PE 2x, global buffer 6x,
+DRAM 200x) and expose them as a dataclass so ablations can perturb them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accel.report import AccessCounts
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Unit energies, normalized so one MAC operation costs 1.0."""
+
+    mac: float = 1.0
+    rf: float = 1.0
+    array: float = 2.0       # inter-PE transfer
+    global_buffer: float = 6.0
+    dram: float = 200.0
+
+    def __post_init__(self) -> None:
+        for level in ("mac", "rf", "array", "global_buffer", "dram"):
+            if getattr(self, level) < 0:
+                raise ValueError(f"unit energy {level} must be non-negative")
+
+    def breakdown(self, accesses: AccessCounts) -> Dict[str, float]:
+        """Normalized energy per machine level for the given counts."""
+        return {
+            "mac": accesses.macs * self.mac,
+            "rf": accesses.rf_accesses * self.rf,
+            "array": accesses.array_transfers * self.array,
+            "global_buffer": accesses.gb_accesses * self.global_buffer,
+            "dram": accesses.dram_elems * self.dram,
+        }
+
+    def total(self, accesses: AccessCounts) -> float:
+        """Total normalized energy for the given counts."""
+        return sum(self.breakdown(accesses).values())
+
+
+#: The default model used throughout the reproduction.
+DEFAULT_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,90 @@
+"""The Squeezelerator: hybrid-dataflow accelerator facade.
+
+A thin, intention-revealing wrapper over :class:`AcceleratorSimulator`
+that exposes the paper's headline capability — per-layer WS/OS dataflow
+selection — plus the Table 2 comparison against the two single-dataflow
+reference architectures built from the *same* machine parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.accel.config import AcceleratorConfig, DataflowPolicy, squeezelerator
+from repro.accel.energy import EnergyModel
+from repro.accel.report import NetworkReport
+from repro.accel.simulator import AcceleratorSimulator
+from repro.accel.workload import network_workloads
+from repro.graph.network_spec import NetworkSpec
+
+
+@dataclass(frozen=True)
+class DataflowDecision:
+    """Why the Squeezelerator picked a dataflow for one layer."""
+
+    layer: str
+    chosen: str
+    ws_cycles: float
+    os_cycles: Optional[float]  # None for FC layers (WS path only)
+
+    @property
+    def advantage(self) -> float:
+        """Speedup of the chosen dataflow over the alternative (>= 1)."""
+        if self.os_cycles is None:
+            return 1.0
+        slower = max(self.ws_cycles, self.os_cycles)
+        faster = min(self.ws_cycles, self.os_cycles)
+        return slower / faster if faster > 0 else 1.0
+
+
+class Squeezelerator:
+    """The paper's proposed accelerator, ready to run a network."""
+
+    def __init__(
+        self,
+        array_size: int = 32,
+        rf_entries: int = 8,
+        config: Optional[AcceleratorConfig] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        if config is None:
+            config = squeezelerator(array_size, rf_entries)
+        elif config.policy is not DataflowPolicy.HYBRID:
+            raise ValueError("a Squeezelerator must use the HYBRID policy")
+        self.config = config
+        self._simulator = AcceleratorSimulator(config, energy_model)
+        self._energy_model = energy_model
+
+    def run(self, network: NetworkSpec) -> NetworkReport:
+        """Simulate batch-1 inference with per-layer dataflow selection."""
+        return self._simulator.simulate(network)
+
+    def decisions(self, network: NetworkSpec) -> Dict[str, DataflowDecision]:
+        """Per-layer dataflow selection record (the static schedule)."""
+        result: Dict[str, DataflowDecision] = {}
+        for workload in network_workloads(network):
+            options = self._simulator.dataflow_options(workload)
+            chosen = min(options.values(), key=lambda r: r.total_cycles)
+            result[workload.name] = DataflowDecision(
+                layer=workload.name,
+                chosen=chosen.dataflow,
+                ws_cycles=options["WS"].total_cycles,
+                os_cycles=(options["OS"].total_cycles
+                           if "OS" in options else None),
+            )
+        return result
+
+    def compare_with_references(self, network: NetworkSpec) -> Dict[str, NetworkReport]:
+        """Run the network on hybrid, pure-WS and pure-OS machines.
+
+        All three share array size, buffers and DRAM parameters, exactly
+        like Table 2's comparison.
+        """
+        ws_config = self.config.with_policy(DataflowPolicy.WEIGHT_STATIONARY)
+        os_config = self.config.with_policy(DataflowPolicy.OUTPUT_STATIONARY)
+        return {
+            "hybrid": self.run(network),
+            "WS": AcceleratorSimulator(ws_config, self._energy_model).simulate(network),
+            "OS": AcceleratorSimulator(os_config, self._energy_model).simulate(network),
+        }

@@ -1,0 +1,128 @@
+"""Multi-core Squeezelerator configurations (paper §3.2 feature list).
+
+The paper's accelerator taxonomy lists "multi-core configuration" as a
+distinguishing feature.  We model the natural SOC variant: ``n`` equal
+Squeezelerator cores, each with its own PE array and buffers, sharing
+one DRAM interface.  Layers are split across cores along the
+output-channel dimension (the standard inference partition — no
+cross-core psum traffic), so each core runs a ``K/n``-channel slice of
+every layer while DRAM bandwidth divides ``n`` ways:
+
+* compute parallelizes near-linearly while ``K`` is large;
+* memory-bound layers do not speed up at all (shared bandwidth), so
+  multi-core scaling inherits each network's roofline position;
+* input activations are broadcast (each core reads the full input),
+  so input DRAM traffic *rises* with the core count.
+
+This is deliberately first-order — no NoC model, no load imbalance
+beyond channel-count remainders — matching the repository's estimator
+altitude.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List
+
+from repro.accel.config import AcceleratorConfig, squeezelerator
+from repro.accel.simulator import AcceleratorSimulator
+from repro.accel.workload import ConvWorkload, network_workloads
+from repro.graph.network_spec import NetworkSpec
+
+
+@dataclass(frozen=True)
+class MulticoreReport:
+    """Latency/energy of one network on an n-core machine."""
+
+    network: str
+    cores: int
+    total_cycles: float
+    total_energy: float
+    single_core_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        return self.single_core_cycles / self.total_cycles
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.speedup / self.cores
+
+
+def _split_workload(workload: ConvWorkload, cores: int) -> ConvWorkload:
+    """The per-core slice: output channels divided across cores.
+
+    Channel counts that don't divide evenly leave the remainder on the
+    slowest core, so the slice uses the ceiling share.  Grouped layers
+    split whole groups; a layer with fewer groups/channels than cores
+    runs on fewer cores (the slice keeps at least one channel/group).
+    """
+    if workload.groups > 1:
+        share = max(1, -(-workload.groups // cores))
+        per_group_in = workload.in_channels // workload.groups
+        per_group_out = workload.out_channels // workload.groups
+        return dataclasses.replace(
+            workload,
+            in_channels=per_group_in * share,
+            out_channels=per_group_out * share,
+            groups=share,
+        )
+    share = max(1, -(-workload.out_channels // cores))
+    return dataclasses.replace(workload, out_channels=share)
+
+
+def simulate_multicore(
+    network: NetworkSpec,
+    cores: int,
+    base_config: AcceleratorConfig = None,
+) -> MulticoreReport:
+    """Simulate a network on ``cores`` Squeezelerator cores."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    base_config = base_config or squeezelerator(32)
+    single = AcceleratorSimulator(base_config)
+    single_cycles = sum(
+        single.simulate_layer(w).total_cycles
+        for w in network_workloads(network))
+    if cores == 1:
+        energy = sum(single.simulate_layer(w).energy
+                     for w in network_workloads(network))
+        return MulticoreReport(network.name, 1, single_cycles, energy,
+                               single_cycles)
+
+    # Each core sees 1/cores of the DRAM bandwidth.
+    per_core_config = dataclasses.replace(
+        base_config,
+        dram_bandwidth_gbps=base_config.dram_bandwidth_gbps / cores,
+        name=f"{base_config.name}-of-{cores}",
+    )
+    simulator = AcceleratorSimulator(per_core_config)
+    total_cycles = 0.0
+    total_energy = 0.0
+    for workload in network_workloads(network):
+        # The scheduler picks, per layer, the better of running the
+        # layer sliced across all cores or on one core with the full
+        # DRAM bandwidth — memory-bound layers gain nothing from
+        # slicing and would otherwise pay the input re-broadcast.
+        single_report = single.simulate_layer(workload)
+        slice_workload = _split_workload(workload, cores)
+        sliced_report = simulator.simulate_layer(slice_workload)
+        active = min(cores, max(1, workload.out_channels))
+        sliced_energy = sliced_report.energy * active
+        if sliced_report.total_cycles < single_report.total_cycles:
+            total_cycles += sliced_report.total_cycles
+            total_energy += sliced_energy
+        else:
+            total_cycles += single_report.total_cycles
+            total_energy += single_report.energy
+    return MulticoreReport(network.name, cores, total_cycles,
+                           total_energy, single_cycles)
+
+
+def core_scaling(network: NetworkSpec,
+                 core_counts=(1, 2, 4),
+                 base_config: AcceleratorConfig = None) -> List[MulticoreReport]:
+    """Scaling curve across core counts."""
+    return [simulate_multicore(network, n, base_config)
+            for n in core_counts]

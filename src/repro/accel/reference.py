@@ -1,0 +1,200 @@
+"""Event-level reference simulator.
+
+The analytical models in :mod:`repro.accel.dataflows` are closed-form;
+this module re-implements the WS and OS executions as *stateful
+event-level simulations*: explicit phase-by-phase loops over the actual
+tile/block lists, with double buffering expressed as real overlap
+between a transfer engine and the compute engine rather than a
+``max()`` in a formula.  Being an independent implementation, it
+validates the analytical algebra (edge tiles, first/last-iteration
+boundary conditions, preload exposure) — the role a cycle-accurate RTL
+simulator plays against a performance model in a real accelerator
+project.
+
+It also emits an event trace, renderable as a text Gantt chart, which
+is how the per-layer pipelining (preload / compute / drain overlap)
+can actually be inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.dataflows.base import os_blocks
+from repro.accel.dataflows.weight_stationary import ws_geometry
+from repro.accel.workload import ConvWorkload
+
+
+@dataclass(frozen=True)
+class Event:
+    """One busy interval of one engine."""
+
+    engine: str   # "preload" | "compute" | "drain"
+    start: float
+    end: float
+    detail: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ReferenceResult:
+    """Outcome of one event-level run."""
+
+    dataflow: str
+    cycles: float
+    events: List[Event] = field(default_factory=list)
+
+    def busy_cycles(self, engine: str) -> float:
+        return sum(e.duration for e in self.events if e.engine == engine)
+
+    def assert_well_formed(self) -> None:
+        """Per-engine events must be ordered and non-overlapping."""
+        by_engine = {}
+        for event in self.events:
+            by_engine.setdefault(event.engine, []).append(event)
+        for engine, events in by_engine.items():
+            previous_end = float("-inf")
+            for event in events:
+                if event.start < previous_end - 1e-9:
+                    raise AssertionError(
+                        f"{engine} events overlap at t={event.start}")
+                if event.end < event.start:
+                    raise AssertionError(f"negative-length {engine} event")
+                previous_end = event.end
+
+    def gantt(self, width: int = 72) -> str:
+        """Text Gantt chart of the first events (compute vs transfers)."""
+        if not self.events:
+            return "(no events)"
+        horizon = max(e.end for e in self.events)
+        scale = width / horizon
+        lines = [f"{self.dataflow} timeline, {self.cycles:.0f} cycles"]
+        for engine in ("preload", "compute", "drain"):
+            row = [" "] * width
+            for event in self.events:
+                if event.engine != engine:
+                    continue
+                start = int(event.start * scale)
+                end = max(start + 1, int(event.end * scale))
+                for i in range(start, min(end, width)):
+                    row[i] = engine[0]
+            lines.append(f"{engine:>8} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+class ReferenceSimulator:
+    """Stateful event-level execution of the WS and OS schedules."""
+
+    def __init__(self, config: AcceleratorConfig,
+                 record_events: bool = True) -> None:
+        self.config = config
+        self.record_events = record_events
+
+    # -- weight stationary ---------------------------------------------------
+
+    def simulate_ws(self, workload: ConvWorkload) -> ReferenceResult:
+        """Walk every weight-tile visit with double-buffered preloads."""
+        config = self.config
+        geometry = ws_geometry(workload, config)
+        pixels = workload.out_pixels * config.batch_size
+        preload_cycles = -(-config.array_rows * config.array_cols
+                           // config.preload_elems_per_cycle)
+
+        result = ReferenceResult("WS", 0.0)
+        now = 0.0                 # when the compute engine frees up
+        previous_compute_start = 0.0
+        for visit in range(geometry.tile_visits):
+            # Tile i's weights preload while tile i-1 streams (double
+            # buffering): the preload engine starts as soon as the
+            # weight registers' shadow copy frees, i.e. when tile i-1
+            # begins computing.  Tile 0 has nothing to hide behind.
+            # Tile 0's weights are pre-staged during the layer's DMA
+            # startup window (the simulator's exposed DRAM latency), so
+            # its preload ends at t=0.
+            preload_start = -preload_cycles if visit == 0 \
+                else previous_compute_start
+            preload_end = preload_start + preload_cycles
+            self._emit(result, "preload", preload_start, preload_end,
+                       f"tile {visit}")
+            compute_start = max(now, preload_end)
+            compute_end = compute_start + pixels
+            self._emit(result, "compute", compute_start, compute_end,
+                       f"tile {visit}: stream {pixels} positions")
+            previous_compute_start = compute_start
+            now = compute_end
+        result.cycles = now / config.batch_size
+        return result
+
+    # -- output stationary -----------------------------------------------------
+
+    def simulate_os(self, workload: ConvWorkload) -> ReferenceResult:
+        """Walk every output block / pass / input channel explicitly."""
+        config = self.config
+        density = 1.0 - config.weight_sparsity
+        taps = workload.filter_taps
+        # The preload buffer is a FIFO of input blocks: its depth is
+        # however many blocks fit in `preload_buffer_bytes` (at least
+        # two, for classic double buffering).  A slot is held from the
+        # moment its prefetch starts until the compute step consuming
+        # it finishes; the engine runs ahead whenever a slot is free.
+        # The first block is pre-staged during the layer's DMA startup
+        # window (the simulator's exposed DRAM latency).
+        result = ReferenceResult("OS", 0.0)
+        engine_free = 0.0                # preload engine availability
+        compute_free = 0.0               # PE array availability
+        step_index = 0
+        compute_end_history: List[float] = []
+        for block in os_blocks(workload, config):
+            preload = -(-block.in_block_elems
+                        // config.preload_elems_per_cycle)
+            depth = max(2, (config.preload_buffer_bytes
+                            // config.bytes_per_element)
+                        // max(1, block.in_block_elems))
+            lanes = min(block.pack, config.broadcast_lanes)
+            channels_per_pass = config.os_group_size * block.pack
+            for _ in range(block.count * workload.groups):
+                remaining = workload.group_out_channels
+                while remaining > 0:
+                    kp = min(channels_per_pass, remaining)
+                    remaining -= kp
+                    broadcast = -(-kp // lanes) * taps * density
+                    for _channel in range(workload.group_in_channels):
+                        # Slot for step i frees when step i-depth ended.
+                        back = step_index - depth
+                        slot_free = (compute_end_history[back]
+                                     if back >= 0 else 0.0)
+                        if step_index == 0:
+                            prefetch_start = -float(preload)  # pre-staged
+                        else:
+                            prefetch_start = max(engine_free, slot_free)
+                        prefetch_end = prefetch_start + preload
+                        self._emit(result, "preload", prefetch_start,
+                                   prefetch_end, f"block load {step_index}")
+                        engine_free = prefetch_end
+                        start = max(compute_free, prefetch_end)
+                        end = start + broadcast
+                        self._emit(result, "compute", start, end,
+                                   f"{kp} filters x {taps} taps")
+                        compute_free = end
+                        compute_end_history.append(end)
+                        step_index += 1
+                    drain = -(-kp * block.bh * block.bw
+                              // config.drain_elems_per_cycle)
+                    # The drain occupies the compute chain but not the
+                    # preload buffer (psums leave through the bottom
+                    # row), so prefetching continues underneath it.
+                    self._emit(result, "drain", compute_free,
+                               compute_free + drain, f"{kp} sub-blocks")
+                    compute_free += drain
+        result.cycles = compute_free
+        return result
+
+    def _emit(self, result: ReferenceResult, engine: str,
+              start: float, end: float, detail: str) -> None:
+        if self.record_events and len(result.events) < 10000:
+            result.events.append(Event(engine, start, end, detail))

@@ -1,0 +1,139 @@
+"""Result dataclasses produced by the simulator.
+
+Three levels: :class:`AccessCounts` (raw event counts a dataflow model
+emits), :class:`LayerReport` (one layer on one machine: cycles, energy,
+utilization), and :class:`NetworkReport` (a whole network: per-layer
+reports plus totals).  These are plain values — formatting lives in
+:mod:`repro.experiments.formatting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.graph.categories import LayerCategory
+
+
+@dataclass(frozen=True)
+class AccessCounts:
+    """Event counts at each level of the machine, for the energy model.
+
+    ``macs`` counts multiply-accumulates actually issued (the OS dataflow
+    skips zero weights, so its count is below the dense MAC count).
+    ``dram_elems`` counts 16-bit elements moved to or from DRAM.
+    """
+
+    macs: float = 0.0
+    rf_accesses: float = 0.0
+    array_transfers: float = 0.0
+    gb_accesses: float = 0.0
+    dram_elems: float = 0.0
+
+    def __add__(self, other: "AccessCounts") -> "AccessCounts":
+        return AccessCounts(
+            macs=self.macs + other.macs,
+            rf_accesses=self.rf_accesses + other.rf_accesses,
+            array_transfers=self.array_transfers + other.array_transfers,
+            gb_accesses=self.gb_accesses + other.gb_accesses,
+            dram_elems=self.dram_elems + other.dram_elems,
+        )
+
+    def scaled(self, factor: float) -> "AccessCounts":
+        """Uniformly scale all counts (used for grouped convolutions)."""
+        return AccessCounts(
+            macs=self.macs * factor,
+            rf_accesses=self.rf_accesses * factor,
+            array_transfers=self.array_transfers * factor,
+            gb_accesses=self.gb_accesses * factor,
+            dram_elems=self.dram_elems * factor,
+        )
+
+
+@dataclass(frozen=True)
+class DataflowPerf:
+    """What one dataflow model predicts for one layer (pre-DRAM)."""
+
+    dataflow: str
+    compute_cycles: float
+    accesses: AccessCounts
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Timing, utilization and energy of one layer on one machine."""
+
+    name: str
+    category: LayerCategory
+    dataflow: str
+    macs: int                  # dense MAC count of the layer
+    compute_cycles: float      # PE-array busy time
+    dram_cycles: float         # DRAM transfer time (overlapped)
+    total_cycles: float        # max(compute, dram) + exposed latency
+    energy: float              # normalized to one MAC energy
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Achieved dense MACs per cycle (Figure 3's utilization metric)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.macs / self.total_cycles
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """End-to-end batch-1 inference of one network on one machine."""
+
+    network: str
+    machine: str
+    policy: str
+    layers: List[LayerReport]
+    frequency_hz: float
+    num_pes: int
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def total_energy(self) -> float:
+        return sum(layer.energy for layer in self.layers)
+
+    @property
+    def inference_ms(self) -> float:
+        return self.total_cycles / self.frequency_hz * 1e3
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-weighted PE utilization over the whole inference.
+
+        Computed against dense MACs and clamped at 1.0: zero-weight
+        skipping lets nominal dense throughput exceed the PE count on
+        small arrays.
+        """
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.total_macs / (self.num_pes * self.total_cycles))
+
+    def layer_utilization(self, layer: LayerReport) -> float:
+        """Per-layer PE utilization in [0, 1]."""
+        if layer.total_cycles <= 0:
+            return 0.0
+        return min(1.0, layer.macs / (self.num_pes * layer.total_cycles))
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Aggregate normalized energy per machine level."""
+        totals: Dict[str, float] = {}
+        for layer in self.layers:
+            for level, value in layer.energy_breakdown.items():
+                totals[level] = totals.get(level, 0.0) + value
+        return totals
+
+    def dataflow_choices(self) -> Dict[str, str]:
+        """Layer name -> chosen dataflow (interesting under HYBRID)."""
+        return {layer.name: layer.dataflow for layer in self.layers}

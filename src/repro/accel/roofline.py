@@ -1,0 +1,122 @@
+"""Roofline analysis: arithmetic intensity vs machine balance.
+
+The paper invokes arithmetic intensity directly — SqueezeNext "avoids
+MobileNet's depthwise separable convolutions *that have poor Arithmetic
+Intensity* (Ops/MAC per byte of memory accessed)" — and its DRAM
+observations (FC layers bound, MobileNet DRAM-heavy) are roofline
+statements.  This module computes the per-layer roofline position on a
+given machine:
+
+* intensity  = MACs / DRAM bytes moved (operand traffic per layer);
+* the machine's ridge point = peak MACs/cycle / DRAM bytes/cycle;
+* layers left of the ridge are memory-bound; their attainable
+  throughput is ``intensity * bandwidth``.
+
+Because DRAM traffic depends on the dataflow's re-fetch behaviour, the
+roofline is computed for the dataflow the hybrid schedule actually
+picked per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.accel.config import AcceleratorConfig, squeezelerator
+from repro.accel.simulator import AcceleratorSimulator
+from repro.accel.workload import network_workloads
+from repro.graph.categories import LayerCategory
+from repro.graph.network_spec import NetworkSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position in the roofline plane."""
+
+    layer: str
+    category: LayerCategory
+    dataflow: str
+    macs: int
+    dram_bytes: float
+    attained_macs_per_cycle: float
+    peak_macs_per_cycle: float
+    ridge_intensity: float  # machine balance point, MACs per byte
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity in MACs per DRAM byte."""
+        if self.dram_bytes <= 0:
+            return float("inf")
+        return self.macs / self.dram_bytes
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.ridge_intensity
+
+    @property
+    def roofline_bound(self) -> float:
+        """Attainable MACs/cycle at this intensity on this machine."""
+        bandwidth = self.peak_macs_per_cycle / self.ridge_intensity
+        return min(self.peak_macs_per_cycle, self.intensity * bandwidth)
+
+    @property
+    def efficiency(self) -> float:
+        """Attained throughput over the roofline bound, in [0, ~1]."""
+        bound = self.roofline_bound
+        return self.attained_macs_per_cycle / bound if bound else 0.0
+
+
+def roofline(network: NetworkSpec,
+             config: AcceleratorConfig = None) -> List[RooflinePoint]:
+    """Roofline points for every compute layer under the hybrid schedule."""
+    config = config or squeezelerator(32)
+    simulator = AcceleratorSimulator(config)
+    ridge = config.num_pes / config.dram_bytes_per_cycle
+    points = []
+    for workload in network_workloads(network):
+        report = simulator.simulate_layer(workload)
+        dram_bytes = (report.energy_breakdown["dram"]
+                      / simulator.energy_model.dram
+                      * config.bytes_per_element)
+        # Attained throughput counts *issued* MACs (the OS dataflow
+        # skips zero weights, so dense-MAC throughput could nominally
+        # exceed the PE count); the MAC energy term counts exactly the
+        # issued operations.
+        issued = report.energy_breakdown["mac"] / simulator.energy_model.mac
+        points.append(RooflinePoint(
+            layer=workload.name,
+            category=workload.category,
+            dataflow=report.dataflow,
+            macs=workload.macs,
+            dram_bytes=dram_bytes,
+            attained_macs_per_cycle=issued / report.total_cycles,
+            peak_macs_per_cycle=config.num_pes,
+            ridge_intensity=ridge,
+        ))
+    return points
+
+
+def memory_bound_fraction(points: List[RooflinePoint]) -> float:
+    """Fraction of the network's MACs living in memory-bound layers."""
+    total = sum(p.macs for p in points)
+    if total == 0:
+        return 0.0
+    bound = sum(p.macs for p in points if p.memory_bound)
+    return bound / total
+
+
+def render_roofline(points: List[RooflinePoint], width: int = 56) -> str:
+    """Text roofline: one row per layer, bar = attained/peak."""
+    lines = [f"{'layer':<22} {'flow':<4} {'MAC/B':>8} "
+             f"{'MAC/cyc':>8}  bound"]
+    for point in points:
+        bar_len = int(point.attained_macs_per_cycle
+                      / point.peak_macs_per_cycle * 20)
+        bar = "#" * max(0, bar_len)
+        tag = "MEM" if point.memory_bound else "cmp"
+        intensity = ("inf" if point.dram_bytes <= 0
+                     else f"{point.intensity:8.1f}")
+        lines.append(
+            f"{point.layer:<22} {point.dataflow:<4} {intensity:>8} "
+            f"{point.attained_macs_per_cycle:8.1f}  {tag} |{bar:<20}|")
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Static schedule compiler for the Squeezelerator.
+
+DNN inference on the Squeezelerator is *statically schedulable* (paper
+§4.1.1): every mapping decision — dataflow, tiling, buffer residency,
+DMA traffic — is fixed before execution.  This module produces that
+schedule as an inspectable artifact, the piece an actual accelerator
+SDK would ship:
+
+    program = compile_network(network, config)
+    print(program.disassemble())
+    problems = program.validate()
+
+Each compute layer becomes one :class:`LayerDirective` describing the
+chosen dataflow, its mapping geometry (WS tile grid / OS block grid),
+the operand residency plan for the global buffer, the DMA transfer
+volumes, and the predicted cycle budget.  The numbers are exactly the
+simulator's — the compiler and the estimator share the same models, so
+the schedule is the simulation, serialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.dataflows.base import os_blocks
+from repro.accel.dataflows.weight_stationary import ws_geometry
+from repro.accel.dram import layer_traffic
+from repro.accel.simulator import AcceleratorSimulator
+from repro.accel.workload import ConvWorkload, network_workloads
+from repro.graph.network_spec import NetworkSpec
+
+
+@dataclass(frozen=True)
+class DmaPlan:
+    """DRAM transfer volumes of one layer, in 16-bit elements."""
+
+    weight_elems: float
+    input_elems: float
+    output_elems: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (self.weight_elems + self.input_elems
+                + self.output_elems) * 2
+
+
+@dataclass(frozen=True)
+class LayerDirective:
+    """One line of the accelerator's static program."""
+
+    index: int
+    layer: str
+    dataflow: str
+    mapping: str               # human-readable geometry summary
+    resident_operand: str      # what the global buffer keeps resident
+    dma: DmaPlan
+    compute_cycles: float
+    dram_cycles: float
+    total_cycles: float
+    utilization: float
+    notes: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.index:>3}] {self.layer:<24} {self.dataflow:<3} "
+            f"{self.mapping}",
+            f"      buffer: {self.resident_operand}; "
+            f"dma {self.dma.total_bytes / 1024:.0f} KiB "
+            f"(w {self.dma.weight_elems:.0f} / i {self.dma.input_elems:.0f} "
+            f"/ o {self.dma.output_elems:.0f} elems)",
+            f"      cycles: compute {self.compute_cycles:,.0f}, "
+            f"dram {self.dram_cycles:,.0f} -> total "
+            f"{self.total_cycles:,.0f} (util {self.utilization:.0%})",
+        ]
+        lines.extend(f"      note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+@dataclass
+class Program:
+    """The full static schedule of one network on one machine."""
+
+    network: str
+    machine: AcceleratorConfig
+    directives: List[LayerDirective] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(d.total_cycles for d in self.directives)
+
+    @property
+    def total_dma_bytes(self) -> float:
+        return sum(d.dma.total_bytes for d in self.directives)
+
+    def dataflow_histogram(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for directive in self.directives:
+            counts[directive.dataflow] = counts.get(directive.dataflow, 0) + 1
+        return counts
+
+    def disassemble(self) -> str:
+        header = (
+            f"program {self.network!r} on {self.machine.name} "
+            f"({self.machine.array_rows}x{self.machine.array_cols} PEs, "
+            f"{self.machine.global_buffer_bytes // 1024} KB buffer)"
+        )
+        body = "\n".join(d.render() for d in self.directives)
+        histogram = ", ".join(f"{flow}: {count}" for flow, count
+                              in sorted(self.dataflow_histogram().items()))
+        footer = (
+            f"total: {self.total_cycles:,.0f} cycles "
+            f"({self.machine.cycles_to_ms(self.total_cycles):.2f} ms), "
+            f"DMA {self.total_dma_bytes / 1024 / 1024:.1f} MiB; "
+            f"dataflows: {histogram}"
+        )
+        return "\n".join([header, body, footer])
+
+    def validate(self) -> List[str]:
+        """Capacity and sanity checks; empty list means schedulable."""
+        problems: List[str] = []
+        buffer_elems = (self.machine.global_buffer_bytes
+                        / self.machine.bytes_per_element)
+        for directive in self.directives:
+            if directive.total_cycles <= 0:
+                problems.append(f"{directive.layer}: non-positive cycles")
+            if directive.utilization > 1.0 + 1e-9:
+                problems.append(
+                    f"{directive.layer}: utilization {directive.utilization:.2f} "
+                    "exceeds the PE array's peak")
+            # A resident operand that exceeds the whole buffer means the
+            # residency plan is impossible.
+            if directive.resident_operand.startswith("weights"):
+                if directive.dma.weight_elems > 0:
+                    needed = directive.dma.weight_elems
+                    if needed > buffer_elems:
+                        problems.append(
+                            f"{directive.layer}: resident weights "
+                            f"({needed:.0f} elems) exceed the buffer")
+        return problems
+
+
+def _mapping_summary(workload: ConvWorkload, dataflow: str,
+                     config: AcceleratorConfig) -> Tuple[str, Tuple[str, ...]]:
+    notes: List[str] = []
+    if dataflow == "WS":
+        geometry = ws_geometry(workload, config)
+        summary = (f"tiles {geometry.tiles_c}x{geometry.tiles_k}, "
+                   f"{geometry.tap_groups} tap groups"
+                   + (f" x{geometry.groups} groups"
+                      if geometry.groups > 1 else ""))
+        if geometry.fold > 1:
+            notes.append(f"tap folding x{geometry.fold} "
+                         "(input channels under-fill the rows)")
+        if workload.is_depthwise:
+            notes.append("depthwise walked as a dense diagonal matrix "
+                         "(WS cannot pack diagonals)")
+    else:
+        blocks = os_blocks(workload, config)
+        n_blocks = sum(b.count for b in blocks) * workload.groups
+        first = blocks[0]
+        summary = (f"{n_blocks} output blocks (<= {first.bh}x{first.bw}), "
+                   f"{first.passes} filter passes, pack {first.pack}")
+        if first.pack > 1:
+            notes.append("small plane: output channels packed side by side")
+    return summary, tuple(notes)
+
+
+def _residency(workload: ConvWorkload, dataflow: str,
+               config: AcceleratorConfig) -> str:
+    half = config.global_buffer_bytes / 2 / config.bytes_per_element
+    if dataflow == "OS":
+        blocks = os_blocks(workload, config)
+        block_input = max(b.in_block_elems for b in blocks) \
+            * workload.group_in_channels
+        if block_input <= config.global_buffer_bytes / config.bytes_per_element:
+            return "block inputs resident across filter passes"
+        return "inputs partially resident (excess re-streamed per pass)"
+    if workload.weight_elems <= half:
+        return "weights resident, activations streamed"
+    if workload.input_elems <= half:
+        return "inputs resident, weights streamed"
+    return "neither fits: chunked residency (see dma volumes)"
+
+
+def compile_network(network: NetworkSpec,
+                    config: Optional[AcceleratorConfig] = None) -> Program:
+    """Produce the static schedule of a network on a machine."""
+    from repro.accel.config import squeezelerator
+
+    config = config or squeezelerator(32)
+    simulator = AcceleratorSimulator(config)
+    program = Program(network=network.name, machine=config)
+    for index, workload in enumerate(network_workloads(network)):
+        report = simulator.simulate_layer(workload)
+        dataflow = report.dataflow
+        if workload.is_fc:
+            mapping, notes = (f"matrix-vector "
+                              f"{workload.in_channels}x{workload.out_channels}",
+                              ("FC at batch 1 is DRAM-bandwidth-bound",))
+        else:
+            mapping, notes = _mapping_summary(workload, dataflow, config)
+        traffic = layer_traffic(workload, dataflow, config)
+        utilization = min(1.0, workload.macs
+                          / (config.num_pes * report.total_cycles))
+        program.directives.append(LayerDirective(
+            index=index,
+            layer=workload.name,
+            dataflow=dataflow,
+            mapping=mapping,
+            resident_operand=_residency(workload, dataflow, config),
+            dma=DmaPlan(traffic.weight_elems, traffic.input_elems,
+                        traffic.output_elems),
+            compute_cycles=report.compute_cycles,
+            dram_cycles=report.dram_cycles,
+            total_cycles=report.total_cycles,
+            utilization=utilization,
+            notes=notes,
+        ))
+    return program

@@ -1,0 +1,126 @@
+"""Top-level accelerator simulator.
+
+Ties together the dataflow models, the DRAM model and the energy model:
+
+* ``policy = WEIGHT_STATIONARY`` / ``OUTPUT_STATIONARY`` — the Table 2
+  reference architectures: every convolution runs under one dataflow.
+* ``policy = HYBRID`` — the Squeezelerator: each layer is simulated
+  under both dataflows and the faster one is selected, with no switching
+  overhead (paper §4.1.2).
+
+Fully-connected layers run as matrix-vector products on the WS path
+under every policy; at batch size 1 they are DRAM-bandwidth-bound, so
+the dataflow choice is immaterial for them — this reproduces the paper's
+observation that AlexNet's FC layers "cannot take advantage of hardware
+acceleration by either dataflow architecture".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.accel.config import AcceleratorConfig, DataflowPolicy, SelectionObjective
+from repro.accel.dataflows.output_stationary import OutputStationaryModel
+from repro.accel.dataflows.weight_stationary import WeightStationaryModel
+from repro.accel.dram import combine_compute_and_dram, layer_traffic
+from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.accel.report import AccessCounts, DataflowPerf, LayerReport, NetworkReport
+from repro.accel.workload import ConvWorkload, network_workloads
+from repro.graph.network_spec import NetworkSpec
+
+
+class AcceleratorSimulator:
+    """Performance and energy estimator for one machine configuration."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.config = config
+        self.energy_model = energy_model or DEFAULT_ENERGY_MODEL
+        self._ws = WeightStationaryModel()
+        self._os = OutputStationaryModel()
+
+    # -- per-layer --------------------------------------------------------
+
+    def dataflow_options(self, workload: ConvWorkload) -> Dict[str, LayerReport]:
+        """Simulate one layer under both dataflows (FC: WS path only)."""
+        if workload.is_fc:
+            return {"WS": self._finish(workload, self._ws.simulate(workload, self.config))}
+        return {
+            "WS": self._finish(workload, self._ws.simulate(workload, self.config)),
+            "OS": self._finish(workload, self._os.simulate(workload, self.config)),
+        }
+
+    def simulate_layer_with(self, workload: ConvWorkload,
+                            model) -> LayerReport:
+        """Simulate one layer under an arbitrary dataflow model.
+
+        Used by the taxonomy study (repro.experiments.taxonomy) to
+        evaluate RS and NLR alongside the machine's native WS/OS pair.
+        """
+        return self._finish(workload, model.simulate(workload, self.config))
+
+    def _selection_key(self, report: LayerReport) -> float:
+        objective = self.config.objective
+        if objective is SelectionObjective.ENERGY:
+            return report.energy
+        if objective is SelectionObjective.EDP:
+            return report.energy * report.total_cycles
+        return report.total_cycles
+
+    def simulate_layer(self, workload: ConvWorkload) -> LayerReport:
+        """Simulate one layer under the machine's dataflow policy."""
+        options = self.dataflow_options(workload)
+        policy = self.config.policy
+        if workload.is_fc or policy is DataflowPolicy.HYBRID:
+            # The Squeezelerator picks the best dataflow per layer —
+            # by time in the paper; energy/EDP objectives are an
+            # extension (config.objective).
+            return min(options.values(), key=self._selection_key)
+        return options[str(policy)]
+
+    def _finish(self, workload: ConvWorkload, perf: DataflowPerf) -> LayerReport:
+        traffic = layer_traffic(workload, perf.dataflow, self.config)
+        total = combine_compute_and_dram(perf.compute_cycles, traffic, self.config)
+        accesses = AccessCounts(
+            macs=perf.accesses.macs,
+            rf_accesses=perf.accesses.rf_accesses,
+            array_transfers=perf.accesses.array_transfers,
+            gb_accesses=perf.accesses.gb_accesses,
+            dram_elems=traffic.total_elems,
+        )
+        breakdown = self.energy_model.breakdown(accesses)
+        return LayerReport(
+            name=workload.name,
+            category=workload.category,
+            dataflow=perf.dataflow,
+            macs=workload.macs,
+            compute_cycles=perf.compute_cycles,
+            dram_cycles=traffic.transfer_cycles(self.config),
+            total_cycles=total,
+            energy=sum(breakdown.values()),
+            energy_breakdown=breakdown,
+        )
+
+    # -- whole network -----------------------------------------------------
+
+    def simulate(self, network: NetworkSpec) -> NetworkReport:
+        """Batch-1 inference of a whole network."""
+        layers: List[LayerReport] = [
+            self.simulate_layer(w) for w in network_workloads(network)
+        ]
+        return NetworkReport(
+            network=network.name,
+            machine=self.config.name,
+            policy=str(self.config.policy),
+            layers=layers,
+            frequency_hz=self.config.frequency_hz,
+            num_pes=self.config.num_pes,
+        )
+
+
+def simulate(network: NetworkSpec, config: AcceleratorConfig) -> NetworkReport:
+    """Convenience one-shot simulation."""
+    return AcceleratorSimulator(config).simulate(network)

@@ -1,0 +1,137 @@
+"""Accelerator-facing view of one compute layer.
+
+The dataflow models don't want graph nodes — they want the convolution
+geometry: channel counts, filter taps, output plane, stride, grouping.
+:class:`ConvWorkload` is that flattened view.  Fully-connected layers are
+expressed as 1x1 convolutions over a 1x1 plane, which is exactly how a
+matrix-vector product looks to the PE array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.categories import LayerCategory, categorize
+from repro.graph.layer_spec import Conv2D, Dense
+from repro.graph.network_spec import LayerNode, NetworkSpec
+
+
+@dataclass(frozen=True)
+class ConvWorkload:
+    """Geometry of one layer as mapped onto the PE array.
+
+    ``groups`` splits the layer into independent sub-convolutions of
+    ``in_channels/groups`` -> ``out_channels/groups`` channels; a
+    depthwise layer has ``groups == in_channels``.
+    """
+
+    name: str
+    category: LayerCategory
+    in_channels: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    stride_h: int
+    stride_w: int
+    in_h: int
+    in_w: int
+    out_h: int
+    out_w: int
+    groups: int = 1
+    is_fc: bool = False
+
+    def __post_init__(self) -> None:
+        positive = (
+            self.in_channels, self.out_channels, self.kernel_h, self.kernel_w,
+            self.stride_h, self.stride_w, self.in_h, self.in_w,
+            self.out_h, self.out_w, self.groups,
+        )
+        if any(v <= 0 for v in positive):
+            raise ValueError(f"workload {self.name!r} has non-positive geometry")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(f"workload {self.name!r}: groups must divide channels")
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def filter_taps(self) -> int:
+        """Spatial filter size F_h * F_w."""
+        return self.kernel_h * self.kernel_w
+
+    @property
+    def group_in_channels(self) -> int:
+        return self.in_channels // self.groups
+
+    @property
+    def group_out_channels(self) -> int:
+        return self.out_channels // self.groups
+
+    @property
+    def out_pixels(self) -> int:
+        return self.out_h * self.out_w
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.groups > 1 and self.groups == self.in_channels
+
+    # -- element counts ------------------------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulate count (no sparsity applied)."""
+        return (self.out_channels * self.out_pixels
+                * self.filter_taps * self.group_in_channels)
+
+    @property
+    def weight_elems(self) -> int:
+        return (self.out_channels * self.group_in_channels * self.filter_taps
+                + self.out_channels)  # + biases
+
+    @property
+    def input_elems(self) -> int:
+        return self.in_channels * self.in_h * self.in_w
+
+    @property
+    def output_elems(self) -> int:
+        return self.out_channels * self.out_pixels
+
+    @classmethod
+    def from_node(cls, node: LayerNode, network: NetworkSpec) -> "ConvWorkload":
+        """Build the workload view of a Conv2D or Dense node."""
+        category = categorize(node, network)
+        spec = node.spec
+        if isinstance(spec, Conv2D):
+            (in_shape,) = node.input_shapes
+            out_shape = node.output_shape
+            return cls(
+                name=node.name,
+                category=category,
+                in_channels=spec.in_channels,
+                out_channels=spec.out_channels,
+                kernel_h=spec.kernel_size[0],
+                kernel_w=spec.kernel_size[1],
+                stride_h=spec.stride[0],
+                stride_w=spec.stride[1],
+                in_h=in_shape.height,
+                in_w=in_shape.width,
+                out_h=out_shape.height,
+                out_w=out_shape.width,
+                groups=spec.groups,
+            )
+        if isinstance(spec, Dense):
+            return cls(
+                name=node.name,
+                category=category,
+                in_channels=spec.in_features,
+                out_channels=spec.out_features,
+                kernel_h=1, kernel_w=1,
+                stride_h=1, stride_w=1,
+                in_h=1, in_w=1, out_h=1, out_w=1,
+                is_fc=True,
+            )
+        raise TypeError(f"node {node.name!r} is not a compute layer")
+
+
+def network_workloads(network: NetworkSpec) -> list:
+    """Workloads for every compute layer, in execution order."""
+    return [ConvWorkload.from_node(n, network) for n in network.compute_nodes()]

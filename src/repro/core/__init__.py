@@ -1,0 +1,93 @@
+"""The paper's primary contribution: DNN / accelerator co-design.
+
+* :mod:`repro.core.selection` — per-layer WS/OS dataflow analysis;
+* :mod:`repro.core.variants` — hardware-feedback-driven DNN transforms
+  (SqueezeNext v1..v5);
+* :mod:`repro.core.tuner` — accelerator parameter sweeps (RF size,
+  array size, buffers, sparsity);
+* :mod:`repro.core.pareto` — accuracy/latency/energy frontier (Fig. 4);
+* :mod:`repro.core.codesign` — the three-movement co-design loop.
+"""
+
+from repro.core.codesign import (
+    CoDesignLoop,
+    CoDesignResult,
+    CoDesignStep,
+    run_paper_codesign,
+)
+from repro.core.evolve import EvolveResult, EvolveStep, describe, evolve_squeezenext
+from repro.core.pareto import (
+    DesignPoint,
+    evaluate_design_points,
+    families_on_front,
+    pareto_front,
+)
+from repro.core.search import (
+    CandidateSpec,
+    EvaluatedCandidate,
+    SearchResult,
+    default_search_space,
+    hardware_aware_search,
+)
+from repro.core.selection import (
+    CategoryPreference,
+    DataflowRatio,
+    category_preferences,
+    dataflow_ratios,
+)
+from repro.core.tuner import (
+    SweepPoint,
+    array_size_sweep,
+    best_point,
+    buffer_size_sweep,
+    rf_size_sweep,
+    sparsity_sweep,
+    tune_for_network,
+)
+from repro.core.variants import (
+    StageProfile,
+    VariantResult,
+    best_variant,
+    evaluate_variants,
+    profile_stages,
+    propose_stage_shift,
+    squeezenext_stage_of,
+)
+
+__all__ = [
+    "CandidateSpec",
+    "CategoryPreference",
+    "CoDesignLoop",
+    "CoDesignResult",
+    "CoDesignStep",
+    "DataflowRatio",
+    "DesignPoint",
+    "EvolveResult",
+    "EvolveStep",
+    "EvaluatedCandidate",
+    "SearchResult",
+    "StageProfile",
+    "SweepPoint",
+    "VariantResult",
+    "array_size_sweep",
+    "best_point",
+    "best_variant",
+    "buffer_size_sweep",
+    "category_preferences",
+    "dataflow_ratios",
+    "default_search_space",
+    "describe",
+    "evaluate_design_points",
+    "evaluate_variants",
+    "evolve_squeezenext",
+    "families_on_front",
+    "hardware_aware_search",
+    "pareto_front",
+    "profile_stages",
+    "propose_stage_shift",
+    "rf_size_sweep",
+    "run_paper_codesign",
+    "sparsity_sweep",
+    "squeezenext_stage_of",
+    "tune_for_network",
+]

@@ -1,0 +1,91 @@
+"""Accuracy / latency / energy Pareto analysis (Figure 4).
+
+Figure 4 plots each DNN family in accuracy-vs-energy and accuracy-vs-
+inference-time space and argues SqueezeNext dominates ("higher and to
+the left").  This module computes those point clouds from the simulator
+plus the published-accuracy table, and extracts the Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.accel.hybrid import Squeezelerator
+from repro.graph.network_spec import NetworkSpec
+from repro.models.accuracy import maybe_top1_accuracy
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One model on one machine: the three axes the paper trades off."""
+
+    model: str
+    family: str
+    top1_accuracy: float
+    inference_ms: float
+    energy: float  # normalized MAC-equivalents
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """True when this point is at least as good on all axes and
+        strictly better on one (higher accuracy, lower time/energy)."""
+        at_least = (
+            self.top1_accuracy >= other.top1_accuracy
+            and self.inference_ms <= other.inference_ms
+            and self.energy <= other.energy
+        )
+        strictly = (
+            self.top1_accuracy > other.top1_accuracy
+            or self.inference_ms < other.inference_ms
+            or self.energy < other.energy
+        )
+        return at_least and strictly
+
+
+def evaluate_design_points(
+    models: Dict[str, Sequence[NetworkSpec]],
+    accelerator: Optional[Squeezelerator] = None,
+    accuracy_of: Optional[Callable[[str], Optional[float]]] = None,
+) -> List[DesignPoint]:
+    """Simulate each model of each family into a design point.
+
+    ``models`` maps family name to its member networks; accuracy comes
+    from the published table unless ``accuracy_of`` overrides it.
+    Models with no known accuracy are skipped (they cannot be plotted
+    on Figure 4's axes).
+    """
+    accelerator = accelerator or Squeezelerator()
+    accuracy_of = accuracy_of or maybe_top1_accuracy
+    points: List[DesignPoint] = []
+    for family, networks in models.items():
+        for network in networks:
+            accuracy = accuracy_of(network.name)
+            if accuracy is None:
+                continue
+            report = accelerator.run(network)
+            points.append(DesignPoint(
+                model=network.name,
+                family=family,
+                top1_accuracy=accuracy,
+                inference_ms=report.inference_ms,
+                energy=report.total_energy,
+            ))
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by ascending inference time."""
+    front = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: p.inference_ms)
+
+
+def families_on_front(points: Sequence[DesignPoint]) -> Dict[str, int]:
+    """How many frontier points each family contributes (Figure 4's
+    argument is that SqueezeNext contributes most of them)."""
+    counts: Dict[str, int] = {}
+    for point in pareto_front(points):
+        counts[point.family] = counts.get(point.family, 0) + 1
+    return counts

@@ -1,0 +1,125 @@
+"""Per-layer dataflow selection analysis.
+
+The Squeezelerator's defining feature is choosing WS or OS per layer by
+simulation (§4.1.1: "each layer configuration must be simulated to
+determine which architecture is best").  This module turns the raw
+per-layer decisions into the aggregate views the paper argues from:
+which layer *categories* go which way, and how much the flexibility is
+worth per category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, List
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.hybrid import Squeezelerator
+from repro.accel.simulator import AcceleratorSimulator
+from repro.accel.workload import network_workloads
+from repro.graph.categories import LayerCategory
+from repro.graph.network_spec import NetworkSpec
+
+
+@dataclass(frozen=True)
+class CategoryPreference:
+    """How one layer category behaves across a network's layers."""
+
+    category: LayerCategory
+    num_layers: int
+    ws_wins: int
+    os_wins: int
+    median_advantage: float  # chosen-over-alternative speedup, median
+    min_advantage: float
+    max_advantage: float
+
+    @property
+    def preferred(self) -> str:
+        """Majority dataflow for this category ("WS", "OS" or "split")."""
+        if self.ws_wins > self.os_wins:
+            return "WS"
+        if self.os_wins > self.ws_wins:
+            return "OS"
+        return "split"
+
+
+def category_preferences(
+    network: NetworkSpec,
+    accelerator: Squeezelerator,
+) -> Dict[LayerCategory, CategoryPreference]:
+    """Aggregate the per-layer WS/OS decisions by layer category.
+
+    Reproduces the paper's §4.1.1 analysis: 1x1 layers prefer WS, the
+    first layer and depthwise layers prefer OS, FxF layers split.
+    """
+    decisions = accelerator.decisions(network)
+    workloads = {w.name: w for w in network_workloads(network)}
+    by_category: Dict[LayerCategory, List[str]] = {}
+    for name, workload in workloads.items():
+        by_category.setdefault(workload.category, []).append(name)
+
+    result: Dict[LayerCategory, CategoryPreference] = {}
+    for category, names in by_category.items():
+        advantages = []
+        ws_wins = os_wins = 0
+        for name in names:
+            decision = decisions[name]
+            if decision.os_cycles is None:
+                continue  # FC layers have no OS option
+            if decision.chosen == "WS":
+                ws_wins += 1
+            else:
+                os_wins += 1
+            advantages.append(decision.advantage)
+        if not advantages:
+            continue
+        result[category] = CategoryPreference(
+            category=category,
+            num_layers=len(advantages),
+            ws_wins=ws_wins,
+            os_wins=os_wins,
+            median_advantage=float(median(advantages)),
+            min_advantage=float(min(advantages)),
+            max_advantage=float(max(advantages)),
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class DataflowRatio:
+    """WS/OS cycle ratio of one layer (> 1 means OS is faster)."""
+
+    layer: str
+    category: LayerCategory
+    ws_cycles: float
+    os_cycles: float
+
+    @property
+    def ws_over_os(self) -> float:
+        return self.ws_cycles / self.os_cycles
+
+
+def dataflow_ratios(
+    network: NetworkSpec,
+    config: AcceleratorConfig,
+) -> List[DataflowRatio]:
+    """WS vs OS cycle ratios for every convolution of a network.
+
+    This is the measurement behind the paper's §4.1.1 claims (1x1 is
+    1.4x-7.0x faster on WS, the first layer 1.6x-6.3x faster on OS,
+    depthwise 19x-96x faster on OS).
+    """
+    simulator = AcceleratorSimulator(config)
+    ratios: List[DataflowRatio] = []
+    for workload in network_workloads(network):
+        if workload.is_fc:
+            continue
+        options = simulator.dataflow_options(workload)
+        ratios.append(DataflowRatio(
+            layer=workload.name,
+            category=workload.category,
+            ws_cycles=options["WS"].total_cycles,
+            os_cycles=options["OS"].total_cycles,
+        ))
+    return ratios

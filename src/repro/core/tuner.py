@@ -1,0 +1,134 @@
+"""Hardware parameter tuning: the accelerator side of the co-design loop.
+
+The paper tunes the Squeezelerator twice: the initial design targets
+SqueezeNet (PE array size, buffers), and after SqueezeNext is designed a
+final tune-up doubles the per-PE register file from 8 to 16 entries to
+improve local data reuse.  This module provides those sweeps as
+reusable searches over :class:`AcceleratorConfig` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.accel.config import AcceleratorConfig, squeezelerator
+from repro.accel.report import NetworkReport
+from repro.accel.simulator import AcceleratorSimulator
+from repro.graph.network_spec import NetworkSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One machine configuration and its simulated cost on a workload."""
+
+    label: str
+    config: AcceleratorConfig
+    report: NetworkReport
+
+    @property
+    def cycles(self) -> float:
+        return self.report.total_cycles
+
+    @property
+    def energy(self) -> float:
+        return self.report.total_energy
+
+    @property
+    def inference_ms(self) -> float:
+        return self.report.inference_ms
+
+
+def _sweep(network: NetworkSpec,
+           configs: Sequence[AcceleratorConfig],
+           labels: Sequence[str]) -> List[SweepPoint]:
+    points = []
+    for config, label in zip(configs, labels):
+        report = AcceleratorSimulator(config).simulate(network)
+        points.append(SweepPoint(label=label, config=config, report=report))
+    return points
+
+
+def rf_size_sweep(
+    network: NetworkSpec,
+    rf_entries: Sequence[int] = (4, 8, 16, 32),
+    array_size: int = 32,
+) -> List[SweepPoint]:
+    """The paper's final tune-up, generalized: sweep RF entries per PE."""
+    configs = [squeezelerator(array_size, rf) for rf in rf_entries]
+    labels = [f"rf={rf}" for rf in rf_entries]
+    return _sweep(network, configs, labels)
+
+
+def array_size_sweep(
+    network: NetworkSpec,
+    sizes: Sequence[int] = (8, 16, 24, 32),
+    rf_entries: int = 8,
+) -> List[SweepPoint]:
+    """Sweep the PE array across the paper's stated range (8..32)."""
+    configs = [squeezelerator(size, rf_entries) for size in sizes]
+    labels = [f"{size}x{size}" for size in sizes]
+    return _sweep(network, configs, labels)
+
+
+def sparsity_sweep(
+    network: NetworkSpec,
+    sparsities: Sequence[float] = (0.0, 0.2, 0.4, 0.6),
+    array_size: int = 32,
+) -> List[SweepPoint]:
+    """Sweep the modelled weight sparsity (the paper fixes 40%)."""
+    configs = [
+        dataclasses.replace(squeezelerator(array_size),
+                            weight_sparsity=sparsity)
+        for sparsity in sparsities
+    ]
+    labels = [f"sparsity={sparsity:.0%}" for sparsity in sparsities]
+    return _sweep(network, configs, labels)
+
+
+def buffer_size_sweep(
+    network: NetworkSpec,
+    buffer_kib: Sequence[int] = (32, 64, 128, 256),
+    array_size: int = 32,
+) -> List[SweepPoint]:
+    """Sweep the global buffer capacity around the paper's 128 KB."""
+    configs = [
+        dataclasses.replace(squeezelerator(array_size),
+                            global_buffer_bytes=kib * 1024)
+        for kib in buffer_kib
+    ]
+    labels = [f"{kib}KiB" for kib in buffer_kib]
+    return _sweep(network, configs, labels)
+
+
+def best_point(
+    points: Sequence[SweepPoint],
+    objective: Optional[Callable[[SweepPoint], float]] = None,
+) -> SweepPoint:
+    """Pick the sweep point minimizing an objective (default: cycles)."""
+    if not points:
+        raise ValueError("empty sweep")
+    if objective is None:
+        objective = lambda p: p.cycles  # noqa: E731 - tiny default
+    return min(points, key=objective)
+
+
+def tune_for_network(
+    network: NetworkSpec,
+    array_sizes: Sequence[int] = (16, 32),
+    rf_entries: Sequence[int] = (8, 16),
+) -> SweepPoint:
+    """Joint array-size x RF-size search; returns the fastest machine.
+
+    Ties break toward the smaller (cheaper) machine because the paper
+    targets an SOC IP block where area matters.
+    """
+    points: List[SweepPoint] = []
+    for size in sorted(array_sizes):
+        for rf in sorted(rf_entries):
+            config = squeezelerator(size, rf)
+            report = AcceleratorSimulator(config).simulate(network)
+            points.append(SweepPoint(f"{size}x{size}/rf{rf}", config, report))
+    return min(points, key=lambda p: (p.cycles, p.config.num_pes,
+                                      p.config.rf_entries_per_pe))

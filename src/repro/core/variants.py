@@ -1,0 +1,156 @@
+"""Hardware-feedback-driven DNN variant generation (paper §4.2).
+
+The paper's SqueezeNext co-design loop observed two things on the
+Squeezelerator simulator and derived one optimization from each:
+
+1. the first layer's 7x7 filter dominates time because its input plane
+   is huge and its 3 input channels under-fill the PE array
+   -> shrink the filter to 5x5 (variant v2);
+2. early stages have low PE utilization (few channels), later stages
+   high utilization -> move blocks from early to late stages at equal
+   total depth (variants v3..v5).
+
+This module implements both analyses generically (they work on any
+staged network) and the transform driver for the SqueezeNext family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.accel.hybrid import Squeezelerator
+from repro.accel.report import NetworkReport
+from repro.graph.network_spec import NetworkSpec
+from repro.models.accuracy import maybe_top1_accuracy
+from repro.models.squeezenext import VARIANT_STAGES, squeezenext
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Simulated cost and utilization of one stage of a network."""
+
+    stage: str
+    cycles: float
+    energy: float
+    macs: int
+    utilization: float  # achieved MACs/cycle over peak
+
+
+def profile_stages(
+    report: NetworkReport,
+    stage_of: Dict[str, str],
+) -> List[StageProfile]:
+    """Aggregate a per-layer report into named stages.
+
+    ``stage_of`` maps layer names to stage labels; unmapped layers are
+    grouped under ``"other"``.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for layer in report.layers:
+        stage = stage_of.get(layer.name, "other")
+        acc = totals.setdefault(
+            stage, {"cycles": 0.0, "energy": 0.0, "macs": 0.0})
+        acc["cycles"] += layer.total_cycles
+        acc["energy"] += layer.energy
+        acc["macs"] += layer.macs
+    profiles = []
+    for stage, acc in totals.items():
+        peak = report.num_pes * acc["cycles"]
+        # Clamped at 1.0: zero-weight skipping lets dense-MAC throughput
+        # nominally exceed the PE count.
+        profiles.append(StageProfile(
+            stage=stage,
+            cycles=acc["cycles"],
+            energy=acc["energy"],
+            macs=int(acc["macs"]),
+            utilization=min(1.0, acc["macs"] / peak) if peak else 0.0,
+        ))
+    return sorted(profiles, key=lambda p: p.stage)
+
+
+def squeezenext_stage_of(network: NetworkSpec) -> Dict[str, str]:
+    """Map SqueezeNext layer names to their stage labels."""
+    mapping: Dict[str, str] = {}
+    for node in network.compute_nodes():
+        if node.name.startswith("stage"):
+            mapping[node.name] = node.name.split("/")[0]
+        else:
+            mapping[node.name] = node.name
+    return mapping
+
+
+def propose_stage_shift(
+    stages: Sequence[int],
+    utilizations: Sequence[float],
+    shift: int = 2,
+) -> Tuple[int, ...]:
+    """Move ``shift`` blocks from the lowest- to the highest-utilization stage.
+
+    Total depth is preserved; stages are never reduced below one block.
+    This is the generic form of the paper's v3..v5 redistribution.
+    """
+    if len(stages) != len(utilizations):
+        raise ValueError("stages and utilizations must align")
+    if any(s < 1 for s in stages):
+        raise ValueError("every stage needs at least one block")
+    stages = list(stages)
+    order = sorted(range(len(stages)), key=lambda i: utilizations[i])
+    donor = next((i for i in order if stages[i] > 1), None)
+    if donor is None:
+        return tuple(stages)
+    receiver = max(
+        (i for i in range(len(stages)) if i != donor),
+        key=lambda i: utilizations[i],
+    )
+    moved = min(shift, stages[donor] - 1)
+    stages[donor] -= moved
+    stages[receiver] += moved
+    return tuple(stages)
+
+
+@dataclass(frozen=True)
+class VariantResult:
+    """One co-design iteration: a model variant and its simulated cost."""
+
+    variant: int
+    network: NetworkSpec
+    report: NetworkReport
+    top1_accuracy: float
+
+    @property
+    def cycles(self) -> float:
+        return self.report.total_cycles
+
+    @property
+    def energy(self) -> float:
+        return self.report.total_energy
+
+
+def evaluate_variants(
+    accelerator: Squeezelerator,
+    width_multiplier: float = 1.0,
+) -> List[VariantResult]:
+    """Simulate all five Figure 3 SqueezeNext variants on one machine."""
+    results: List[VariantResult] = []
+    for variant in sorted(VARIANT_STAGES):
+        network = squeezenext(width_multiplier, variant=variant)
+        report = accelerator.run(network)
+        accuracy = maybe_top1_accuracy(network.name)
+        results.append(VariantResult(
+            variant=variant,
+            network=network,
+            report=report,
+            top1_accuracy=accuracy if accuracy is not None else float("nan"),
+        ))
+    return results
+
+
+def best_variant(results: Sequence[VariantResult]) -> VariantResult:
+    """Fastest variant whose accuracy does not regress below the baseline."""
+    if not results:
+        raise ValueError("no variants to choose from")
+    baseline_accuracy = results[0].top1_accuracy
+    eligible = [r for r in results
+                if not (r.top1_accuracy < baseline_accuracy)]
+    return min(eligible or list(results), key=lambda r: r.cycles)

@@ -1,0 +1,24 @@
+"""Reproduction harness: one module per paper table/figure/claim."""
+
+from repro.experiments import (  # noqa: F401 - re-exported submodules
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    energy_breakdown,
+    headline,
+    memory_footprint,
+    per_layer,
+    table1,
+    table2,
+    taxonomy,
+    text_claims,
+)
+from repro.experiments.runner import main, run
+
+__all__ = [
+    "figure1", "figure2", "figure3", "figure4",
+    "energy_breakdown", "headline", "main", "memory_footprint",
+    "per_layer", "run", "table1", "table2", "taxonomy",
+    "text_claims",
+]

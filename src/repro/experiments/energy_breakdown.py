@@ -1,0 +1,104 @@
+"""Energy breakdown per machine level — the paper's prose claims, measured.
+
+§4.1.3 makes three energy statements without a figure:
+
+1. AlexNet "takes up 80% of energy ... in the three fully-connected
+   layers";
+2. MobileNet "shows small savings on the energy consumption ...
+   because DRAM access consumes a larger proportion of total energy
+   consumption in this network than in other DNNs";
+3. the SqueezeNet/Tiny Darknet energy reductions come from their
+   OS-friendly layer mix.
+
+This experiment prints each network's hybrid-schedule energy split
+across the hierarchy (MAC / RF / inter-PE / buffer / DRAM) and the FC
+share, so all three statements become checkable numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.accel.config import squeezelerator
+from repro.accel.hybrid import Squeezelerator
+from repro.experiments.formatting import format_table
+from repro.graph.categories import LayerCategory
+from repro.models.zoo import build_all
+
+_LEVELS = ("mac", "rf", "array", "global_buffer", "dram")
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """One network's normalized energy split."""
+
+    network: str
+    total: float
+    shares: Dict[str, float]     # per hierarchy level, fractions
+    fc_share: float              # fraction of energy in FC layers
+
+    @property
+    def dram_share(self) -> float:
+        return self.shares["dram"]
+
+
+def run_energy_breakdown(array_size: int = 32) -> List[EnergyRow]:
+    """Hybrid-schedule energy split for every zoo network."""
+    accelerator = Squeezelerator(config=squeezelerator(array_size))
+    rows = []
+    for name, network in build_all().items():
+        report = accelerator.run(network)
+        breakdown = report.energy_breakdown()
+        total = report.total_energy
+        fc = sum(l.energy for l in report.layers
+                 if l.category is LayerCategory.FC)
+        rows.append(EnergyRow(
+            network=name,
+            total=total,
+            shares={level: breakdown[level] / total for level in _LEVELS},
+            fc_share=fc / total,
+        ))
+    return rows
+
+
+def format_energy_breakdown(rows: List[EnergyRow]) -> str:
+    table_rows = [
+        [row.network, f"{row.total / 1e9:.2f}",
+         *(f"{row.shares[level]:.0%}" for level in _LEVELS),
+         f"{row.fc_share:.0%}"]
+        for row in rows
+    ]
+    table = format_table(
+        ["Network", "total (G)", "MAC", "RF", "array", "buffer", "DRAM",
+         "FC layers"],
+        table_rows,
+        title="Energy breakdown on the Squeezelerator (hybrid schedule)",
+    )
+    by_name = {row.network: row for row in rows}
+    alexnet_fc = by_name["AlexNet"].fc_share
+    mobilenet_dram = by_name["1.0 MobileNet-224"].dram_share
+    # The paper's DRAM comparison is among the *lightweight* DNNs
+    # (AlexNet is its own FC-dominated special case).
+    compact_dram = max(
+        row.dram_share for row in rows
+        if row.network not in ("1.0 MobileNet-224", "AlexNet",
+                               "SqueezeNext"))
+    notes = [
+        "",
+        f"AlexNet FC energy share: {alexnet_fc:.0%} (paper: ~80%)",
+        f"MobileNet DRAM share: {mobilenet_dram:.0%} vs "
+        f"{compact_dram:.0%} for the best other compact net "
+        "(paper: 'larger proportion ... than in other DNNs'; "
+        "SqueezeNext ties it in our model — its tiny MAC count has "
+        "the same effect)",
+    ]
+    return table + "\n".join(notes)
+
+
+def main() -> None:
+    print(format_energy_breakdown(run_energy_breakdown()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Figure 1: per-layer time and utilization of SqueezeNet v1.0.
+
+The paper's Figure 1 plots, for every layer of SqueezeNet v1.0, the
+inference time (bars) and utilization efficiency (lines) on the
+reference WS and OS architectures and on the Squeezelerator.  We
+regenerate the same three series plus the hybrid's per-layer dataflow
+choice, and check the figure's two headline observations:
+
+* the first layer is dramatically better on OS than WS;
+* the Squeezelerator's total is ~26% / ~106% better than OS / WS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.accel.config import DataflowPolicy
+from repro.accel.hybrid import Squeezelerator
+from repro.accel.report import NetworkReport
+from repro.accel.simulator import AcceleratorSimulator
+from repro.experiments.formatting import format_table
+from repro.models.squeezenet import squeezenet_v1_0
+
+#: The paper's §4.1.3 totals: hybrid is 26% faster than OS, 106% than WS.
+PAPER_IMPROVEMENT_VS_OS = 0.26
+PAPER_IMPROVEMENT_VS_WS = 1.06
+
+
+@dataclass(frozen=True)
+class Figure1Layer:
+    """One bar group of Figure 1."""
+
+    layer: str
+    ws_cycles: float
+    os_cycles: float
+    hybrid_cycles: float
+    hybrid_dataflow: str
+    ws_utilization: float
+    os_utilization: float
+    hybrid_utilization: float
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The full figure: per-layer series plus totals."""
+
+    layers: List[Figure1Layer]
+    ws_total: float
+    os_total: float
+    hybrid_total: float
+
+    @property
+    def improvement_vs_os(self) -> float:
+        return self.os_total / self.hybrid_total - 1.0
+
+    @property
+    def improvement_vs_ws(self) -> float:
+        return self.ws_total / self.hybrid_total - 1.0
+
+
+def _per_layer(report: NetworkReport) -> Dict[str, tuple]:
+    return {
+        layer.name: (layer.total_cycles, report.layer_utilization(layer),
+                     layer.dataflow)
+        for layer in report.layers
+    }
+
+
+def run_figure1(array_size: int = 32, rf_entries: int = 8) -> Figure1Result:
+    """Simulate SqueezeNet v1.0 under all three machines."""
+    network = squeezenet_v1_0()
+    accelerator = Squeezelerator(array_size, rf_entries)
+    hybrid = accelerator.run(network)
+    ws = AcceleratorSimulator(
+        accelerator.config.with_policy(DataflowPolicy.WEIGHT_STATIONARY)
+    ).simulate(network)
+    os_ = AcceleratorSimulator(
+        accelerator.config.with_policy(DataflowPolicy.OUTPUT_STATIONARY)
+    ).simulate(network)
+
+    ws_map, os_map, hy_map = _per_layer(ws), _per_layer(os_), _per_layer(hybrid)
+    layers = []
+    for name in (layer.name for layer in hybrid.layers):
+        layers.append(Figure1Layer(
+            layer=name,
+            ws_cycles=ws_map[name][0],
+            os_cycles=os_map[name][0],
+            hybrid_cycles=hy_map[name][0],
+            hybrid_dataflow=hy_map[name][2],
+            ws_utilization=ws_map[name][1],
+            os_utilization=os_map[name][1],
+            hybrid_utilization=hy_map[name][1],
+        ))
+    return Figure1Result(
+        layers=layers,
+        ws_total=ws.total_cycles,
+        os_total=os_.total_cycles,
+        hybrid_total=hybrid.total_cycles,
+    )
+
+
+def format_figure1(result: Figure1Result) -> str:
+    headers = ["Layer", "WS kcyc", "OS kcyc", "Sqzl kcyc", "pick",
+               "WS util", "OS util", "Sqzl util"]
+    rows = [
+        [layer.layer, layer.ws_cycles / 1e3, layer.os_cycles / 1e3,
+         layer.hybrid_cycles / 1e3, layer.hybrid_dataflow,
+         f"{layer.ws_utilization:.2f}", f"{layer.os_utilization:.2f}",
+         f"{layer.hybrid_utilization:.2f}"]
+        for layer in result.layers
+    ]
+    table = format_table(
+        headers, rows,
+        title="Figure 1 — SqueezeNet v1.0 per-layer time & utilization",
+    )
+    summary = (
+        f"\ntotal improvement vs OS: {result.improvement_vs_os:+.0%} "
+        f"(paper {PAPER_IMPROVEMENT_VS_OS:+.0%}); "
+        f"vs WS: {result.improvement_vs_ws:+.0%} "
+        f"(paper {PAPER_IMPROVEMENT_VS_WS:+.0%})"
+    )
+    return table + summary
+
+
+def main() -> None:
+    print(format_figure1(run_figure1()))
+
+
+if __name__ == "__main__":
+    main()

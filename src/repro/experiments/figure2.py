@@ -1,0 +1,69 @@
+"""Figure 2: the Squeezelerator block diagram, rendered as text.
+
+Figure 2 is structural rather than numeric; we regenerate it as an
+ASCII diagram driven by the actual :class:`AcceleratorConfig` values so
+the diagram always matches the machine being simulated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.accel.config import AcceleratorConfig, squeezelerator
+
+_WIDTH = 58
+
+
+def _box(lines: List[str], width: int = _WIDTH) -> List[str]:
+    """Wrap text lines in a fixed-width ASCII box."""
+    top = "  +" + "-" * width + "+"
+    body = [f"  |{line:<{width}}|" for line in lines]
+    return [top] + body + [top]
+
+
+def render_block_diagram(config: Optional[AcceleratorConfig] = None) -> str:
+    """ASCII rendering of Figure 2 for a given machine configuration."""
+    config = config or squeezelerator(32)
+    n, m = config.array_rows, config.array_cols
+    gb_kib = config.global_buffer_bytes // 1024
+    out: List[str] = [f"Figure 2 — {config.name} block diagram", ""]
+    out += _box([
+        "                       DRAM",
+        f"  latency {config.dram_latency_cycles} cycles, "
+        f"{config.dram_bandwidth_gbps:.0f} GB/s effective bandwidth",
+    ])
+    out.append("  " + " " * (_WIDTH // 2) + "|  DMA controller")
+    out += _box([
+        f"        Global buffer: {gb_kib} KB SRAM + switching logic",
+    ])
+    out.append("       |" + " " * 30 + "|")
+    out.append("  +----v-----------+           +--------v----------------+")
+    out.append(f"  | Preload buffer |           | Stream buffer           |")
+    out.append(f"  | {config.preload_elems_per_cycle:>3} elems/cycle |"
+               f"           | {config.stream_elems_per_cycle:>3} elems/cycle,"
+               f" broadcast |")
+    out.append("  +----+-----------+           +--------+----------------+")
+    out.append("       | (top array row)                | (all PEs)")
+    out += _box([
+        f"  PE array: {n} x {m} "
+        f"({config.num_pes} PEs), mesh inter-PE links",
+        "  per PE: 16-bit multiplier + adder (MAC),",
+        f"          register file {config.rf_entries_per_pe} entries "
+        "(OS psums / WS weight),",
+        "          input MUX (preload / stream / neighbour)",
+    ])
+    out.append("       | (bottom array row, "
+               f"{config.drain_elems_per_cycle} elems/cycle drain to GB)")
+    out.append("")
+    out.append(f"  dataflow policy: {config.policy}")
+    out.append("    WS mode: rows = input channels, cols = output channels")
+    out.append("    OS mode: array = one 2-D block of the output map")
+    return "\n".join(out)
+
+
+def main() -> None:
+    print(render_block_diagram())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Figure 4: accuracy vs energy and accuracy vs inference time spectra.
+
+The paper plots each DNN family as a curve in (energy, accuracy) and
+(inference time, accuracy) space and concludes that "SqueezeNext shows
+superior performance (higher and to the left)".  We regenerate the
+point clouds on the Squeezelerator and verify the structural claim:
+SqueezeNext members dominate the SqueezeNet/AlexNet points and
+contribute the bulk of the Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.accel.hybrid import Squeezelerator
+from repro.core.pareto import (
+    DesignPoint,
+    evaluate_design_points,
+    families_on_front,
+    pareto_front,
+)
+from repro.experiments.formatting import format_table
+from repro.models import (
+    alexnet,
+    mobilenet,
+    squeezenet_v1_0,
+    squeezenet_v1_1,
+    squeezenext,
+    tiny_darknet,
+)
+
+
+def figure4_model_families() -> Dict[str, list]:
+    """The families plotted in Figure 4 (plus AlexNet for reference)."""
+    return {
+        "AlexNet": [alexnet()],
+        "SqueezeNet": [squeezenet_v1_0(), squeezenet_v1_1()],
+        "Tiny DarkNet": [tiny_darknet()],
+        "MobileNet": [mobilenet(w) for w in (0.25, 0.5, 0.75, 1.0)],
+        "SqueezeNext": [
+            squeezenext(1.0, variant=1),
+            squeezenext(1.0, variant=5),
+            squeezenext(1.5, variant=1),
+            squeezenext(2.0, variant=1),
+        ],
+    }
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """The figure's point cloud and frontier."""
+
+    points: List[DesignPoint]
+    front: List[DesignPoint]
+    front_families: Dict[str, int]
+
+    def squeezenext_dominates_squeezenet(self) -> bool:
+        """Paper claim: some SqueezeNext point dominates SqueezeNet v1.0."""
+        squeezenet = next(p for p in self.points
+                          if p.model == "SqueezeNet v1.0")
+        return any(
+            p.dominates(squeezenet)
+            for p in self.points if p.family == "SqueezeNext"
+        )
+
+
+def run_figure4(array_size: int = 32, rf_entries: int = 8) -> Figure4Result:
+    """Simulate every Figure 4 model on the Squeezelerator."""
+    accelerator = Squeezelerator(array_size, rf_entries)
+    points = evaluate_design_points(figure4_model_families(), accelerator)
+    return Figure4Result(
+        points=points,
+        front=pareto_front(points),
+        front_families=families_on_front(points),
+    )
+
+
+def plot_figure4(result: Figure4Result) -> str:
+    """ASCII scatter of the accuracy-vs-latency plane (the figure itself)."""
+    from repro.experiments.plotting import ScatterPoint, scatter_plot
+
+    points = [
+        ScatterPoint(x=p.inference_ms, y=p.top1_accuracy,
+                     series=p.family, label=p.model)
+        for p in result.points
+    ]
+    return scatter_plot(
+        points, x_label="inference ms", y_label="top-1 %",
+        title="Figure 4 (rendered) — higher and to the left is better",
+    )
+
+
+def format_figure4(result: Figure4Result) -> str:
+    rows = [
+        [p.family, p.model, f"{p.top1_accuracy:.1f}%",
+         p.inference_ms, p.energy / 1e9,
+         "*" if p in result.front else ""]
+        for p in sorted(result.points, key=lambda p: p.inference_ms)
+    ]
+    headers = ["Family", "Model", "top-1", "latency ms", "energy (G units)",
+               "Pareto"]
+    table = format_table(
+        headers, rows,
+        title="Figure 4 — accuracy vs energy / inference-time spectrum",
+    )
+    fronts = ", ".join(f"{family}: {count}"
+                       for family, count in sorted(result.front_families.items()))
+    note = (
+        f"\nPareto frontier membership — {fronts}"
+        f"\nSqueezeNext dominates SqueezeNet v1.0: "
+        f"{result.squeezenext_dominates_squeezenet()} (paper: yes)"
+    )
+    return table + note + "\n\n" + plot_figure4(result)
+
+
+def main() -> None:
+    print(format_figure4(run_figure4()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""§2 extension study: classification vs detection vs segmentation.
+
+The paper's §2 makes two quantitative-sounding claims without a table:
+
+1. classification tolerates aggressive down-sampling, so its footprint
+   is modest; detection and segmentation must preserve spatial detail,
+   so their intermediate feature maps — and hence memory footprints —
+   are much larger;
+2. those perception workloads still run on the same conv primitives, so
+   the same accelerator serves them.
+
+This experiment measures both on our substrate: peak live activation
+memory (liveness analysis) and Squeezelerator inference time for a
+classifier (SqueezeNet v1.1), a detector (SqueezeDet) and a segmenter
+(SqueezeSeg-style FCN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.accel.config import squeezelerator
+from repro.accel.hybrid import Squeezelerator
+from repro.experiments.formatting import format_table
+from repro.models.squeezedet import squeezedet
+from repro.models.squeezenet import squeezenet_v1_1
+from repro.models.squeezeseg import squeezeseg
+from repro.vision.footprint import MemoryProfile, profile_memory
+
+
+@dataclass(frozen=True)
+class FootprintRow:
+    """One task's memory and runtime characteristics."""
+
+    task: str
+    profile: MemoryProfile
+    inference_ms: float
+    fits_128kb: bool
+
+
+def run_memory_footprint(array_size: int = 32) -> List[FootprintRow]:
+    """Profile the three §2 task archetypes."""
+    accelerator = Squeezelerator(config=squeezelerator(array_size))
+    tasks = [
+        ("classification", squeezenet_v1_1()),
+        ("detection", squeezedet()),
+        ("segmentation", squeezeseg()),
+    ]
+    rows = []
+    for task, network in tasks:
+        profile = profile_memory(network)
+        report = accelerator.run(network)
+        rows.append(FootprintRow(
+            task=task,
+            profile=profile,
+            inference_ms=report.inference_ms,
+            fits_128kb=profile.fits_buffer(128 * 1024),
+        ))
+    return rows
+
+
+def format_memory_footprint(rows: List[FootprintRow]) -> str:
+    table_rows = [
+        [row.task, row.profile.network,
+         f"{row.profile.input_pixels / 1e3:.0f}k",
+         f"{row.profile.peak_activation_kib:.0f}",
+         row.profile.peak_layer,
+         f"{row.profile.macs / 1e6:.0f}M",
+         f"{row.inference_ms:.2f}"]
+        for row in rows
+    ]
+    headers = ["Task", "Network", "input px", "peak act KiB",
+               "peak at", "MACs", "latency ms"]
+    table = format_table(
+        headers, table_rows,
+        title="§2 extension — memory footprint by vision task",
+    )
+    classifier = next(r for r in rows if r.task == "classification")
+    others = [r for r in rows if r.task != "classification"]
+    ratios = ", ".join(
+        f"{r.task} {r.profile.peak_activation_bytes / classifier.profile.peak_activation_bytes:.1f}x"
+        for r in others)
+    return table + (f"\npeak footprint vs classification: {ratios} "
+                    "(paper: 'much larger memory footprint')")
+
+
+def main() -> None:
+    print(format_memory_footprint(run_memory_footprint()))
+
+
+if __name__ == "__main__":
+    main()

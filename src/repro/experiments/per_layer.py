@@ -1,0 +1,128 @@
+"""Per-layer evaluation for every DNN model (the promised "longer version").
+
+The paper: "While space does not permit it here, a more detailed
+per-layer evaluation will be given for each DNN model in a longer
+version of this paper."  That longer version never appeared — so this
+module generates it: Figure-1-style per-layer WS/OS/hybrid profiles for
+all six evaluation networks, plus the per-network observations §4.1.3
+states in prose (where AlexNet's time goes, why MobileNet's energy
+saving is small, which layer class dominates each network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.accel.config import DataflowPolicy, squeezelerator
+from repro.accel.hybrid import Squeezelerator
+from repro.accel.report import NetworkReport
+from repro.accel.simulator import AcceleratorSimulator
+from repro.experiments.formatting import format_table
+from repro.graph.categories import LayerCategory
+from repro.models.zoo import build_all
+
+
+@dataclass(frozen=True)
+class PerLayerProfile:
+    """One network's three-machine profile plus headline shares."""
+
+    network: str
+    hybrid: NetworkReport
+    ws: NetworkReport
+    os: NetworkReport
+
+    def share_of(self, predicate) -> float:
+        """Fraction of hybrid runtime in layers matching the predicate."""
+        total = self.hybrid.total_cycles
+        part = sum(l.total_cycles for l in self.hybrid.layers
+                   if predicate(l))
+        return part / total if total else 0.0
+
+    @property
+    def fc_time_share(self) -> float:
+        return self.share_of(lambda l: l.category is LayerCategory.FC)
+
+    @property
+    def fc_energy_share(self) -> float:
+        total = self.hybrid.total_energy
+        part = sum(l.energy for l in self.hybrid.layers
+                   if l.category is LayerCategory.FC)
+        return part / total if total else 0.0
+
+    @property
+    def dram_energy_share(self) -> float:
+        breakdown = self.hybrid.energy_breakdown()
+        return breakdown["dram"] / self.hybrid.total_energy
+
+    def dominant_category(self) -> LayerCategory:
+        """Layer category holding the most hybrid runtime."""
+        totals: Dict[LayerCategory, float] = {}
+        for layer in self.hybrid.layers:
+            totals[layer.category] = (totals.get(layer.category, 0.0)
+                                      + layer.total_cycles)
+        return max(totals, key=totals.get)
+
+
+def run_per_layer(array_size: int = 32) -> List[PerLayerProfile]:
+    """Profile every zoo network on hybrid / pure-WS / pure-OS machines."""
+    accelerator = Squeezelerator(config=squeezelerator(array_size))
+    ws = AcceleratorSimulator(
+        accelerator.config.with_policy(DataflowPolicy.WEIGHT_STATIONARY))
+    os_ = AcceleratorSimulator(
+        accelerator.config.with_policy(DataflowPolicy.OUTPUT_STATIONARY))
+    profiles = []
+    for name, network in build_all().items():
+        profiles.append(PerLayerProfile(
+            network=name,
+            hybrid=accelerator.run(network),
+            ws=ws.simulate(network),
+            os=os_.simulate(network),
+        ))
+    return profiles
+
+
+def format_per_layer(profiles: List[PerLayerProfile],
+                     detail: bool = False) -> str:
+    """Summary table; ``detail=True`` appends full per-layer listings."""
+    rows = []
+    for profile in profiles:
+        rows.append([
+            profile.network,
+            f"{profile.hybrid.total_cycles / 1e3:.0f}",
+            f"{profile.fc_time_share:.0%}",
+            f"{profile.fc_energy_share:.0%}",
+            f"{profile.dram_energy_share:.0%}",
+            str(profile.dominant_category()),
+            f"{profile.hybrid.mean_utilization:.0%}",
+        ])
+    text = format_table(
+        ["Network", "hybrid kcyc", "FC time", "FC energy", "DRAM energy",
+         "dominant", "mean util"],
+        rows,
+        title=('Per-layer evaluation, all models (the "longer version" '
+               "the paper promised)"),
+    )
+    if detail:
+        sections = [text]
+        for profile in profiles:
+            layer_rows = [
+                [l.name, str(l.category), l.dataflow,
+                 f"{l.total_cycles / 1e3:.1f}",
+                 f"{profile.hybrid.layer_utilization(l):.2f}"]
+                for l in profile.hybrid.layers
+            ]
+            sections.append(format_table(
+                ["layer", "cat", "flow", "kcyc", "util"], layer_rows,
+                title=f"-- {profile.network} --",
+            ))
+        text = "\n\n".join(sections)
+    return text
+
+
+def main() -> None:
+    print(format_per_layer(run_per_layer()))
+
+
+if __name__ == "__main__":
+    main()

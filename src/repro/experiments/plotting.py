@@ -1,0 +1,90 @@
+"""Minimal ASCII plotting for terminal-rendered figures.
+
+The paper's Figure 4 is a scatter of model families in
+(cost, accuracy) space.  This module renders such scatters as text so
+the reproduction's "figures" are actual figures, with one marker letter
+per family and an attached legend — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One marker on the plot."""
+
+    x: float
+    y: float
+    series: str
+    label: str = ""
+
+
+def _nice_ticks(low: float, high: float, count: int = 4) -> List[float]:
+    if high <= low:
+        high = low + 1.0
+    step = (high - low) / max(1, count - 1)
+    return [low + i * step for i in range(count)]
+
+
+def scatter_plot(
+    points: Sequence[ScatterPoint],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render points as an ASCII scatter with a per-series legend.
+
+    Each series is drawn with the first letter of its name (upper-cased,
+    disambiguated with digits on collision).  Axes carry min/max ticks.
+    """
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    # Assign one marker character per series.
+    markers: Dict[str, str] = {}
+    used = set()
+    for point in points:
+        if point.series in markers:
+            continue
+        base = point.series[0].upper() or "?"
+        marker = base
+        digit = 2
+        while marker in used:
+            marker = str(digit % 10)
+            digit += 1
+        markers[point.series] = marker
+        used.add(marker)
+
+    grid = [[" "] * width for _ in range(height)]
+    for point in points:
+        col = int((point.x - x_lo) / x_span * (width - 1))
+        row = int((point.y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = markers[point.series]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} ^")
+    for index, row in enumerate(grid):
+        prefix = f"{y_hi:8.1f} |" if index == 0 else (
+            f"{y_lo:8.1f} |" if index == height - 1 else " " * 9 + "|")
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width + f"> {x_label}")
+    ticks = _nice_ticks(x_lo, x_hi)
+    tick_text = "   ".join(f"{t:.2g}" for t in ticks)
+    lines.append(" " * 10 + tick_text)
+    legend = "   ".join(f"{marker}={series}"
+                        for series, marker in markers.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

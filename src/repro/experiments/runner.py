@@ -1,0 +1,162 @@
+"""Run every paper artifact and print measured-vs-paper reports.
+
+Installed as the ``repro-experiments`` console script:
+
+    repro-experiments                      # everything
+    repro-experiments table2 f1            # a subset, by id
+    repro-experiments t2 --array-size 16   # a different machine
+
+Artifact ids: t1, t2, f1, f2, f3, f4, claims, headline, taxonomy,
+footprint, perlayer, energy (long names like "table1" work too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.accel.config import squeezelerator
+from repro.experiments import (
+    energy_breakdown,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    headline,
+    memory_footprint,
+    per_layer,
+    table1,
+    table2,
+    taxonomy,
+    text_claims,
+)
+
+
+def _run_table1(array_size: int, rf_entries: int) -> str:
+    return table1.format_table1(table1.run_table1())
+
+
+def _run_table2(array_size: int, rf_entries: int) -> str:
+    # Table 2's own default machine is 16x16 (see its module docstring).
+    return table2.format_table2(
+        table2.run_table2(array_size or 16, rf_entries))
+
+
+def _run_figure1(array_size: int, rf_entries: int) -> str:
+    return figure1.format_figure1(figure1.run_figure1(array_size or 32,
+                                                      rf_entries))
+
+
+def _run_figure2(array_size: int, rf_entries: int) -> str:
+    return figure2.render_block_diagram(
+        squeezelerator(array_size or 32, rf_entries))
+
+
+def _run_figure3(array_size: int, rf_entries: int) -> str:
+    return figure3.format_figure3(figure3.run_figure3(array_size or 32,
+                                                      rf_entries))
+
+
+def _run_figure4(array_size: int, rf_entries: int) -> str:
+    return figure4.format_figure4(figure4.run_figure4(array_size or 32,
+                                                      rf_entries))
+
+
+def _run_claims(array_size: int, rf_entries: int) -> str:
+    return text_claims.format_text_claims(
+        text_claims.run_text_claims(array_size or 32))
+
+
+def _run_headline(array_size: int, rf_entries: int) -> str:
+    return headline.format_headline(headline.run_headline(array_size or 32))
+
+
+def _run_taxonomy(array_size: int, rf_entries: int) -> str:
+    return taxonomy.format_taxonomy(taxonomy.run_taxonomy(array_size or 32))
+
+
+def _run_footprint(array_size: int, rf_entries: int) -> str:
+    return memory_footprint.format_memory_footprint(
+        memory_footprint.run_memory_footprint(array_size or 32))
+
+
+def _run_per_layer(array_size: int, rf_entries: int) -> str:
+    return per_layer.format_per_layer(per_layer.run_per_layer(array_size or 32))
+
+
+def _run_energy(array_size: int, rf_entries: int) -> str:
+    return energy_breakdown.format_energy_breakdown(
+        energy_breakdown.run_energy_breakdown(array_size or 32))
+
+
+_ARTIFACTS: Dict[str, Callable[[int, int], str]] = {
+    "t1": _run_table1,
+    "t2": _run_table2,
+    "f1": _run_figure1,
+    "f2": _run_figure2,
+    "f3": _run_figure3,
+    "f4": _run_figure4,
+    "claims": _run_claims,
+    "headline": _run_headline,
+    "taxonomy": _run_taxonomy,
+    "footprint": _run_footprint,
+    "perlayer": _run_per_layer,
+    "energy": _run_energy,
+}
+
+_ALIASES = {
+    "table1": "t1", "table2": "t2",
+    "figure1": "f1", "figure2": "f2", "figure3": "f3", "figure4": "f4",
+    "text_claims": "claims",
+    "memory_footprint": "footprint",
+    "per_layer": "perlayer",
+    "energy_breakdown": "energy",
+}
+
+
+def resolve(name: str) -> str:
+    """Normalize an artifact name to its canonical id."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _ARTIFACTS:
+        known = ", ".join(list(_ARTIFACTS) + list(_ALIASES))
+        raise KeyError(f"unknown artifact {name!r}; known: {known}")
+    return key
+
+
+def run(names: Optional[List[str]] = None,
+        array_size: Optional[int] = None,
+        rf_entries: int = 8) -> str:
+    """Render the selected artifacts (all of them when empty).
+
+    ``array_size=None`` lets each artifact use its own documented
+    default machine (32x32 everywhere except Table 2's 16x16).
+    """
+    keys = [resolve(n) for n in names] if names else list(_ARTIFACTS)
+    sections = [_ARTIFACTS[key](array_size, rf_entries) for key in keys]
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("artifacts", nargs="*",
+                        help="artifact ids (default: all): "
+                             + ", ".join(_ARTIFACTS))
+    parser.add_argument("--array-size", type=int, default=None,
+                        help="PE array dimension (default: each "
+                             "artifact's documented machine)")
+    parser.add_argument("--rf-entries", type=int, default=8,
+                        help="register-file entries per PE (paper: 8/16)")
+    args = parser.parse_args(argv)
+    try:
+        print(run(args.artifacts, args.array_size, args.rf_entries))
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Table 1: relative percentage of MAC operations per layer type.
+
+The paper classifies each network's MACs into Conv1 / 1x1 / FxF / DW
+buckets.  We recompute the percentages from the model zoo's layer graphs
+and print them next to the paper's values.  (Percentages need not sum to
+100: fully-connected MACs fall outside the paper's four categories.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.formatting import format_table
+from repro.graph.categories import LayerCategory
+from repro.graph.stats import category_percentages
+from repro.models.zoo import build_all
+
+#: The paper's Table 1, percent of MACs: (Conv1, 1x1, FxF, DW).
+PAPER_TABLE1: Dict[str, tuple] = {
+    "AlexNet": (20, 0, 69, 0),
+    "1.0 MobileNet-224": (1, 95, 0, 3),
+    "Tiny Darknet": (5, 13, 82, 0),
+    "SqueezeNet v1.0": (21, 25, 54, 0),
+    "SqueezeNet v1.1": (6, 40, 54, 0),
+    "SqueezeNext": (16, 44, 40, 0),
+}
+
+_CATEGORIES = (LayerCategory.CONV1, LayerCategory.POINTWISE,
+               LayerCategory.SPATIAL, LayerCategory.DEPTHWISE)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured and paper-reported category mix of one network."""
+
+    network: str
+    measured: Dict[LayerCategory, float]
+    paper: tuple
+
+    def cells(self) -> List[object]:
+        row: List[object] = [self.network]
+        for category, paper_value in zip(_CATEGORIES, self.paper):
+            row.append(f"{self.measured[category]:.0f} ({paper_value})")
+        return row
+
+
+def run_table1() -> List[Table1Row]:
+    """Compute Table 1 for the whole evaluation set."""
+    rows = []
+    for name, network in build_all().items():
+        percentages = category_percentages(network)
+        rows.append(Table1Row(
+            network=name,
+            measured={c: percentages[c] for c in _CATEGORIES},
+            paper=PAPER_TABLE1[name],
+        ))
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render measured-vs-paper Table 1."""
+    headers = ["Network", "Conv1 %", "1x1 %", "FxF %", "DW %"]
+    return format_table(
+        headers, [row.cells() for row in rows],
+        title="Table 1 — MAC share per layer type, measured (paper)",
+    )
+
+
+def main() -> None:
+    print(format_table1(run_table1()))
+
+
+if __name__ == "__main__":
+    main()

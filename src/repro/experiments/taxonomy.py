@@ -1,0 +1,98 @@
+"""§3.2 taxonomy study: all four dataflows on the evaluation set.
+
+The paper's taxonomy (after Eyeriss) classifies NN accelerators by what
+each PE keeps locally: weight stationary (WS), output stationary (OS),
+row stationary (RS) and no local reuse (NLR).  The Squeezelerator only
+implements WS and OS; this extension experiment runs all four models on
+the same machine parameters over the whole zoo, quantifying the
+taxonomy's qualitative claims:
+
+* NLR burns the most on-chip SRAM energy per MAC (nothing is reused);
+* RS is the most energy-balanced (every datatype reused locally);
+* no single dataflow wins every network — the gap that motivates the
+  Squeezelerator's per-layer selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.accel.config import squeezelerator
+from repro.accel.dataflows.no_local_reuse import NoLocalReuseModel
+from repro.accel.dataflows.output_stationary import OutputStationaryModel
+from repro.accel.dataflows.row_stationary import RowStationaryModel
+from repro.accel.dataflows.weight_stationary import WeightStationaryModel
+from repro.accel.simulator import AcceleratorSimulator
+from repro.accel.workload import network_workloads
+from repro.experiments.formatting import format_table
+from repro.models.zoo import build_all
+
+DATAFLOW_MODELS = {
+    "WS": WeightStationaryModel(),
+    "OS": OutputStationaryModel(),
+    "RS": RowStationaryModel(),
+    "NLR": NoLocalReuseModel(),
+}
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One network under all four dataflows."""
+
+    network: str
+    cycles: Dict[str, float]    # dataflow -> total cycles
+    energy: Dict[str, float]    # dataflow -> total normalized energy
+
+    def fastest(self) -> str:
+        return min(self.cycles, key=self.cycles.get)
+
+    def most_efficient(self) -> str:
+        return min(self.energy, key=self.energy.get)
+
+
+def run_taxonomy(array_size: int = 32) -> List[TaxonomyRow]:
+    """Evaluate every zoo network under WS / OS / RS / NLR."""
+    simulator = AcceleratorSimulator(squeezelerator(array_size))
+    rows: List[TaxonomyRow] = []
+    for name, network in build_all().items():
+        cycles = {flow: 0.0 for flow in DATAFLOW_MODELS}
+        energy = {flow: 0.0 for flow in DATAFLOW_MODELS}
+        for workload in network_workloads(network):
+            for flow, model in DATAFLOW_MODELS.items():
+                if workload.is_fc:
+                    # FC layers take the matrix-vector path everywhere.
+                    report = simulator.simulate_layer_with(
+                        workload, DATAFLOW_MODELS["WS"])
+                else:
+                    report = simulator.simulate_layer_with(workload, model)
+                cycles[flow] += report.total_cycles
+                energy[flow] += report.energy
+        rows.append(TaxonomyRow(network=name, cycles=cycles, energy=energy))
+    return rows
+
+
+def format_taxonomy(rows: List[TaxonomyRow]) -> str:
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.network,
+            *(f"{row.cycles[f] / 1e3:.0f}" for f in DATAFLOW_MODELS),
+            row.fastest(),
+            row.most_efficient(),
+        ])
+    headers = ["Network", "WS kcyc", "OS kcyc", "RS kcyc", "NLR kcyc",
+               "fastest", "least energy"]
+    return format_table(
+        headers, table_rows,
+        title="§3.2 taxonomy — single-dataflow architectures compared "
+              "(extension)",
+    )
+
+
+def main() -> None:
+    print(format_taxonomy(run_taxonomy()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Layer-graph intermediate representation for DNN workloads.
+
+This package provides the typed, shape-checked layer graphs that both the
+accelerator simulator (:mod:`repro.accel`) and the numpy execution engine
+(:mod:`repro.nn`) consume.  A network is a small DAG of
+:class:`~repro.graph.layer_spec.LayerSpec` nodes with statically inferred
+tensor shapes, plus analysis helpers for MAC counts, parameter counts and
+memory footprints.
+"""
+
+from repro.graph.layer_spec import (
+    Activation,
+    Add,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    LayerSpec,
+    Pool2D,
+    Softmax,
+    TensorShape,
+    Upsample,
+)
+from repro.graph.network_spec import LayerNode, NetworkSpec
+from repro.graph.builder import NetworkBuilder
+from repro.graph.serialize import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.graph.categories import LayerCategory, categorize
+from repro.graph.stats import (
+    category_breakdown,
+    layer_macs,
+    layer_params,
+    network_macs,
+    network_params,
+    weight_bytes,
+)
+
+__all__ = [
+    "Activation",
+    "Add",
+    "Concat",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "GlobalAvgPool",
+    "Input",
+    "LayerSpec",
+    "LayerNode",
+    "LayerCategory",
+    "NetworkBuilder",
+    "NetworkSpec",
+    "Pool2D",
+    "Softmax",
+    "TensorShape",
+    "Upsample",
+    "categorize",
+    "category_breakdown",
+    "layer_macs",
+    "load_network",
+    "layer_params",
+    "network_from_dict",
+    "network_macs",
+    "network_params",
+    "network_to_dict",
+    "save_network",
+    "weight_bytes",
+]

@@ -1,0 +1,180 @@
+"""Fluent builder for sequential-with-branches network graphs.
+
+The model zoo's networks are mostly linear chains with occasional fan-out
+(fire modules, residual blocks).  The builder keeps a "cursor" on the last
+added node so linear sections read top-to-bottom, while every method also
+accepts an explicit ``after=`` anchor for branching.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.layer_spec import (
+    Add,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    IntOrPair,
+    LayerSpec,
+    Pool2D,
+    Softmax,
+    TensorShape,
+    Upsample,
+)
+from repro.graph.network_spec import NetworkSpec
+
+
+class NetworkBuilder:
+    """Incrementally assemble a :class:`NetworkSpec`.
+
+    Example
+    -------
+    >>> b = NetworkBuilder("tiny", TensorShape(3, 32, 32))
+    >>> b.conv("c1", 16, kernel_size=3, padding=1)
+    'c1'
+    >>> b.global_avg_pool("gap")
+    'gap'
+    >>> net = b.build()
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape,
+                 input_name: str = "input") -> None:
+        self.name = name
+        self._layers: List[Tuple[str, LayerSpec, Tuple[str, ...]]] = []
+        self._shapes = {}
+        self._cursor: Optional[str] = None
+        self._append(input_name, Input(input_shape), ())
+
+    # -- internals ---------------------------------------------------------
+
+    def _append(self, name: str, spec: LayerSpec, inputs: Tuple[str, ...]) -> str:
+        if name in self._shapes:
+            raise ValueError(f"duplicate layer name {name!r}")
+        input_shapes = tuple(self._shapes[n] for n in inputs)
+        self._shapes[name] = spec.infer_shape(input_shapes)
+        self._layers.append((name, spec, inputs))
+        self._cursor = name
+        return name
+
+    def _anchor(self, after: Optional[str]) -> str:
+        anchor = self._cursor if after is None else after
+        if anchor is None or anchor not in self._shapes:
+            raise ValueError(f"unknown anchor layer {anchor!r}")
+        return anchor
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def cursor(self) -> Optional[str]:
+        """Name of the most recently added node."""
+        return self._cursor
+
+    def shape_of(self, name: str) -> TensorShape:
+        """Resolved output shape of a previously added node."""
+        return self._shapes[name]
+
+    def channels(self, name: Optional[str] = None) -> int:
+        """Channel count at a node (default: the cursor)."""
+        return self._shapes[self._anchor(name)].channels
+
+    # -- layer helpers -------------------------------------------------------
+
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel_size: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 0,
+        groups: int = 1,
+        activation: str = "relu",
+        after: Optional[str] = None,
+    ) -> str:
+        """Add a convolution; ``in_channels`` comes from the anchor's shape."""
+        anchor = self._anchor(after)
+        spec = Conv2D(
+            in_channels=self._shapes[anchor].channels,
+            out_channels=out_channels,
+            kernel_size=kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            activation=activation,
+        )
+        return self._append(name, spec, (anchor,))
+
+    def depthwise_conv(
+        self,
+        name: str,
+        kernel_size: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 0,
+        activation: str = "relu",
+        after: Optional[str] = None,
+    ) -> str:
+        """Depthwise convolution: one filter per input channel."""
+        anchor = self._anchor(after)
+        channels = self._shapes[anchor].channels
+        return self.conv(
+            name, channels, kernel_size, stride=stride, padding=padding,
+            groups=channels, activation=activation, after=anchor,
+        )
+
+    def pool(
+        self,
+        name: str,
+        kernel_size: IntOrPair,
+        stride: Optional[IntOrPair] = None,
+        padding: IntOrPair = 0,
+        mode: str = "max",
+        after: Optional[str] = None,
+    ) -> str:
+        anchor = self._anchor(after)
+        spec = Pool2D(kernel_size=kernel_size, stride=stride,
+                      padding=padding, mode=mode)
+        return self._append(name, spec, (anchor,))
+
+    def global_avg_pool(self, name: str, after: Optional[str] = None) -> str:
+        return self._append(name, GlobalAvgPool(), (self._anchor(after),))
+
+    def flatten(self, name: str, after: Optional[str] = None) -> str:
+        return self._append(name, Flatten(), (self._anchor(after),))
+
+    def dense(
+        self,
+        name: str,
+        out_features: int,
+        activation: str = "relu",
+        after: Optional[str] = None,
+    ) -> str:
+        anchor = self._anchor(after)
+        spec = Dense(
+            in_features=self._shapes[anchor].numel,
+            out_features=out_features,
+            activation=activation,
+        )
+        return self._append(name, spec, (anchor,))
+
+    def concat(self, name: str, inputs: Sequence[str]) -> str:
+        return self._append(name, Concat(num_inputs=len(inputs)), tuple(inputs))
+
+    def add(self, name: str, inputs: Sequence[str]) -> str:
+        return self._append(name, Add(num_inputs=len(inputs)), tuple(inputs))
+
+    def upsample(self, name: str, scale: int = 2,
+                 after: Optional[str] = None) -> str:
+        return self._append(name, Upsample(scale=scale),
+                            (self._anchor(after),))
+
+    def softmax(self, name: str, after: Optional[str] = None) -> str:
+        return self._append(name, Softmax(), (self._anchor(after),))
+
+    # -- finalize ------------------------------------------------------------
+
+    def build(self) -> NetworkSpec:
+        """Validate and freeze the accumulated graph."""
+        return NetworkSpec(self.name, self._layers)

@@ -1,0 +1,62 @@
+"""Layer categorization following the paper's Table 1 taxonomy.
+
+The paper classifies convolution layers into four categories — the first
+convolutional layer ("Conv1"), pointwise 1x1 convolutions, FxF spatial
+convolutions with F > 1, and depthwise convolutions — because each
+category favours a different dataflow.  We add FC and OTHER so every
+compute layer lands in exactly one bucket.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.graph.layer_spec import Conv2D, Dense
+from repro.graph.network_spec import LayerNode, NetworkSpec
+
+
+class LayerCategory(enum.Enum):
+    """The paper's layer taxonomy (Table 1) plus FC/OTHER buckets."""
+
+    CONV1 = "Conv1"          # the network's first convolution
+    POINTWISE = "1x1"        # dense 1x1 convolutions
+    SPATIAL = "FxF"          # dense FxF convolutions, F > 1
+    DEPTHWISE = "DW"         # depthwise convolutions
+    FC = "FC"                # fully-connected layers
+    OTHER = "other"          # pooling, concat, softmax, ...
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def categorize(node: LayerNode, network: Optional[NetworkSpec] = None) -> LayerCategory:
+    """Classify one layer.
+
+    The CONV1 category is positional — it needs the enclosing ``network``
+    to know whether this conv is the first one.  Without a network, the
+    first-layer special case is skipped and the conv falls into the
+    shape-based buckets.
+    """
+    spec = node.spec
+    if isinstance(spec, Dense):
+        return LayerCategory.FC
+    if not isinstance(spec, Conv2D):
+        return LayerCategory.OTHER
+    if network is not None:
+        first = network.first_conv()
+        if first is not None and first.name == node.name:
+            return LayerCategory.CONV1
+    if spec.is_depthwise:
+        return LayerCategory.DEPTHWISE
+    if spec.kernel_size == (1, 1):
+        return LayerCategory.POINTWISE
+    return LayerCategory.SPATIAL
+
+
+def categorize_network(network: NetworkSpec) -> Dict[str, LayerCategory]:
+    """Map every compute layer name to its category."""
+    return {
+        node.name: categorize(node, network)
+        for node in network.compute_nodes()
+    }

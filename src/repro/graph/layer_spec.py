@@ -1,0 +1,351 @@
+"""Typed layer specifications.
+
+Every layer the paper's workloads use is described by a small frozen
+dataclass.  Specs are *descriptions*, not executable modules: they carry
+exactly the information needed for shape inference, operation counting and
+accelerator mapping.  The numpy execution engine in :mod:`repro.nn` builds
+runnable layers from these specs.
+
+Shapes are batch-free ``(channels, height, width)`` triples because the
+paper evaluates batch-size-1 inference throughout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _as_pair(value: IntOrPair, what: str) -> Tuple[int, int]:
+    """Normalize an int-or-pair parameter to a validated ``(h, w)`` tuple."""
+    if isinstance(value, int):
+        pair = (value, value)
+    else:
+        pair = (int(value[0]), int(value[1]))
+        if len(tuple(value)) != 2:
+            raise ValueError(f"{what} must be an int or a pair, got {value!r}")
+    if pair[0] < 0 or pair[1] < 0:
+        raise ValueError(f"{what} must be non-negative, got {pair}")
+    return pair
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of a single activation tensor, batch dimension elided.
+
+    A 1-D tensor (e.g. the output of :class:`Flatten` or :class:`Dense`)
+    is represented with ``height == width == 1``.
+    """
+
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError(f"all shape dimensions must be positive, got {self}")
+
+    @property
+    def numel(self) -> int:
+        """Number of scalar elements in the tensor."""
+        return self.channels * self.height * self.width
+
+    @property
+    def spatial(self) -> Tuple[int, int]:
+        """The ``(height, width)`` plane of the tensor."""
+        return (self.height, self.width)
+
+    def bytes(self, bytes_per_element: int = 2) -> int:
+        """Storage footprint; the paper's accelerator uses 16-bit data."""
+        return self.numel * bytes_per_element
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class for all layer specifications."""
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        """Compute the output shape from the input shapes.
+
+        Raises :class:`ValueError` when the inputs are incompatible with
+        the spec (wrong arity, wrong channel count, kernel larger than the
+        padded input, ...).
+        """
+        raise NotImplementedError
+
+    @property
+    def arity(self) -> int:
+        """Number of input tensors the layer consumes."""
+        return 1
+
+    def _require_arity(self, inputs: Sequence[TensorShape]) -> None:
+        if len(inputs) != self.arity:
+            raise ValueError(
+                f"{type(self).__name__} expects {self.arity} input(s), "
+                f"got {len(inputs)}"
+            )
+
+
+@dataclass(frozen=True)
+class Input(LayerSpec):
+    """Graph entry point carrying the network's input shape."""
+
+    shape: TensorShape
+
+    @property
+    def arity(self) -> int:
+        return 0
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        return self.shape
+
+
+def _conv_plane(
+    in_h: int, in_w: int, kernel: Tuple[int, int], stride: Tuple[int, int],
+    padding: Tuple[int, int], what: str,
+) -> Tuple[int, int]:
+    """Output plane of a sliding-window op (conv or pool)."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if sh <= 0 or sw <= 0:
+        raise ValueError(f"{what}: stride must be positive, got {(sh, sw)}")
+    eff_h = in_h + 2 * ph
+    eff_w = in_w + 2 * pw
+    if kh > eff_h or kw > eff_w:
+        raise ValueError(
+            f"{what}: kernel {kernel} larger than padded input "
+            f"{(eff_h, eff_w)}"
+        )
+    return ((eff_h - kh) // sh + 1, (eff_w - kw) // sw + 1)
+
+
+@dataclass(frozen=True)
+class Conv2D(LayerSpec):
+    """2-D convolution, covering pointwise, spatial, grouped and depthwise.
+
+    ``groups == in_channels == out_channels`` expresses a depthwise
+    convolution (MobileNet's DW layers).  Separable SqueezeNext filters
+    (1x3 / 3x1) use rectangular ``kernel_size``.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel_size: IntOrPair
+    stride: IntOrPair = 1
+    padding: IntOrPair = 0
+    groups: int = 1
+    bias: bool = True
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel_size", _as_pair(self.kernel_size, "kernel_size"))
+        object.__setattr__(self, "stride", _as_pair(self.stride, "stride"))
+        object.__setattr__(self, "padding", _as_pair(self.padding, "padding"))
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if self.groups <= 0:
+            raise ValueError("groups must be positive")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"groups={self.groups} must divide in_channels="
+                f"{self.in_channels} and out_channels={self.out_channels}"
+            )
+        kh, kw = self.kernel_size
+        if kh <= 0 or kw <= 0:
+            raise ValueError("kernel_size must be positive")
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True for depthwise convolutions (one filter per channel)."""
+        return self.groups > 1 and self.groups == self.in_channels
+
+    @property
+    def is_pointwise(self) -> bool:
+        """True for dense 1x1 convolutions."""
+        return self.kernel_size == (1, 1) and self.groups == 1
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        (shape,) = inputs
+        if shape.channels != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects {self.in_channels} input channels, "
+                f"got {shape.channels}"
+            )
+        out_h, out_w = _conv_plane(
+            shape.height, shape.width, self.kernel_size, self.stride,
+            self.padding, "Conv2D",
+        )
+        return TensorShape(self.out_channels, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class Dense(LayerSpec):
+    """Fully-connected layer on a flattened input."""
+
+    in_features: int
+    out_features: int
+    bias: bool = True
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError("feature counts must be positive")
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        (shape,) = inputs
+        if shape.numel != self.in_features:
+            raise ValueError(
+                f"Dense expects {self.in_features} input features, "
+                f"got {shape.numel} (shape {shape})"
+            )
+        return TensorShape(self.out_features)
+
+
+@dataclass(frozen=True)
+class Pool2D(LayerSpec):
+    """Max or average pooling."""
+
+    kernel_size: IntOrPair
+    stride: IntOrPair = None  # type: ignore[assignment]  # defaults to kernel
+    padding: IntOrPair = 0
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel_size", _as_pair(self.kernel_size, "kernel_size"))
+        stride = self.kernel_size if self.stride is None else self.stride
+        object.__setattr__(self, "stride", _as_pair(stride, "stride"))
+        object.__setattr__(self, "padding", _as_pair(self.padding, "padding"))
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"mode must be 'max' or 'avg', got {self.mode!r}")
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        (shape,) = inputs
+        out_h, out_w = _conv_plane(
+            shape.height, shape.width, self.kernel_size, self.stride,
+            self.padding, "Pool2D",
+        )
+        return TensorShape(shape.channels, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(LayerSpec):
+    """Average over the whole spatial plane (SqueezeNet's classifier head)."""
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        (shape,) = inputs
+        return TensorShape(shape.channels)
+
+
+@dataclass(frozen=True)
+class Flatten(LayerSpec):
+    """Collapse a CHW tensor into a feature vector."""
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        (shape,) = inputs
+        return TensorShape(shape.numel)
+
+
+@dataclass(frozen=True)
+class Concat(LayerSpec):
+    """Channel-wise concatenation (SqueezeNet fire-module expand join)."""
+
+    num_inputs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 2:
+            raise ValueError("Concat needs at least two inputs")
+
+    @property
+    def arity(self) -> int:
+        return self.num_inputs
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        planes = {shape.spatial for shape in inputs}
+        if len(planes) != 1:
+            raise ValueError(f"Concat inputs disagree on spatial plane: {planes}")
+        channels = sum(shape.channels for shape in inputs)
+        return TensorShape(channels, inputs[0].height, inputs[0].width)
+
+
+@dataclass(frozen=True)
+class Add(LayerSpec):
+    """Element-wise residual addition (SqueezeNext skip connections)."""
+
+    num_inputs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 2:
+            raise ValueError("Add needs at least two inputs")
+
+    @property
+    def arity(self) -> int:
+        return self.num_inputs
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        if len(set(inputs)) != 1:
+            raise ValueError(f"Add inputs must share one shape, got {inputs}")
+        return inputs[0]
+
+
+@dataclass(frozen=True)
+class Upsample(LayerSpec):
+    """Nearest-neighbour spatial upsampling (segmentation decoders)."""
+
+    scale: int = 2
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ValueError("scale must be >= 1")
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        (shape,) = inputs
+        return TensorShape(shape.channels, shape.height * self.scale,
+                           shape.width * self.scale)
+
+
+@dataclass(frozen=True)
+class Activation(LayerSpec):
+    """Standalone activation (when not fused into a Conv2D/Dense spec)."""
+
+    kind: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("relu", "identity"):
+            raise ValueError(f"unsupported activation {self.kind!r}")
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        return inputs[0]
+
+
+@dataclass(frozen=True)
+class Softmax(LayerSpec):
+    """Classifier softmax over a feature vector."""
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self._require_arity(inputs)
+        (shape,) = inputs
+        if shape.height != 1 or shape.width != 1:
+            raise ValueError(f"Softmax expects a flat vector, got {shape}")
+        return shape
+
+
+def replace(spec: LayerSpec, **changes) -> LayerSpec:
+    """Return a copy of ``spec`` with the given fields replaced."""
+    return dataclasses.replace(spec, **changes)

@@ -1,0 +1,167 @@
+"""Network specification: a validated DAG of layer specs with shapes.
+
+A :class:`NetworkSpec` owns an ordered set of :class:`LayerNode` objects.
+Construction runs full validation: unique names, acyclicity (nodes may
+only reference earlier nodes), arity checks and shape inference.  After
+construction every node carries its resolved input and output shapes, so
+downstream consumers (the accelerator simulator, the operation counters,
+the numpy executor) never re-derive geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.layer_spec import (
+    Conv2D,
+    Dense,
+    Input,
+    LayerSpec,
+    TensorShape,
+)
+
+
+@dataclass(frozen=True)
+class LayerNode:
+    """One node of the network DAG with resolved shapes."""
+
+    name: str
+    spec: LayerSpec
+    inputs: Tuple[str, ...]
+    input_shapes: Tuple[TensorShape, ...]
+    output_shape: TensorShape
+
+    @property
+    def is_compute(self) -> bool:
+        """True for the layers the accelerator executes on the PE array."""
+        return isinstance(self.spec, (Conv2D, Dense))
+
+
+class NetworkSpec:
+    """An immutable, shape-checked DAG of layers.
+
+    Parameters
+    ----------
+    name:
+        Human-readable model name (e.g. ``"SqueezeNet v1.0"``).
+    layers:
+        Sequence of ``(name, spec, input_names)`` triples in topological
+        order.  ``Input`` specs take an empty input list; every other node
+        must reference previously declared nodes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[str, LayerSpec, Sequence[str]]],
+    ) -> None:
+        self.name = name
+        self._nodes: Dict[str, LayerNode] = {}
+        self._order: List[str] = []
+        for node_name, spec, input_names in layers:
+            self._add(node_name, spec, tuple(input_names))
+        if not self._order:
+            raise ValueError(f"network {name!r} has no layers")
+        inputs = [n for n in self.nodes if isinstance(n.spec, Input)]
+        if len(inputs) != 1:
+            raise ValueError(
+                f"network {name!r} must have exactly one Input node, "
+                f"found {len(inputs)}"
+            )
+
+    def _add(self, name: str, spec: LayerSpec, input_names: Tuple[str, ...]) -> None:
+        if name in self._nodes:
+            raise ValueError(f"duplicate layer name {name!r}")
+        missing = [n for n in input_names if n not in self._nodes]
+        if missing:
+            raise ValueError(
+                f"layer {name!r} references undeclared inputs {missing} "
+                "(layers must be listed in topological order)"
+            )
+        input_shapes = tuple(self._nodes[n].output_shape for n in input_names)
+        try:
+            output_shape = spec.infer_shape(input_shapes)
+        except ValueError as exc:
+            raise ValueError(f"layer {name!r}: {exc}") from exc
+        self._nodes[name] = LayerNode(name, spec, input_names, input_shapes, output_shape)
+        self._order.append(name)
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[LayerNode]:
+        """All nodes in topological order."""
+        return [self._nodes[n] for n in self._order]
+
+    def __iter__(self) -> Iterator[LayerNode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, name: str) -> LayerNode:
+        return self._nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def input_node(self) -> LayerNode:
+        """The single graph entry point."""
+        return next(n for n in self.nodes if isinstance(n.spec, Input))
+
+    @property
+    def input_shape(self) -> TensorShape:
+        return self.input_node.output_shape
+
+    @property
+    def output_node(self) -> LayerNode:
+        """The final node in topological order (the classifier output)."""
+        return self._nodes[self._order[-1]]
+
+    @property
+    def output_shape(self) -> TensorShape:
+        return self.output_node.output_shape
+
+    def compute_nodes(self) -> List[LayerNode]:
+        """Conv2D and Dense nodes — the layers the PE array runs."""
+        return [n for n in self.nodes if n.is_compute]
+
+    def conv_nodes(self) -> List[LayerNode]:
+        """Only the convolutional nodes."""
+        return [n for n in self.nodes if isinstance(n.spec, Conv2D)]
+
+    def first_conv(self) -> Optional[LayerNode]:
+        """The network's first convolution (the paper's "Conv1" category)."""
+        for node in self.nodes:
+            if isinstance(node.spec, Conv2D):
+                return node
+        return None
+
+    def consumers(self, name: str) -> List[LayerNode]:
+        """Nodes that read the output of ``name``."""
+        return [n for n in self.nodes if name in n.inputs]
+
+    # -- derived views -----------------------------------------------------
+
+    def with_name(self, name: str) -> "NetworkSpec":
+        """A renamed copy sharing the same layer structure."""
+        triples = [(n.name, n.spec, n.inputs) for n in self.nodes]
+        return NetworkSpec(name, triples)
+
+    def summary(self) -> str:
+        """A torchsummary-style multi-line description."""
+        lines = [f"{self.name}  (input {self.input_shape})"]
+        header = f"{'layer':<28} {'type':<16} {'output':>14}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for node in self.nodes:
+            lines.append(
+                f"{node.name:<28} {type(node.spec).__name__:<16} "
+                f"{str(node.output_shape):>14}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"NetworkSpec({self.name!r}, {len(self)} layers)"

@@ -1,0 +1,111 @@
+"""JSON (de)serialization of network specifications.
+
+A :class:`NetworkSpec` is pure data, so it round-trips losslessly
+through a JSON-compatible dictionary: one entry per node with the
+spec's type tag and its constructor fields.  This gives the model zoo
+an exchange format — specs can be stored as config files, diffed,
+shipped to other tools, or reconstructed without importing the factory
+that built them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.graph import layer_spec as spec
+from repro.graph.network_spec import NetworkSpec
+
+#: Registered spec types by their serialization tag.
+_SPEC_TYPES = {
+    "input": spec.Input,
+    "conv2d": spec.Conv2D,
+    "dense": spec.Dense,
+    "pool2d": spec.Pool2D,
+    "global_avg_pool": spec.GlobalAvgPool,
+    "flatten": spec.Flatten,
+    "concat": spec.Concat,
+    "add": spec.Add,
+    "upsample": spec.Upsample,
+    "activation": spec.Activation,
+    "softmax": spec.Softmax,
+}
+_TAG_OF = {cls: tag for tag, cls in _SPEC_TYPES.items()}
+
+
+def _spec_to_dict(s: spec.LayerSpec) -> Dict[str, Any]:
+    tag = _TAG_OF.get(type(s))
+    if tag is None:
+        raise TypeError(f"cannot serialize spec type {type(s).__name__}")
+    data: Dict[str, Any] = {"type": tag}
+    if isinstance(s, spec.Input):
+        data["shape"] = [s.shape.channels, s.shape.height, s.shape.width]
+    elif isinstance(s, spec.Conv2D):
+        data.update(
+            in_channels=s.in_channels, out_channels=s.out_channels,
+            kernel_size=list(s.kernel_size), stride=list(s.stride),
+            padding=list(s.padding), groups=s.groups, bias=s.bias,
+            activation=s.activation,
+        )
+    elif isinstance(s, spec.Dense):
+        data.update(in_features=s.in_features, out_features=s.out_features,
+                    bias=s.bias, activation=s.activation)
+    elif isinstance(s, spec.Pool2D):
+        data.update(kernel_size=list(s.kernel_size), stride=list(s.stride),
+                    padding=list(s.padding), mode=s.mode)
+    elif isinstance(s, (spec.Concat, spec.Add)):
+        data["num_inputs"] = s.num_inputs
+    elif isinstance(s, spec.Upsample):
+        data["scale"] = s.scale
+    elif isinstance(s, spec.Activation):
+        data["kind"] = s.kind
+    # GlobalAvgPool / Flatten / Softmax carry no fields.
+    return data
+
+
+def _spec_from_dict(data: Dict[str, Any]) -> spec.LayerSpec:
+    tag = data.get("type")
+    if tag not in _SPEC_TYPES:
+        known = ", ".join(sorted(_SPEC_TYPES))
+        raise ValueError(f"unknown spec type {tag!r}; known: {known}")
+    fields = {key: value for key, value in data.items() if key != "type"}
+    if tag == "input":
+        c, h, w = fields.pop("shape")
+        return spec.Input(spec.TensorShape(c, h, w))
+    for pair_field in ("kernel_size", "stride", "padding"):
+        if pair_field in fields:
+            fields[pair_field] = tuple(fields[pair_field])
+    return _SPEC_TYPES[tag](**fields)
+
+
+def network_to_dict(network: NetworkSpec) -> Dict[str, Any]:
+    """Flatten a network spec to a JSON-compatible dictionary."""
+    nodes: List[Dict[str, Any]] = []
+    for node in network.nodes:
+        nodes.append({
+            "name": node.name,
+            "inputs": list(node.inputs),
+            "spec": _spec_to_dict(node.spec),
+        })
+    return {"name": network.name, "nodes": nodes}
+
+
+def network_from_dict(data: Dict[str, Any]) -> NetworkSpec:
+    """Rebuild a network spec (re-runs full graph validation)."""
+    layers = [
+        (node["name"], _spec_from_dict(node["spec"]), node["inputs"])
+        for node in data["nodes"]
+    ]
+    return NetworkSpec(data["name"], layers)
+
+
+def save_network(network: NetworkSpec, path: str) -> None:
+    """Write a network spec to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(network_to_dict(network), handle, indent=2)
+
+
+def load_network(path: str) -> NetworkSpec:
+    """Read a network spec written by :func:`save_network`."""
+    with open(path) as handle:
+        return network_from_dict(json.load(handle))

@@ -1,0 +1,104 @@
+"""Operation and parameter counting over layer graphs.
+
+These counters feed Table 1 (per-category MAC percentages), the
+accelerator simulator's utilization math, and the energy model's access
+counts.  MACs are counted as multiply-accumulate pairs, the convention
+the paper (and Eyeriss) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.graph.categories import LayerCategory, categorize
+from repro.graph.layer_spec import Conv2D, Dense
+from repro.graph.network_spec import LayerNode, NetworkSpec
+
+
+def layer_macs(node: LayerNode) -> int:
+    """Multiply-accumulate count of one layer (0 for non-compute layers)."""
+    spec = node.spec
+    if isinstance(spec, Conv2D):
+        out = node.output_shape
+        kh, kw = spec.kernel_size
+        in_per_group = spec.in_channels // spec.groups
+        return out.channels * out.height * out.width * kh * kw * in_per_group
+    if isinstance(spec, Dense):
+        return spec.in_features * spec.out_features
+    return 0
+
+
+def layer_params(node: LayerNode) -> int:
+    """Learnable parameter count of one layer."""
+    spec = node.spec
+    if isinstance(spec, Conv2D):
+        kh, kw = spec.kernel_size
+        in_per_group = spec.in_channels // spec.groups
+        weights = spec.out_channels * in_per_group * kh * kw
+        return weights + (spec.out_channels if spec.bias else 0)
+    if isinstance(spec, Dense):
+        weights = spec.in_features * spec.out_features
+        return weights + (spec.out_features if spec.bias else 0)
+    return 0
+
+
+def network_macs(network: NetworkSpec) -> int:
+    """Total MACs for one batch-1 inference."""
+    return sum(layer_macs(node) for node in network.nodes)
+
+
+def network_params(network: NetworkSpec) -> int:
+    """Total learnable parameters."""
+    return sum(layer_params(node) for node in network.nodes)
+
+
+def weight_bytes(network: NetworkSpec, bytes_per_weight: int = 2) -> int:
+    """Model size on the accelerator (16-bit weights by default)."""
+    return network_params(network) * bytes_per_weight
+
+
+def category_breakdown(network: NetworkSpec) -> Dict[LayerCategory, int]:
+    """Absolute MACs per layer category (all categories present, 0-filled)."""
+    totals = {category: 0 for category in LayerCategory}
+    for node in network.compute_nodes():
+        totals[categorize(node, network)] += layer_macs(node)
+    return totals
+
+
+def category_percentages(network: NetworkSpec) -> Dict[LayerCategory, float]:
+    """Percentage of total MACs per category — the rows of Table 1."""
+    totals = category_breakdown(network)
+    grand = sum(totals.values())
+    if grand == 0:
+        raise ValueError(f"network {network.name!r} has no compute layers")
+    return {cat: 100.0 * macs / grand for cat, macs in totals.items()}
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """One-stop summary of a network's static workload characteristics."""
+
+    name: str
+    macs: int
+    params: int
+    weight_bytes: int
+    num_conv: int
+    num_fc: int
+    peak_activation_bytes: int
+
+    @classmethod
+    def of(cls, network: NetworkSpec, bytes_per_element: int = 2) -> "NetworkStats":
+        peak = max(
+            node.output_shape.bytes(bytes_per_element) for node in network.nodes
+        )
+        return cls(
+            name=network.name,
+            macs=network_macs(network),
+            params=network_params(network),
+            weight_bytes=weight_bytes(network, bytes_per_element),
+            num_conv=len(network.conv_nodes()),
+            num_fc=sum(1 for n in network.compute_nodes()
+                       if isinstance(n.spec, Dense)),
+            peak_activation_bytes=peak,
+        )

@@ -1,0 +1,41 @@
+"""Model zoo: the DNNs the paper evaluates, as shape-checked layer graphs."""
+
+from repro.models.accuracy import TOP1_ACCURACY, maybe_top1_accuracy, top1_accuracy
+from repro.models.alexnet import alexnet
+from repro.models.extra import resnet18, vgg16
+from repro.models.mobilenet import mobilenet
+from repro.models.squeezedet import squeezedet
+from repro.models.squeezenet import fire_module, squeezenet_v1_0, squeezenet_v1_1
+from repro.models.squeezeseg import squeezeseg
+from repro.models.squeezenext import (
+    VARIANT_CONV1,
+    VARIANT_STAGES,
+    squeezenext,
+    squeezenext_variants,
+)
+from repro.models.tiny_darknet import tiny_darknet
+from repro.models.zoo import MODEL_FACTORIES, build_all, build_model, model_names
+
+__all__ = [
+    "MODEL_FACTORIES",
+    "TOP1_ACCURACY",
+    "VARIANT_CONV1",
+    "VARIANT_STAGES",
+    "alexnet",
+    "build_all",
+    "build_model",
+    "fire_module",
+    "maybe_top1_accuracy",
+    "mobilenet",
+    "model_names",
+    "resnet18",
+    "squeezedet",
+    "squeezenet_v1_0",
+    "squeezenet_v1_1",
+    "squeezenext",
+    "squeezeseg",
+    "squeezenext_variants",
+    "tiny_darknet",
+    "vgg16",
+    "top1_accuracy",
+]

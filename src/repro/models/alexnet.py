@@ -1,0 +1,31 @@
+"""AlexNet (Krizhevsky et al., 2012) — the paper's legacy comparison point.
+
+This is the original two-GPU topology with grouped convolutions on
+conv2/conv4/conv5 (groups=2), 227x227 input, and the three large
+fully-connected layers that dominate its runtime and energy — the paper
+notes AlexNet spends ~73% of its time and ~80% of its energy in FC layers,
+which is exactly what makes it a poor accelerator benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+
+
+def alexnet(num_classes: int = 1000) -> NetworkSpec:
+    """Build the AlexNet layer graph."""
+    b = NetworkBuilder("AlexNet", TensorShape(3, 227, 227))
+    b.conv("conv1", 96, kernel_size=11, stride=4)
+    b.pool("pool1", kernel_size=3, stride=2)
+    b.conv("conv2", 256, kernel_size=5, padding=2, groups=2)
+    b.pool("pool2", kernel_size=3, stride=2)
+    b.conv("conv3", 384, kernel_size=3, padding=1)
+    b.conv("conv4", 384, kernel_size=3, padding=1, groups=2)
+    b.conv("conv5", 256, kernel_size=3, padding=1, groups=2)
+    b.pool("pool5", kernel_size=3, stride=2)
+    b.flatten("flatten")
+    b.dense("fc6", 4096)
+    b.dense("fc7", 4096)
+    b.dense("fc8", num_classes, activation="identity")
+    b.softmax("prob")
+    return b.build()

@@ -1,0 +1,68 @@
+"""Additional reference workloads beyond the paper's evaluation set.
+
+ResNet-18 (residual-heavy, medium-depth) and VGG-16 (huge dense FC
+head) are not in the paper's tables, but they stress parts of the
+simulator the paper's set under-exercises: VGG's 470 MB of FC weights
+make the batch-size ablation vivid, and ResNet's pervasive residual
+adds exercise the DAG machinery and the footprint analysis.  Published
+top-1 accuracies are included so they can join the Figure 4 plane.
+"""
+
+from __future__ import annotations
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+
+
+def _basic_block(b: NetworkBuilder, name: str, out_channels: int,
+                 stride: int = 1) -> str:
+    """ResNet v1 basic block: two 3x3 convs and a residual add."""
+    entry = b.cursor
+    in_channels = b.channels()
+    b.conv(f"{name}/conv1", out_channels, kernel_size=3, stride=stride,
+           padding=1)
+    main = b.conv(f"{name}/conv2", out_channels, kernel_size=3, padding=1,
+                  activation="identity")
+    if stride != 1 or in_channels != out_channels:
+        shortcut = b.conv(f"{name}/downsample", out_channels, kernel_size=1,
+                          stride=stride, activation="identity", after=entry)
+    else:
+        shortcut = entry
+    return b.add(f"{name}/add", [main, shortcut])
+
+
+def resnet18(num_classes: int = 1000) -> NetworkSpec:
+    """ResNet-18 (He et al., 2016) at 224x224."""
+    b = NetworkBuilder("ResNet-18", TensorShape(3, 224, 224))
+    b.conv("conv1", 64, kernel_size=7, stride=2, padding=3)
+    b.pool("pool1", kernel_size=3, stride=2, padding=1)
+    for stage, (channels, stride) in enumerate(
+            [(64, 1), (128, 2), (256, 2), (512, 2)], start=1):
+        _basic_block(b, f"stage{stage}/block1", channels, stride)
+        _basic_block(b, f"stage{stage}/block2", channels, 1)
+    b.global_avg_pool("gap")
+    b.dense("fc", num_classes, activation="identity")
+    b.softmax("prob")
+    return b.build()
+
+
+def vgg16(num_classes: int = 1000) -> NetworkSpec:
+    """VGG-16 (Simonyan & Zisserman, 2015) at 224x224.
+
+    The archetype of the fat-FC design AlexNet started: 89% of its
+    parameters sit in three dense layers — the worst possible workload
+    for a batch-1 embedded accelerator, and a useful extreme for the
+    DRAM and batching models.
+    """
+    b = NetworkBuilder("VGG-16", TensorShape(3, 224, 224))
+    plan = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    for stage, (channels, repeats) in enumerate(plan, start=1):
+        for i in range(repeats):
+            b.conv(f"conv{stage}_{i + 1}", channels, kernel_size=3,
+                   padding=1)
+        b.pool(f"pool{stage}", kernel_size=2, stride=2)
+    b.flatten("flatten")
+    b.dense("fc6", 4096)
+    b.dense("fc7", 4096)
+    b.dense("fc8", num_classes, activation="identity")
+    b.softmax("prob")
+    return b.build()

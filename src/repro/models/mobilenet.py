@@ -1,0 +1,55 @@
+"""MobileNet v1 (Howard et al., 2017).
+
+MobileNet is the paper's stress test for dataflow flexibility: 95% of its
+MACs are pointwise 1x1 convolutions (best on WS) and 3% are depthwise
+convolutions (catastrophic on WS, 19-96x better on OS), so a single-
+dataflow accelerator loses badly on one half or the other.
+
+The width multiplier scales every channel count, giving the
+0.25/0.5/0.75/1.0 family used for the Figure 4 accuracy/efficiency
+spectrum.
+"""
+
+from __future__ import annotations
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    """Apply the width multiplier, keeping at least 8 channels."""
+    return max(8, int(round(channels * width_multiplier)))
+
+
+# (pointwise output channels, depthwise stride) per separable block.
+_BLOCKS = [
+    (64, 1),
+    (128, 2), (128, 1),
+    (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+]
+
+
+def mobilenet(
+    width_multiplier: float = 1.0,
+    resolution: int = 224,
+    num_classes: int = 1000,
+) -> NetworkSpec:
+    """Build ``<width>-MobileNet-<resolution>`` as a layer graph."""
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    if resolution % 32:
+        raise ValueError("resolution must be a multiple of 32")
+    name = f"{width_multiplier:.2g} MobileNet-{resolution}"
+    b = NetworkBuilder(name, TensorShape(3, resolution, resolution))
+    b.conv("conv1", _scaled(32, width_multiplier), kernel_size=3,
+           stride=2, padding=1)
+    for index, (out_channels, stride) in enumerate(_BLOCKS, start=1):
+        b.depthwise_conv(f"block{index}/dw", kernel_size=3, stride=stride,
+                         padding=1)
+        b.conv(f"block{index}/pw", _scaled(out_channels, width_multiplier),
+               kernel_size=1)
+    b.global_avg_pool("pool")
+    b.dense("fc", num_classes, activation="identity")
+    b.softmax("prob")
+    return b.build()

@@ -1,0 +1,58 @@
+"""SqueezeDet (Wu et al., 2017) — the paper's §2 object-detection task.
+
+SqueezeDet is the fully-convolutional detector from the paper's own
+group: a SqueezeNet trunk, two extra fire modules, and a single 3x3
+"ConvDet" layer emitting per-anchor class scores, confidences and box
+deltas.  Included because §2 argues detection "input size can range from
+hundreds to thousands of pixels, and the intermediate feature map
+usually cannot be over sub-sampled" — i.e. a much larger memory
+footprint than classification, which the footprint analysis in
+:mod:`repro.vision.footprint` quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+from repro.models.squeezenet import fire_module
+
+#: KITTI-like geometry: 3 object classes, 9 anchors per grid cell.
+DEFAULT_CLASSES = 3
+DEFAULT_ANCHORS = 9
+
+
+def squeezedet(
+    image_height: int = 384,
+    image_width: int = 1248,
+    num_classes: int = DEFAULT_CLASSES,
+    anchors_per_cell: int = DEFAULT_ANCHORS,
+) -> NetworkSpec:
+    """Build the SqueezeDet detection graph.
+
+    The output tensor has ``anchors * (classes + 1 + 4)`` channels per
+    grid cell (class scores, objectness confidence, 4 box deltas).
+    """
+    if image_height < 64 or image_width < 64:
+        raise ValueError("detection inputs are at least 64x64")
+    b = NetworkBuilder(
+        f"SqueezeDet-{image_height}x{image_width}",
+        TensorShape(3, image_height, image_width),
+    )
+    b.conv("conv1", 64, kernel_size=3, stride=2, padding=1)
+    b.pool("pool1", kernel_size=3, stride=2, padding=1)
+    fire_module(b, "fire2", 16, 64, 64)
+    fire_module(b, "fire3", 16, 64, 64)
+    b.pool("pool3", kernel_size=3, stride=2, padding=1)
+    fire_module(b, "fire4", 32, 128, 128)
+    fire_module(b, "fire5", 32, 128, 128)
+    b.pool("pool5", kernel_size=3, stride=2, padding=1)
+    fire_module(b, "fire6", 48, 192, 192)
+    fire_module(b, "fire7", 48, 192, 192)
+    fire_module(b, "fire8", 64, 256, 256)
+    fire_module(b, "fire9", 64, 256, 256)
+    # SqueezeDet's two extra fire modules sharpen localization.
+    fire_module(b, "fire10", 96, 384, 384)
+    fire_module(b, "fire11", 96, 384, 384)
+    output_channels = anchors_per_cell * (num_classes + 1 + 4)
+    b.conv("convdet", output_channels, kernel_size=3, padding=1,
+           activation="identity")
+    return b.build()

@@ -1,0 +1,68 @@
+"""SqueezeNet v1.0 and v1.1 (Iandola et al., 2016).
+
+SqueezeNet is the Squeezelerator's original design target.  Both versions
+are built from *fire modules*: a 1x1 "squeeze" convolution feeding two
+parallel "expand" convolutions (1x1 and 3x3) whose outputs concatenate.
+v1.1 shrinks the first convolution (7x7/96 -> 3x3/64) and moves the max
+pools earlier, cutting compute ~2.4x at equal accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+
+
+def fire_module(
+    b: NetworkBuilder,
+    name: str,
+    squeeze: int,
+    expand1x1: int,
+    expand3x3: int,
+) -> str:
+    """Append a fire module after the builder cursor; returns the concat node."""
+    sq = b.conv(f"{name}/squeeze1x1", squeeze, kernel_size=1)
+    e1 = b.conv(f"{name}/expand1x1", expand1x1, kernel_size=1, after=sq)
+    e3 = b.conv(f"{name}/expand3x3", expand3x3, kernel_size=3, padding=1, after=sq)
+    return b.concat(f"{name}/concat", [e1, e3])
+
+
+def squeezenet_v1_0(num_classes: int = 1000) -> NetworkSpec:
+    """SqueezeNet v1.0: 7x7 first conv, pools after conv1 / fire4 / fire8."""
+    b = NetworkBuilder("SqueezeNet v1.0", TensorShape(3, 227, 227))
+    b.conv("conv1", 96, kernel_size=7, stride=2)
+    b.pool("pool1", kernel_size=3, stride=2)
+    fire_module(b, "fire2", 16, 64, 64)
+    fire_module(b, "fire3", 16, 64, 64)
+    fire_module(b, "fire4", 32, 128, 128)
+    b.pool("pool4", kernel_size=3, stride=2)
+    fire_module(b, "fire5", 32, 128, 128)
+    fire_module(b, "fire6", 48, 192, 192)
+    fire_module(b, "fire7", 48, 192, 192)
+    fire_module(b, "fire8", 64, 256, 256)
+    b.pool("pool8", kernel_size=3, stride=2)
+    fire_module(b, "fire9", 64, 256, 256)
+    b.conv("conv10", num_classes, kernel_size=1)
+    b.global_avg_pool("pool10")
+    b.softmax("prob")
+    return b.build()
+
+
+def squeezenet_v1_1(num_classes: int = 1000) -> NetworkSpec:
+    """SqueezeNet v1.1: 3x3/64 first conv, pools after conv1 / fire3 / fire5."""
+    b = NetworkBuilder("SqueezeNet v1.1", TensorShape(3, 227, 227))
+    b.conv("conv1", 64, kernel_size=3, stride=2)
+    b.pool("pool1", kernel_size=3, stride=2)
+    fire_module(b, "fire2", 16, 64, 64)
+    fire_module(b, "fire3", 16, 64, 64)
+    b.pool("pool3", kernel_size=3, stride=2)
+    fire_module(b, "fire4", 32, 128, 128)
+    fire_module(b, "fire5", 32, 128, 128)
+    b.pool("pool5", kernel_size=3, stride=2)
+    fire_module(b, "fire6", 48, 192, 192)
+    fire_module(b, "fire7", 48, 192, 192)
+    fire_module(b, "fire8", 64, 256, 256)
+    fire_module(b, "fire9", 64, 256, 256)
+    b.conv("conv10", num_classes, kernel_size=1)
+    b.global_avg_pool("pool10")
+    b.softmax("prob")
+    return b.build()

@@ -1,0 +1,136 @@
+"""SqueezeNext (Gholami et al., 2018) — the co-designed DNN family.
+
+SqueezeNext was designed *with* the Squeezelerator simulator in the loop.
+Its bottleneck block factors a 3x3 convolution into a two-stage 1x1
+channel reduction, a separable 3x1 + 1x3 pair, and a 1x1 expansion with a
+residual connection — deliberately avoiding MobileNet's depthwise
+convolutions, whose arithmetic intensity is poor.
+
+Two hardware-driven optimizations define the Figure 3 variants:
+
+* **v2**: the first layer's filter shrinks from 7x7 to 5x5 (the first
+  layer dominates time because its input plane is large and its 3 input
+  channels under-fill the PE array).
+* **v3..v5**: blocks move from the early, low-utilization stages to
+  later, high-utilization stages, keeping total depth at 21 blocks.
+
+The width multiplier (1.0 / 1.5 / 2.0) scales every channel count and
+gives the family spectrum plotted in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+
+#: Blocks per stage for each Figure 3 variant.  v1 is the baseline
+#: [6, 6, 8, 1]; later variants shift depth towards later stages.
+VARIANT_STAGES = {
+    1: (6, 6, 8, 1),
+    2: (6, 6, 8, 1),
+    3: (4, 8, 8, 1),
+    4: (2, 10, 8, 1),
+    5: (2, 4, 14, 1),
+}
+
+#: First-layer kernel per variant (the 7x7 -> 5x5 optimization lands in v2).
+VARIANT_CONV1 = {1: 7, 2: 5, 3: 5, 4: 5, 5: 5}
+
+_STAGE_WIDTHS = (32, 64, 128, 256)
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    return max(4, int(round(channels * width_multiplier)))
+
+
+def _bottleneck_block(
+    b: NetworkBuilder,
+    name: str,
+    out_channels: int,
+    stride: int,
+) -> str:
+    """Append one SqueezeNext bottleneck block; returns the output node."""
+    entry = b.cursor
+    in_channels = b.channels()
+    r1 = max(2, in_channels // 2)
+    r2 = max(2, in_channels // 4)
+    b.conv(f"{name}/sq1", r1, kernel_size=1, stride=stride)
+    b.conv(f"{name}/sq2", r2, kernel_size=1)
+    b.conv(f"{name}/c31", r1, kernel_size=(3, 1), padding=(1, 0))
+    b.conv(f"{name}/c13", r1, kernel_size=(1, 3), padding=(0, 1))
+    main = b.conv(f"{name}/exp", out_channels, kernel_size=1,
+                  activation="identity")
+    if stride != 1 or in_channels != out_channels:
+        shortcut = b.conv(f"{name}/shortcut", out_channels, kernel_size=1,
+                          stride=stride, activation="identity", after=entry)
+    else:
+        shortcut = entry
+    return b.add(f"{name}/add", [main, shortcut])
+
+
+def squeezenext(
+    width_multiplier: float = 1.0,
+    variant: int = 1,
+    num_classes: int = 1000,
+    stages: Optional[Tuple[int, int, int, int]] = None,
+    conv1_kernel: Optional[int] = None,
+) -> NetworkSpec:
+    """Build ``<width>-SqNxt-23`` (variant 1) or a Figure 3 variant v2..v5.
+
+    ``stages`` / ``conv1_kernel`` override the variant's block
+    distribution and first-layer filter, which is how the iterative
+    co-design search (:mod:`repro.core.evolve`) explores the family
+    beyond the five published variants.
+    """
+    if variant not in VARIANT_STAGES:
+        raise ValueError(f"variant must be in {sorted(VARIANT_STAGES)}, "
+                         f"got {variant}")
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    custom = stages is not None or conv1_kernel is not None
+    if stages is None:
+        stages = VARIANT_STAGES[variant]
+    if len(stages) != len(_STAGE_WIDTHS) or any(s < 1 for s in stages):
+        raise ValueError(
+            f"stages must be {len(_STAGE_WIDTHS)} positive counts")
+    if conv1_kernel is None:
+        conv1_kernel = VARIANT_CONV1[variant]
+    if conv1_kernel not in (3, 5, 7):
+        raise ValueError("conv1_kernel must be 3, 5 or 7")
+    if custom:
+        blocks = "-".join(str(s) for s in stages)
+        name = (f"{width_multiplier:.1f}-SqNxt"
+                f"-k{conv1_kernel}-b{blocks}")
+    else:
+        suffix = "" if variant == 1 else f"-v{variant}"
+        name = f"{width_multiplier:.1f}-SqNxt-23{suffix}"
+
+    b = NetworkBuilder(name, TensorShape(3, 227, 227))
+    b.conv("conv1", _scaled(64, width_multiplier), kernel_size=conv1_kernel,
+           stride=2, padding=1)
+    b.pool("pool1", kernel_size=3, stride=2)
+    for stage_index, (blocks, width) in enumerate(zip(stages, _STAGE_WIDTHS), 1):
+        out_channels = _scaled(width, width_multiplier)
+        for block_index in range(blocks):
+            stride = 2 if (stage_index > 1 and block_index == 0) else 1
+            _bottleneck_block(
+                b, f"stage{stage_index}/block{block_index + 1}",
+                out_channels, stride,
+            )
+    b.conv("conv_bottleneck", _scaled(128, width_multiplier), kernel_size=1)
+    b.global_avg_pool("pool_final")
+    b.dense("fc", num_classes, activation="identity")
+    b.softmax("prob")
+    return b.build()
+
+
+def squeezenext_variants(
+    width_multiplier: float = 1.0,
+    num_classes: int = 1000,
+) -> Sequence[Tuple[int, NetworkSpec]]:
+    """All five Figure 3 variants, in order."""
+    return [
+        (v, squeezenext(width_multiplier, variant=v, num_classes=num_classes))
+        for v in sorted(VARIANT_STAGES)
+    ]

@@ -1,0 +1,59 @@
+"""A SqueezeNet-style semantic-segmentation network (FCN decoder).
+
+The paper's §2 names semantic segmentation as the third embedded-vision
+primitive, with the same property as detection: spatial detail must be
+preserved, so intermediate feature maps stay large and the memory
+footprint dwarfs classification.  This model is an FCN in the spirit of
+SqueezeSeg (same research group): a fire-module encoder, a
+nearest-neighbour-upsampling decoder with 1x1 refinement convolutions,
+and skip connections from matching encoder resolutions.
+"""
+
+from __future__ import annotations
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+from repro.models.squeezenet import fire_module
+
+
+def squeezeseg(
+    image_height: int = 256,
+    image_width: int = 512,
+    num_classes: int = 19,
+) -> NetworkSpec:
+    """Build the encoder-decoder segmentation graph.
+
+    Output: per-pixel class logits at 1/4 of the input resolution scaled
+    back up to full resolution (a common FCN head arrangement).
+    """
+    if image_height % 16 or image_width % 16:
+        raise ValueError("input dimensions must be multiples of 16")
+    b = NetworkBuilder(
+        f"SqueezeSeg-{image_height}x{image_width}",
+        TensorShape(3, image_height, image_width),
+    )
+    # Encoder.
+    b.conv("conv1", 64, kernel_size=3, stride=2, padding=1)     # 1/2
+    skip_half = b.cursor
+    b.pool("pool1", kernel_size=2, stride=2)                    # 1/4
+    fire_module(b, "fire2", 16, 64, 64)
+    skip_quarter = b.cursor
+    b.pool("pool2", kernel_size=2, stride=2)                    # 1/8
+    fire_module(b, "fire3", 32, 128, 128)
+    b.pool("pool3", kernel_size=2, stride=2)                    # 1/16
+    fire_module(b, "fire4", 48, 192, 192)
+    fire_module(b, "fire5", 48, 192, 192)
+
+    # Decoder: upsample + skip concat + 1x1 refine, back to 1/4.
+    b.upsample("up1", 2)                                        # 1/8
+    b.conv("refine1", 128, kernel_size=1)
+    b.upsample("up2", 2)                                        # 1/4
+    joined = b.concat("skip_cat", [b.cursor, skip_quarter])
+    b.conv("refine2", 96, kernel_size=1, after=joined)
+    b.upsample("up3", 2)                                        # 1/2
+    joined2 = b.concat("skip_cat2", [b.cursor, skip_half])
+    b.conv("refine3", 64, kernel_size=1, after=joined2)
+
+    # Classifier head at 1/2 resolution, upsampled to full.
+    b.conv("classifier", num_classes, kernel_size=1, activation="identity")
+    b.upsample("logits", 2)                                     # 1/1
+    return b.build()

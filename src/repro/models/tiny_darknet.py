@@ -1,0 +1,40 @@
+"""Tiny Darknet (Redmon) — a compact classifier built from alternating
+1x1 bottleneck and 3x3 expansion convolutions.
+
+Included because the paper's Table 1/Table 2 evaluate it: its MAC mix
+(82% FxF, 13% 1x1) makes it mostly OS-friendly, which is why the
+Squeezelerator's win over a pure-OS design is small (1.14x) while its
+energy win over pure-WS is large (24%).
+"""
+
+from __future__ import annotations
+
+from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
+
+
+def tiny_darknet(num_classes: int = 1000) -> NetworkSpec:
+    """Build the Tiny Darknet layer graph (224x224 input)."""
+    b = NetworkBuilder("Tiny Darknet", TensorShape(3, 224, 224))
+    b.conv("conv1", 16, kernel_size=3, padding=1)
+    b.pool("pool1", kernel_size=2, stride=2)
+    b.conv("conv2", 32, kernel_size=3, padding=1)
+    b.pool("pool2", kernel_size=2, stride=2)
+    b.conv("conv3", 16, kernel_size=1)
+    b.conv("conv4", 128, kernel_size=3, padding=1)
+    b.conv("conv5", 16, kernel_size=1)
+    b.conv("conv6", 128, kernel_size=3, padding=1)
+    b.pool("pool6", kernel_size=2, stride=2)
+    b.conv("conv7", 32, kernel_size=1)
+    b.conv("conv8", 256, kernel_size=3, padding=1)
+    b.conv("conv9", 32, kernel_size=1)
+    b.conv("conv10", 256, kernel_size=3, padding=1)
+    b.pool("pool10", kernel_size=2, stride=2)
+    b.conv("conv11", 64, kernel_size=1)
+    b.conv("conv12", 512, kernel_size=3, padding=1)
+    b.conv("conv13", 64, kernel_size=1)
+    b.conv("conv14", 512, kernel_size=3, padding=1)
+    b.conv("conv15", 128, kernel_size=1)
+    b.conv("conv16", num_classes, kernel_size=1, activation="identity")
+    b.global_avg_pool("pool16")
+    b.softmax("prob")
+    return b.build()

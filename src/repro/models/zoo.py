@@ -1,0 +1,47 @@
+"""Model registry: the paper's six evaluation networks by canonical name.
+
+The registry maps the row labels of Tables 1 and 2 to zero-argument
+factories, so experiment code can iterate the paper's exact evaluation
+set without hard-coding constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph import NetworkSpec
+from repro.models.alexnet import alexnet
+from repro.models.mobilenet import mobilenet
+from repro.models.squeezenet import squeezenet_v1_0, squeezenet_v1_1
+from repro.models.squeezenext import squeezenext
+from repro.models.tiny_darknet import tiny_darknet
+
+#: Canonical name -> factory, in the paper's Table 1 row order.
+MODEL_FACTORIES: Dict[str, Callable[[], NetworkSpec]] = {
+    "AlexNet": alexnet,
+    "1.0 MobileNet-224": mobilenet,
+    "Tiny Darknet": tiny_darknet,
+    "SqueezeNet v1.0": squeezenet_v1_0,
+    "SqueezeNet v1.1": squeezenet_v1_1,
+    "SqueezeNext": squeezenext,
+}
+
+
+def model_names() -> List[str]:
+    """The Table 1 / Table 2 row labels, in paper order."""
+    return list(MODEL_FACTORIES)
+
+
+def build_model(name: str) -> NetworkSpec:
+    """Instantiate a zoo model by its canonical (table row) name."""
+    try:
+        factory = MODEL_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(MODEL_FACTORIES)
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+    return factory()
+
+
+def build_all() -> Dict[str, NetworkSpec]:
+    """Instantiate the whole evaluation set, keyed by canonical name."""
+    return {name: build_model(name) for name in MODEL_FACTORIES}

@@ -1,0 +1,88 @@
+"""Lightweight data augmentation for the synthetic training pipeline.
+
+Standard embedded-vision training augmentations, implemented as pure
+array transforms so they compose with :class:`repro.nn.data.Dataset`:
+horizontal flips, integer translations with zero fill, and additive
+Gaussian noise.  All are deterministic under an explicit RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.data import Dataset
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def random_horizontal_flip(p: float = 0.5) -> Transform:
+    """Flip each image left-right with probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+
+    def transform(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = images.copy()
+        flip = rng.random(images.shape[0]) < p
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+    return transform
+
+
+def random_translate(max_shift: int = 2) -> Transform:
+    """Shift each image by up to ``max_shift`` pixels, zero-filled."""
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+
+    def transform(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros_like(images)
+        h, w = images.shape[2:]
+        shifts = rng.integers(-max_shift, max_shift + 1,
+                              size=(images.shape[0], 2))
+        for i, (dy, dx) in enumerate(shifts):
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[i, :, dst_y, dst_x] = images[i, :, src_y, src_x]
+        return out
+
+    return transform
+
+
+def additive_noise(sigma: float = 0.05) -> Transform:
+    """Add zero-mean Gaussian noise."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+
+    def transform(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return images + rng.normal(0.0, sigma, size=images.shape)
+
+    return transform
+
+
+def compose(transforms: Sequence[Transform]) -> Transform:
+    """Apply transforms left to right."""
+
+    def transform(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for t in transforms:
+            images = t(images, rng)
+        return images
+
+    return transform
+
+
+def augment_dataset(dataset: Dataset, transform: Transform,
+                    copies: int = 1, seed: int = 0) -> Dataset:
+    """Append ``copies`` transformed replicas of a dataset to itself."""
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    rng = np.random.default_rng(seed)
+    images = [dataset.images]
+    labels = [dataset.labels]
+    for _ in range(copies):
+        images.append(transform(dataset.images, rng))
+        labels.append(dataset.labels)
+    return Dataset(np.concatenate(images), np.concatenate(labels))

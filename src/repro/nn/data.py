@@ -1,0 +1,138 @@
+"""Synthetic image-classification data.
+
+SUBSTITUTION (DESIGN.md §5): ImageNet is not available offline, so the
+training demonstrations run on a parametric "shapes" dataset: each class
+is a geometric figure (disk, ring, square frame, cross, diagonal
+stripes, ...) rendered at a random position/scale into a small RGB-like
+image with additive noise.  The task is easy enough that the compact
+zoo-style models reach high accuracy in a few epochs on a laptop, yet
+hard enough that accuracy responds to capacity — which is all the
+Figure 3/4 accuracy axes need qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+#: Canonical class order of the shapes dataset.
+SHAPE_CLASSES = ("disk", "ring", "square", "cross", "stripes", "checker")
+
+
+def _coordinate_grids(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    axis = np.arange(size, dtype=np.float64)
+    return np.meshgrid(axis, axis, indexing="ij")
+
+
+def _render(label: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Render one grayscale shape image in [0, 1]."""
+    yy, xx = _coordinate_grids(size)
+    cy = rng.uniform(0.35, 0.65) * size
+    cx = rng.uniform(0.35, 0.65) * size
+    radius = rng.uniform(0.18, 0.32) * size
+    name = SHAPE_CLASSES[label]
+    if name == "disk":
+        mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= radius ** 2
+    elif name == "ring":
+        dist2 = (yy - cy) ** 2 + (xx - cx) ** 2
+        mask = (dist2 <= radius ** 2) & (dist2 >= (0.55 * radius) ** 2)
+    elif name == "square":
+        inner = 0.55 * radius
+        dy, dx = np.abs(yy - cy), np.abs(xx - cx)
+        mask = (np.maximum(dy, dx) <= radius) & (np.maximum(dy, dx) >= inner)
+    elif name == "cross":
+        arm = max(1.0, 0.35 * radius)
+        mask = (((np.abs(yy - cy) <= arm) & (np.abs(xx - cx) <= radius))
+                | ((np.abs(xx - cx) <= arm) & (np.abs(yy - cy) <= radius)))
+    elif name == "stripes":
+        period = max(2.0, radius / 1.5)
+        phase = rng.uniform(0, period)
+        in_box = (np.abs(yy - cy) <= radius) & (np.abs(xx - cx) <= radius)
+        mask = in_box & (((yy + xx + phase) % period) < period / 2)
+    elif name == "checker":
+        period = max(2.0, radius)
+        in_box = (np.abs(yy - cy) <= radius) & (np.abs(xx - cx) <= radius)
+        mask = in_box & ((((yy // (period / 2)) + (xx // (period / 2))) % 2) == 0)
+    else:  # pragma: no cover - SHAPE_CLASSES is closed
+        raise ValueError(f"unknown class {label}")
+    return mask.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Arrays of images ``(N, C, H, W)`` and integer labels ``(N,)``."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValueError("images must be NCHW")
+        if self.labels.shape != (self.images.shape[0],):
+            raise ValueError("labels must be (N,)")
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+    def batches(self, batch_size: int,
+                rng: np.random.Generator = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate minibatches, shuffled when an RNG is provided."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, len(self), batch_size):
+            index = order[start:start + batch_size]
+            yield self.images[index], self.labels[index]
+
+
+def make_shapes_dataset(
+    num_samples: int,
+    image_size: int = 32,
+    channels: int = 3,
+    num_classes: int = len(SHAPE_CLASSES),
+    noise: float = 0.15,
+    seed: int = 0,
+) -> Dataset:
+    """Generate a balanced, deterministic shapes classification dataset."""
+    if not 2 <= num_classes <= len(SHAPE_CLASSES):
+        raise ValueError(
+            f"num_classes must be in [2, {len(SHAPE_CLASSES)}]")
+    if image_size < 8:
+        raise ValueError("image_size must be at least 8")
+    rng = np.random.default_rng(seed)
+    labels = np.arange(num_samples) % num_classes
+    rng.shuffle(labels)
+    images = np.empty((num_samples, channels, image_size, image_size))
+    for i, label in enumerate(labels):
+        base = _render(int(label), image_size, rng)
+        tint = rng.uniform(0.6, 1.0, size=channels)
+        for ch in range(channels):
+            images[i, ch] = base * tint[ch]
+    images += rng.normal(0.0, noise, size=images.shape)
+    images = np.clip(images, 0.0, 1.0)
+    # Normalize to zero mean / unit-ish scale for stable training.
+    images = (images - 0.5) * 2.0
+    return Dataset(images=images, labels=labels.astype(np.int64))
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
+                     seed: int = 0) -> Tuple[Dataset, Dataset]:
+    """Deterministic shuffled split into train and test subsets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    n_test = max(1, int(len(dataset) * test_fraction))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return (
+        Dataset(dataset.images[train_idx], dataset.labels[train_idx]),
+        Dataset(dataset.images[test_idx], dataset.labels[test_idx]),
+    )

@@ -1,0 +1,151 @@
+"""Bit-level emulation of the accelerator's integer datapath.
+
+The Squeezelerator PE is "a 16-bit integer multiplier [and] an adder
+for accumulating the multiplication result" (Figure 2).  The
+quantization module (:mod:`repro.nn.quant`) models the *rounding* cost
+of that datapath; this module emulates the *arithmetic* itself: weights
+and activations are converted to integers, products and accumulations
+happen in exact integer arithmetic, and the accumulator width is
+checked — so saturation risk (the real failure mode of narrow
+accumulators) is measured rather than assumed away.
+
+Linear layers are exactly scale-factorable, so the integer path's
+dequantized output differs from emulating on-device arithmetic only in
+ways the report quantifies (quantization error, accumulator range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph import layer_spec as spec
+from repro.nn.network import GraphNetwork
+
+
+@dataclass
+class DatapathReport:
+    """What the integer emulation observed."""
+
+    weight_bits: int
+    activation_bits: int
+    accumulator_bits: int
+    max_accumulator_bits_used: int = 0
+    saturated_layers: List[str] = field(default_factory=list)
+    per_layer_acc_bits: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def would_saturate(self) -> bool:
+        return bool(self.saturated_layers)
+
+
+def _quantize(x: np.ndarray, bits: int) -> Tuple[np.ndarray, float]:
+    """Symmetric quantization to signed integers; returns (q, scale)."""
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = float(np.abs(x).max())
+    if max_abs == 0.0:
+        return np.zeros(x.shape, dtype=np.int64), 1.0
+    scale = max_abs / qmax
+    return np.clip(np.round(x / scale), -qmax, qmax).astype(np.int64), scale
+
+
+def _bits_needed(value: int) -> int:
+    """Signed bits needed to hold ``value`` exactly."""
+    if value == 0:
+        return 1
+    return int(value).bit_length() + 1
+
+
+def emulate_fixed_point(
+    network: GraphNetwork,
+    x: np.ndarray,
+    weight_bits: int = 16,
+    activation_bits: int = 16,
+    accumulator_bits: int = 32,
+) -> Tuple[np.ndarray, DatapathReport]:
+    """Run inference through the integer datapath emulation.
+
+    Activations are re-quantized at every layer boundary (the global
+    buffer stores 16-bit values), convolutions/FCs run in exact integer
+    arithmetic, and the widest intermediate accumulator value per layer
+    is recorded against the configured accumulator width.
+
+    Returns the dequantized output and the datapath report.
+    """
+    report = DatapathReport(weight_bits, activation_bits, accumulator_bits)
+    acc_limit = 2 ** (accumulator_bits - 1) - 1
+    values: Dict[str, np.ndarray] = {}
+    # Walk the same lowering GraphNetwork.forward uses (same package).
+    for node in network._nodes:  # noqa: SLF001 - sibling-module access
+        s = node.spec
+        if isinstance(s, spec.Input):
+            values[node.name] = x.astype(np.float64)
+            continue
+        if isinstance(s, spec.Concat):
+            values[node.name] = np.concatenate(
+                [values[n] for n in node.inputs], axis=1)
+            continue
+        if isinstance(s, spec.Add):
+            total = values[node.inputs[0]].copy()
+            for n in node.inputs[1:]:
+                total += values[n]
+            values[node.name] = total
+            continue
+        value = values[node.inputs[0]]
+        if isinstance(s, (spec.Conv2D, spec.Dense)):
+            q_in, in_scale = _quantize(value, activation_bits)
+            q_w, w_scale = _quantize(node.module.weight.value, weight_bits)
+            if isinstance(s, spec.Conv2D):
+                acc = _integer_conv(q_in, q_w, s)
+            else:
+                acc = q_in.reshape(q_in.shape[0], -1) @ q_w.T
+            peak = int(np.abs(acc).max()) if acc.size else 0
+            bits_used = _bits_needed(peak)
+            report.per_layer_acc_bits[node.name] = bits_used
+            report.max_accumulator_bits_used = max(
+                report.max_accumulator_bits_used, bits_used)
+            if peak > acc_limit:
+                report.saturated_layers.append(node.name)
+            out = acc.astype(np.float64) * (in_scale * w_scale)
+            if getattr(node.module, "bias", None) is not None:
+                bias = node.module.bias.value
+                out += (bias.reshape(1, -1, 1, 1)
+                        if out.ndim == 4 else bias)
+            value = out
+        else:
+            # Pooling / flatten / activation run through the float
+            # modules (they are value-preserving or trivially exact).
+            value = node.module(value)
+        if node.name in network._bn:
+            value = network._bn[node.name](value)
+        if node.activation is not None:
+            value = node.activation(value)
+        values[node.name] = value
+    return values[network._nodes[-1].name], report
+
+
+def _integer_conv(q_in: np.ndarray, q_w: np.ndarray,
+                  s: spec.Conv2D) -> np.ndarray:
+    """Exact integer grouped convolution via im2col on int64 arrays."""
+    from repro.nn.functional import conv_output_plane, im2col
+
+    n, _, h, w = q_in.shape
+    g = s.groups
+    cin_g = s.in_channels // g
+    cout_g = s.out_channels // g
+    kh, kw = s.kernel_size
+    out_h, out_w = conv_output_plane(h, w, s.kernel_size, s.stride,
+                                     s.padding)
+    out = np.empty((n, s.out_channels, out_h, out_w), dtype=np.int64)
+    for gi in range(g):
+        xg = q_in[:, gi * cin_g:(gi + 1) * cin_g].astype(np.float64)
+        cols = im2col(xg, s.kernel_size, s.stride, s.padding)
+        cols = cols.astype(np.int64)
+        wmat = q_w[gi * cout_g:(gi + 1) * cout_g].reshape(cout_g, -1)
+        out[:, gi * cout_g:(gi + 1) * cout_g] = (
+            np.einsum("kp,npq->nkq", wmat, cols)
+            .reshape(n, cout_g, out_h, out_w)
+        )
+    return out

@@ -1,0 +1,119 @@
+"""Low-level numpy kernels shared by the layer modules.
+
+Convolutions use im2col/col2im so the heavy lifting is a single GEMM —
+the standard trick for a pure-numpy framework.  All activation tensors
+are NCHW float32/float64 arrays with an explicit batch dimension (the
+accelerator model elides batch because the paper studies batch 1; the
+trainer does not).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pad2d(x: np.ndarray, padding: Tuple[int, int]) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) dimensions."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+
+def conv_output_plane(
+    in_h: int, in_w: int,
+    kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Output height/width of a strided, padded sliding window."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (in_h + 2 * ph - kh) // sh + 1
+    out_w = (in_w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride} and padding {padding} "
+            f"does not fit input plane {(in_h, in_w)}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Unfold sliding windows into a matrix.
+
+    Input ``(N, C, H, W)`` becomes ``(N, C * kh * kw, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h, out_w = conv_output_plane(h, w, kernel, stride, padding)
+    xp = pad2d(x, padding)
+    # Strided view: (N, C, kh, kw, out_h, out_w)
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (
+        xp.strides[0], xp.strides[1],
+        xp.strides[2], xp.strides[3],
+        xp.strides[2] * sh, xp.strides[3] * sw,
+    )
+    windows = np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
+    return windows.reshape(n, c * kh * kw, out_h * out_w).copy()
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Fold an im2col matrix back, summing overlapping windows.
+
+    This is the adjoint of :func:`im2col`, used for convolution input
+    gradients.
+    """
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv_output_plane(h, w, kernel, stride, padding)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            xp[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j]
+    if ph or pw:
+        return xp[:, :, ph:ph + h, pw:pw + w]
+    return xp
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot ``(N, num_classes)``."""
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError("label out of range")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,403 @@
+"""Layer modules: convolution, dense, pooling, normalization, activation.
+
+Every module mirrors one :mod:`repro.graph` layer spec, so a whole
+:class:`~repro.graph.NetworkSpec` can be lowered to runnable numpy code
+by :class:`repro.nn.network.GraphNetwork`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_output_plane, im2col, softmax
+from repro.nn.module import Module
+
+
+def he_init(rng: np.random.Generator, shape: Tuple[int, ...],
+            fan_in: int) -> np.ndarray:
+    """He-normal initialization (appropriate for ReLU networks)."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+class Conv2D(Module):
+    """Grouped 2-D convolution via im2col GEMM.
+
+    Covers every convolution in the model zoo: pointwise (1x1), spatial
+    (FxF, including SqueezeNext's 3x1/1x3 separable pair) and depthwise
+    (``groups == in_channels``).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Tuple[int, int],
+        stride: Tuple[int, int] = (1, 1),
+        padding: Tuple[int, int] = (0, 0),
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "conv",
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("groups must divide both channel counts")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        kh, kw = kernel_size
+        cin_g = in_channels // groups
+        fan_in = cin_g * kh * kw
+        self.weight = self.register(
+            he_init(rng, (out_channels, cin_g, kh, kw), fan_in),
+            f"{name}.weight",
+        )
+        self.bias = (self.register(np.zeros(out_channels), f"{name}.bias")
+                     if bias else None)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+        kh, kw = self.kernel_size
+        out_h, out_w = conv_output_plane(h, w, self.kernel_size,
+                                         self.stride, self.padding)
+        out = np.empty((n, self.out_channels, out_h, out_w), dtype=x.dtype)
+        cols_per_group = []
+        for gi in range(g):
+            xg = x[:, gi * cin_g:(gi + 1) * cin_g]
+            cols = im2col(xg, self.kernel_size, self.stride, self.padding)
+            wmat = self.weight.value[gi * cout_g:(gi + 1) * cout_g]
+            wmat = wmat.reshape(cout_g, cin_g * kh * kw)
+            out[:, gi * cout_g:(gi + 1) * cout_g] = (
+                np.einsum("kp,npq->nkq", wmat, cols)
+                .reshape(n, cout_g, out_h, out_w)
+            )
+            cols_per_group.append(cols)
+        if self.bias is not None:
+            out += self.bias.value.reshape(1, -1, 1, 1)
+        self._cache = (x.shape, cols_per_group)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, cols_per_group = self._cache
+        n, _, h, w = x_shape
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+        kh, kw = self.kernel_size
+        grad_in = np.empty(x_shape, dtype=grad_out.dtype)
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+        for gi in range(g):
+            go = grad_out[:, gi * cout_g:(gi + 1) * cout_g]
+            go_mat = go.reshape(n, cout_g, -1)
+            cols = cols_per_group[gi]
+            # dW = sum_n  go_mat @ cols^T
+            dw = np.einsum("nkq,npq->kp", go_mat, cols)
+            self.weight.grad[gi * cout_g:(gi + 1) * cout_g] += (
+                dw.reshape(cout_g, cin_g, kh, kw)
+            )
+            wmat = self.weight.value[gi * cout_g:(gi + 1) * cout_g]
+            wmat = wmat.reshape(cout_g, cin_g * kh * kw)
+            dcols = np.einsum("kp,nkq->npq", wmat, go_mat)
+            grad_in[:, gi * cin_g:(gi + 1) * cin_g] = col2im(
+                dcols, (n, cin_g, h, w), self.kernel_size,
+                self.stride, self.padding,
+            )
+        return grad_in
+
+
+class Dense(Module):
+    """Fully-connected layer on flattened inputs ``(N, in_features)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "dense",
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register(
+            he_init(rng, (out_features, in_features), in_features),
+            f"{name}.weight",
+        )
+        self.bias = (self.register(np.zeros(out_features), f"{name}.bias")
+                     if bias else None)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        flat = x.reshape(x.shape[0], -1)
+        if flat.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} features, got {flat.shape[1]}")
+        self._cache = (x.shape, flat)
+        out = flat @ self.weight.value.T
+        if self.bias is not None:
+            out += self.bias.value
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, flat = self._cache
+        self.weight.grad += grad_out.T @ flat
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return (grad_out @ self.weight.value).reshape(x_shape)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class MaxPool2D(Module):
+    """Max pooling with window/stride/padding."""
+
+    def __init__(self, kernel_size: Tuple[int, int],
+                 stride: Tuple[int, int], padding: Tuple[int, int] = (0, 0)) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        cols = im2col(
+            x.reshape(n * c, 1, h, w), self.kernel_size, self.stride,
+            self.padding,
+        )
+        # cols: (N*C, kh*kw, out_pixels)
+        arg = cols.argmax(axis=1)
+        out_h, out_w = conv_output_plane(h, w, self.kernel_size,
+                                         self.stride, self.padding)
+        out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+        self._cache = (x.shape, arg)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, arg = self._cache
+        n, c, h, w = x_shape
+        kh, kw = self.kernel_size
+        go = grad_out.reshape(n * c, 1, -1)
+        dcols = np.zeros((n * c, kh * kw, go.shape[2]), dtype=grad_out.dtype)
+        np.put_along_axis(dcols, arg[:, None, :], go, axis=1)
+        grad = col2im(dcols, (n * c, 1, h, w), self.kernel_size,
+                      self.stride, self.padding)
+        return grad.reshape(x_shape)
+
+
+class AvgPool2D(Module):
+    """Average pooling with window/stride/padding."""
+
+    def __init__(self, kernel_size: Tuple[int, int],
+                 stride: Tuple[int, int], padding: Tuple[int, int] = (0, 0)) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._input_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        cols = im2col(x.reshape(n * c, 1, h, w), self.kernel_size,
+                      self.stride, self.padding)
+        out_h, out_w = conv_output_plane(h, w, self.kernel_size,
+                                         self.stride, self.padding)
+        self._input_shape = x.shape
+        return cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        kh, kw = self.kernel_size
+        go = grad_out.reshape(n * c, 1, -1) / (kh * kw)
+        dcols = np.broadcast_to(go, (n * c, kh * kw, go.shape[2]))
+        grad = col2im(np.ascontiguousarray(dcols), (n * c, 1, h, w),
+                      self.kernel_size, self.stride, self.padding)
+        return grad.reshape(self._input_shape)
+
+
+class GlobalAvgPool(Module):
+    """Average over the spatial plane, producing ``(N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        grad = grad_out.reshape(n, c, 1, 1) / (h * w)
+        return np.broadcast_to(grad, self._input_shape).copy()
+
+
+class Flatten(Module):
+    """Collapse CHW into a feature vector."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._input_shape)
+
+
+class BatchNorm2D(Module):
+    """Batch normalization over the channel dimension of NCHW tensors."""
+
+    def __init__(self, channels: int, momentum: float = 0.1,
+                 eps: float = 1e-5, name: str = "bn") -> None:
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = self.register(np.ones(channels), f"{name}.gamma")
+        self.beta = self.register(np.zeros(channels), f"{name}.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+        self._cache = (x_hat, std)
+        return (self.gamma.value.reshape(1, -1, 1, 1) * x_hat
+                + self.beta.value.reshape(1, -1, 1, 1))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, std = self._cache
+        n, c, h, w = grad_out.shape
+        m = n * h * w
+        self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+        gamma = self.gamma.value.reshape(1, -1, 1, 1)
+        dxhat = grad_out * gamma
+        # Standard batch-norm backward (training-mode statistics).
+        term1 = dxhat
+        term2 = dxhat.mean(axis=(0, 2, 3), keepdims=True)
+        term3 = x_hat * (dxhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        return (term1 - term2 - term3) / std.reshape(1, -1, 1, 1)
+
+
+class Dropout(Module):
+    """Inverted dropout (AlexNet's regularizer): active only in training."""
+
+    def __init__(self, p: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Upsample(Module):
+    """Nearest-neighbour upsampling by an integer scale factor."""
+
+    def __init__(self, scale: int = 2) -> None:
+        super().__init__()
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        self.scale = scale
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        s = self.scale
+        return x.repeat(s, axis=2).repeat(s, axis=3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        s = self.scale
+        n, c, h, w = grad_out.shape
+        view = grad_out.reshape(n, c, h // s, s, w // s, s)
+        return view.sum(axis=(3, 5))
+
+
+class Softmax(Module):
+    """Softmax over the class dimension of ``(N, K)`` logits."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = softmax(x, axis=-1)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        s = self._out
+        dot = (grad_out * s).sum(axis=-1, keepdims=True)
+        return s * (grad_out - dot)

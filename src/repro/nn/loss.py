@@ -1,0 +1,44 @@
+"""Loss functions for the numpy trainer."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax + negative log-likelihood on integer labels.
+
+    Operates on raw logits ``(N, K)`` — do not put a Softmax layer in
+    front of it (the combined gradient ``p - y`` is computed here, which
+    is both faster and numerically stabler).
+    """
+
+    def __call__(self, logits: np.ndarray,
+                 labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return ``(mean loss, gradient w.r.t. logits)``."""
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, K), got {logits.shape}")
+        n, k = logits.shape
+        targets = one_hot(np.asarray(labels), k)
+        logp = log_softmax(logits, axis=-1)
+        loss = float(-(targets * logp).sum() / n)
+        grad = (softmax(logits, axis=-1) - targets) / n
+        return loss, grad
+
+
+class MSELoss:
+    """Mean squared error (used in regression-style unit tests)."""
+
+    def __call__(self, outputs: np.ndarray,
+                 targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        if outputs.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {outputs.shape} vs {targets.shape}")
+        diff = outputs - targets
+        loss = float((diff ** 2).mean())
+        grad = 2.0 * diff / diff.size
+        return loss, grad

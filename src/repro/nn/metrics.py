@@ -1,0 +1,76 @@
+"""Classification metrics: accuracy, top-k, confusion matrix.
+
+The paper reports top-1 accuracy throughout (and mentions top-1 vs
+SqueezeNet in §5); top-5 is the other standard ImageNet metric, and the
+confusion matrix is what one actually inspects when a deployed embedded
+classifier misbehaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose true label is among the top-k scores."""
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be (N, C), got {scores.shape}")
+    if labels.shape != (scores.shape[0],):
+        raise ValueError("labels must be (N,)")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k must be in [1, {scores.shape[1]}]")
+    top = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """Counts matrix ``M[true, predicted]``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    if (labels.min() < 0 or labels.max() >= num_classes
+            or predictions.min() < 0 or predictions.max() >= num_classes):
+        raise ValueError("class index out of range")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class precision/recall plus overall accuracy."""
+
+    accuracy: float
+    precision: np.ndarray  # per class
+    recall: np.ndarray     # per class
+    support: np.ndarray    # true samples per class
+
+    @property
+    def macro_f1(self) -> float:
+        p, r = self.precision, self.recall
+        with np.errstate(divide="ignore", invalid="ignore"):
+            f1 = np.where(p + r > 0, 2 * p * r / (p + r), 0.0)
+        return float(f1.mean())
+
+
+def classification_report(predictions: np.ndarray, labels: np.ndarray,
+                          num_classes: int) -> ClassificationReport:
+    """Summarize a prediction run into the standard per-class metrics."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    true_pos = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_pos / predicted, 0.0)
+        recall = np.where(actual > 0, true_pos / actual, 0.0)
+    return ClassificationReport(
+        accuracy=float(true_pos.sum() / max(1, matrix.sum())),
+        precision=precision,
+        recall=recall,
+        support=matrix.sum(axis=1),
+    )

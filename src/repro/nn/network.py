@@ -1,0 +1,215 @@
+"""Lower a :class:`~repro.graph.NetworkSpec` to runnable numpy modules.
+
+:class:`GraphNetwork` walks the spec's DAG, instantiates one module per
+node (plus fused activations for Conv2D/Dense specs), and implements
+forward and backward over the DAG — gradients accumulate at fan-out
+points, and Concat/Add nodes split gradients back to their producers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.graph import layer_spec as spec
+from repro.graph.network_spec import LayerNode, NetworkSpec
+from repro.nn import layers
+from repro.nn.module import Identity, Module, Parameter
+
+
+def _activation_module(kind: str) -> Module:
+    if kind == "relu":
+        return layers.ReLU()
+    if kind == "identity":
+        return Identity()
+    raise ValueError(f"unsupported activation {kind!r}")
+
+
+class _Node:
+    """Runtime node: a module (or structural op) plus graph wiring."""
+
+    def __init__(self, node: LayerNode, module: Optional[Module],
+                 activation: Optional[Module]) -> None:
+        self.name = node.name
+        self.spec = node.spec
+        self.inputs = node.inputs
+        self.module = module
+        self.activation = activation
+
+
+class GraphNetwork(Module):
+    """Executable numpy network built from a layer-graph spec."""
+
+    def __init__(self, network: NetworkSpec,
+                 rng: Optional[np.random.Generator] = None,
+                 batch_norm: bool = False) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.spec = network
+        self.batch_norm = batch_norm
+        self._nodes: List[_Node] = []
+        self._bn: Dict[str, layers.BatchNorm2D] = {}
+        for node in network.nodes:
+            self._nodes.append(self._lower(node, rng))
+        self._activations: Dict[str, np.ndarray] = {}
+
+    # -- lowering ------------------------------------------------------------
+
+    def _lower(self, node: LayerNode, rng: np.random.Generator) -> _Node:
+        s = node.spec
+        module: Optional[Module] = None
+        activation: Optional[Module] = None
+        if isinstance(s, spec.Conv2D):
+            module = layers.Conv2D(
+                s.in_channels, s.out_channels, s.kernel_size,
+                stride=s.stride, padding=s.padding, groups=s.groups,
+                bias=s.bias, rng=rng, name=node.name,
+            )
+            activation = _activation_module(s.activation)
+            if self.batch_norm:
+                bn = layers.BatchNorm2D(s.out_channels, name=f"{node.name}.bn")
+                self._bn[node.name] = bn
+        elif isinstance(s, spec.Dense):
+            module = layers.Dense(s.in_features, s.out_features,
+                                  bias=s.bias, rng=rng, name=node.name)
+            activation = _activation_module(s.activation)
+        elif isinstance(s, spec.Pool2D):
+            cls = layers.MaxPool2D if s.mode == "max" else layers.AvgPool2D
+            module = cls(s.kernel_size, s.stride, s.padding)
+        elif isinstance(s, spec.GlobalAvgPool):
+            module = layers.GlobalAvgPool()
+        elif isinstance(s, spec.Flatten):
+            module = layers.Flatten()
+        elif isinstance(s, spec.Upsample):
+            module = layers.Upsample(scale=s.scale)
+        elif isinstance(s, spec.Activation):
+            module = _activation_module(s.kind)
+        elif isinstance(s, spec.Softmax):
+            module = layers.Softmax()
+        elif isinstance(s, (spec.Input, spec.Concat, spec.Add)):
+            module = None  # structural; handled inline
+        else:
+            raise TypeError(f"cannot lower spec {type(s).__name__}")
+        return _Node(node, module, activation)
+
+    # -- parameters ----------------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        for node in self._nodes:
+            for owner in (node.module, node.activation):
+                if owner is not None:
+                    yield from owner.parameters()
+        for bn in self._bn.values():
+            yield from bn.parameters()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.value.size for p in self.parameters())
+
+    def train(self, mode: bool = True) -> "GraphNetwork":
+        super().train(mode)
+        for node in self._nodes:
+            for owner in (node.module, node.activation):
+                if owner is not None:
+                    owner.train(mode)
+        for bn in self._bn.values():
+            bn.train(mode)
+        return self
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for param in self.parameters():
+            if param.name in state:
+                raise ValueError(f"duplicate parameter name {param.name!r}")
+            state[param.name] = param.value.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for param in self.parameters():
+            if param.name not in state:
+                raise KeyError(f"missing parameter {param.name!r}")
+            value = np.asarray(state[param.name], dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise ValueError(f"shape mismatch for {param.name!r}")
+            param.value = value.copy()
+            param.grad = np.zeros_like(param.value)
+
+    # -- execution ------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network on a batch ``(N, C, H, W)``."""
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        expected = self.spec.input_shape
+        if x.shape[1:] != (expected.channels, expected.height, expected.width):
+            raise ValueError(
+                f"input shape {x.shape[1:]} does not match network input "
+                f"{expected}")
+        values: Dict[str, np.ndarray] = {}
+        for node in self._nodes:
+            if isinstance(node.spec, spec.Input):
+                values[node.name] = x
+            elif isinstance(node.spec, spec.Concat):
+                values[node.name] = np.concatenate(
+                    [values[n] for n in node.inputs], axis=1)
+            elif isinstance(node.spec, spec.Add):
+                total = values[node.inputs[0]].copy()
+                for n in node.inputs[1:]:
+                    total += values[n]
+                values[node.name] = total
+            else:
+                out = node.module(values[node.inputs[0]])
+                if node.name in self._bn:
+                    out = self._bn[node.name](out)
+                if node.activation is not None:
+                    out = node.activation(out)
+                values[node.name] = out
+        self._activations = values
+        return values[self._nodes[-1].name]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through the DAG; returns the input gradient."""
+        if not self._activations:
+            raise RuntimeError("backward called before forward")
+        grads: Dict[str, np.ndarray] = {self._nodes[-1].name: grad_out}
+
+        def accumulate(name: str, grad: np.ndarray) -> None:
+            if name in grads:
+                grads[name] = grads[name] + grad
+            else:
+                grads[name] = grad
+
+        input_grad: Optional[np.ndarray] = None
+        for node in reversed(self._nodes):
+            grad = grads.get(node.name)
+            if grad is None:
+                continue  # dead branch (no consumer contributed gradient)
+            if isinstance(node.spec, spec.Input):
+                input_grad = grad
+            elif isinstance(node.spec, spec.Concat):
+                offset = 0
+                for n in node.inputs:
+                    width = self._activations[n].shape[1]
+                    accumulate(n, grad[:, offset:offset + width])
+                    offset += width
+            elif isinstance(node.spec, spec.Add):
+                for n in node.inputs:
+                    accumulate(n, grad)
+            else:
+                if node.activation is not None:
+                    grad = node.activation.backward(grad)
+                if node.name in self._bn:
+                    grad = self._bn[node.name].backward(grad)
+                accumulate(node.inputs[0], node.module.backward(grad))
+        if input_grad is None:
+            raise RuntimeError("gradient never reached the input node")
+        return input_grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax over the final output)."""
+        out = self.forward(x)
+        return np.argmax(out, axis=-1)

@@ -1,0 +1,159 @@
+"""Optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        max_grad_norm: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        if max_grad_norm < 0:
+            raise ValueError("max_grad_norm must be non-negative")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def _grad_scale(self) -> float:
+        """Global-norm clipping factor (1.0 when clipping is off)."""
+        if not self.max_grad_norm:
+            return 1.0
+        total = np.sqrt(sum(float((p.grad ** 2).sum())
+                            for p in self.parameters))
+        if total <= self.max_grad_norm:
+            return 1.0
+        return self.max_grad_norm / total
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        scale = self._grad_scale()
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = param.grad * scale
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param.value += velocity
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        bias1 = 1 - self.beta1 ** self._t
+        bias2 = 1 - self.beta2 ** self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the (possibly updated) LR."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine annealing from the initial LR to ``min_lr``."""
+
+    def __init__(self, optimizer: SGD, total_epochs: int,
+                 min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the updated LR."""
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        progress = self._epoch / self.total_epochs
+        self.optimizer.lr = (
+            self.min_lr + (self.base_lr - self.min_lr)
+            * 0.5 * (1 + np.cos(np.pi * progress))
+        )
+        return self.optimizer.lr

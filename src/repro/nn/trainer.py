@@ -1,0 +1,168 @@
+"""Training loop for graph networks on in-memory datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn.data import Dataset
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.network import GraphNetwork
+from repro.nn.optim import SGD
+
+
+@dataclass
+class EpochStats:
+    """Metrics of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated metrics across a training run."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> Optional[float]:
+        for stats in reversed(self.epochs):
+            if stats.test_accuracy is not None:
+                return stats.test_accuracy
+        return None
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].train_loss
+
+
+def evaluate(network: GraphNetwork, dataset: Dataset,
+             batch_size: int = 64) -> float:
+    """Top-1 accuracy of the network on a dataset."""
+    network.eval()
+    correct = 0
+    for images, labels in dataset.batches(batch_size):
+        correct += int((network.predict(images) == labels).sum())
+    network.train()
+    return correct / len(dataset)
+
+
+class Trainer:
+    """Minibatch SGD trainer with optional per-epoch evaluation.
+
+    The final classifier layer should emit raw logits (the zoo models
+    end in Softmax; pass ``logits_of`` to strip it, or build training
+    variants without the Softmax node).
+    """
+
+    def __init__(
+        self,
+        network: GraphNetwork,
+        optimizer: SGD,
+        batch_size: int = 32,
+        seed: int = 0,
+        scheduler=None,
+        logits_of: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.network = network
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.scheduler = scheduler
+        self.loss_fn = CrossEntropyLoss()
+        self._rng = np.random.default_rng(seed)
+        self._logits_of = logits_of
+
+    def train_epoch(self, dataset: Dataset) -> EpochStats:
+        """One pass over the training set."""
+        self.network.train()
+        total_loss = 0.0
+        total_correct = 0
+        num_batches = 0
+        for images, labels in dataset.batches(self.batch_size, self._rng):
+            logits = self.network.forward(images)
+            if self._logits_of is not None:
+                logits = self._logits_of(logits)
+            loss, grad = self.loss_fn(logits, labels)
+            self.network.zero_grad()
+            self.network.backward(grad)
+            self.optimizer.step()
+            total_loss += loss
+            total_correct += int((np.argmax(logits, axis=-1) == labels).sum())
+            num_batches += 1
+        return EpochStats(
+            epoch=0,
+            train_loss=total_loss / max(1, num_batches),
+            train_accuracy=total_correct / len(dataset),
+        )
+
+    def fit(
+        self,
+        train: Dataset,
+        test: Optional[Dataset] = None,
+        epochs: int = 5,
+        early_stopping_patience: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Train for several epochs, evaluating after each.
+
+        With ``early_stopping_patience`` set (requires a test set),
+        training stops once test accuracy has not improved for that
+        many epochs, and the best-scoring weights are restored.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if early_stopping_patience is not None:
+            if early_stopping_patience <= 0:
+                raise ValueError("patience must be positive")
+            if test is None:
+                raise ValueError("early stopping needs a test set")
+        history = TrainingHistory()
+        best_accuracy = -1.0
+        best_state = None
+        stale_epochs = 0
+        for epoch in range(1, epochs + 1):
+            stats = self.train_epoch(train)
+            stats.epoch = epoch
+            if test is not None:
+                stats.test_accuracy = evaluate(self.network, test,
+                                               self.batch_size)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            history.epochs.append(stats)
+            if early_stopping_patience is not None:
+                if stats.test_accuracy > best_accuracy:
+                    best_accuracy = stats.test_accuracy
+                    best_state = self.network.state_dict()
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= early_stopping_patience:
+                        break
+        if best_state is not None:
+            self.network.load_state_dict(best_state)
+        return history
+
+
+def save_checkpoint(network: GraphNetwork, path: str) -> None:
+    """Write the network's parameters to a ``.npz`` file."""
+    state = network.state_dict()
+    # npz keys cannot contain '/', which layer names do; escape them.
+    escaped = {name.replace("/", "__"): value
+               for name, value in state.items()}
+    np.savez(path, **escaped)
+
+
+def load_checkpoint(network: GraphNetwork, path: str) -> None:
+    """Restore parameters written by :func:`save_checkpoint`."""
+    with np.load(path) as archive:
+        state = {name.replace("__", "/"): archive[name]
+                 for name in archive.files}
+    network.load_state_dict(state)

@@ -1,0 +1,35 @@
+"""Embedded-vision application layer: constraints, deployment, pipeline."""
+
+from repro.vision.constraints import (
+    JOULES_PER_MAC_UNIT,
+    ApplicationConstraints,
+    CandidateMetrics,
+    satisfies,
+    violations,
+)
+from repro.vision.footprint import MemoryProfile, compare_footprints, profile_memory
+from repro.vision.deploy import (
+    DeploymentCandidate,
+    DeploymentPlan,
+    measure_candidate,
+    plan_deployment,
+)
+from repro.vision.pipeline import PipelineResult, run_pipeline, tiny_squeezenet
+
+__all__ = [
+    "ApplicationConstraints",
+    "CandidateMetrics",
+    "DeploymentCandidate",
+    "DeploymentPlan",
+    "JOULES_PER_MAC_UNIT",
+    "MemoryProfile",
+    "compare_footprints",
+    "profile_memory",
+    "PipelineResult",
+    "measure_candidate",
+    "plan_deployment",
+    "run_pipeline",
+    "satisfies",
+    "tiny_squeezenet",
+    "violations",
+]

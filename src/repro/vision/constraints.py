@@ -1,0 +1,105 @@
+"""Embedded-vision application constraints (paper §2).
+
+An embedded vision application "must guarantee a level of accuracy,
+operate within real-time constraints, and optimize for power, energy,
+and memory footprint."  This module encodes that contract as a value
+object that deployment candidates are checked against.
+
+Power is derived from the energy model: normalized energy units convert
+to joules through the per-MAC energy of the 16-bit datapath, and average
+power is energy per inference divided by inference latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Energy of one 16-bit integer MAC in joules (~1 pJ in a mobile-class
+#: process node); converts the simulator's normalized units to joules.
+JOULES_PER_MAC_UNIT = 1.0e-12
+
+
+@dataclass(frozen=True)
+class ApplicationConstraints:
+    """Budget envelope of one embedded vision application."""
+
+    name: str
+    min_top1_accuracy: float = 0.0      # percent
+    max_latency_ms: Optional[float] = None
+    max_energy_mj: Optional[float] = None   # millijoules per inference
+    max_power_mw: Optional[float] = None    # average milliwatts
+    max_model_mib: Optional[float] = None   # weight storage
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_top1_accuracy <= 100.0:
+            raise ValueError("accuracy must be a percentage")
+        for field_name in ("max_latency_ms", "max_energy_mj",
+                           "max_power_mw", "max_model_mib"):
+            value = getattr(self, field_name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+@dataclass(frozen=True)
+class CandidateMetrics:
+    """Measured characteristics of one model/machine pairing."""
+
+    model: str
+    machine: str
+    top1_accuracy: float   # percent
+    latency_ms: float
+    energy_units: float    # simulator-normalized
+    model_bytes: int
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy_units * JOULES_PER_MAC_UNIT * 1e3
+
+    @property
+    def average_power_mw(self) -> float:
+        if self.latency_ms <= 0:
+            raise ValueError("latency must be positive")
+        joules = self.energy_units * JOULES_PER_MAC_UNIT
+        return joules / (self.latency_ms * 1e-3) * 1e3
+
+    @property
+    def model_mib(self) -> float:
+        return self.model_bytes / (1024 * 1024)
+
+
+def violations(candidate: CandidateMetrics,
+               constraints: ApplicationConstraints) -> List[str]:
+    """Human-readable list of constraint violations (empty = feasible)."""
+    problems: List[str] = []
+    if candidate.top1_accuracy < constraints.min_top1_accuracy:
+        problems.append(
+            f"accuracy {candidate.top1_accuracy:.1f}% < "
+            f"{constraints.min_top1_accuracy:.1f}%")
+    if (constraints.max_latency_ms is not None
+            and candidate.latency_ms > constraints.max_latency_ms):
+        problems.append(
+            f"latency {candidate.latency_ms:.2f}ms > "
+            f"{constraints.max_latency_ms:.2f}ms")
+    if (constraints.max_energy_mj is not None
+            and candidate.energy_mj > constraints.max_energy_mj):
+        problems.append(
+            f"energy {candidate.energy_mj:.3f}mJ > "
+            f"{constraints.max_energy_mj:.3f}mJ")
+    if (constraints.max_power_mw is not None
+            and candidate.average_power_mw > constraints.max_power_mw):
+        problems.append(
+            f"power {candidate.average_power_mw:.1f}mW > "
+            f"{constraints.max_power_mw:.1f}mW")
+    if (constraints.max_model_mib is not None
+            and candidate.model_mib > constraints.max_model_mib):
+        problems.append(
+            f"model {candidate.model_mib:.2f}MiB > "
+            f"{constraints.max_model_mib:.2f}MiB")
+    return problems
+
+
+def satisfies(candidate: CandidateMetrics,
+              constraints: ApplicationConstraints) -> bool:
+    """True when the candidate meets every budget."""
+    return not violations(candidate, constraints)

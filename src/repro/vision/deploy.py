@@ -1,0 +1,107 @@
+"""Deployment selection: pick a model + machine that meets the budget.
+
+This is the user-facing payoff of Figure 4: given application
+constraints, enumerate (model, accelerator) candidates, simulate them,
+discard infeasible ones, and return the most accurate survivor (ties
+broken by energy — battery life is the paper's stated optimization
+target once hard constraints hold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.accel.config import AcceleratorConfig, squeezelerator
+from repro.accel.hybrid import Squeezelerator
+from repro.graph.network_spec import NetworkSpec
+from repro.graph.stats import weight_bytes
+from repro.models.accuracy import maybe_top1_accuracy
+from repro.vision.constraints import (
+    ApplicationConstraints,
+    CandidateMetrics,
+    violations,
+)
+
+
+@dataclass(frozen=True)
+class DeploymentCandidate:
+    """One simulated pairing with its feasibility verdict."""
+
+    metrics: CandidateMetrics
+    problems: Sequence[str]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.problems
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Outcome of a deployment search."""
+
+    constraints: ApplicationConstraints
+    candidates: List[DeploymentCandidate]
+    selected: Optional[DeploymentCandidate]
+
+    @property
+    def feasible_count(self) -> int:
+        return sum(1 for c in self.candidates if c.feasible)
+
+
+def measure_candidate(
+    network: NetworkSpec,
+    config: AcceleratorConfig,
+    accuracy: Optional[float] = None,
+) -> CandidateMetrics:
+    """Simulate one model on one machine into deployment metrics."""
+    if accuracy is None:
+        accuracy = maybe_top1_accuracy(network.name)
+    if accuracy is None:
+        raise ValueError(
+            f"no accuracy known for {network.name!r}; pass accuracy=")
+    report = Squeezelerator(config=config).run(network)
+    return CandidateMetrics(
+        model=network.name,
+        machine=config.name,
+        top1_accuracy=accuracy,
+        latency_ms=report.inference_ms,
+        energy_units=report.total_energy,
+        model_bytes=weight_bytes(network),
+    )
+
+
+def plan_deployment(
+    constraints: ApplicationConstraints,
+    networks: Sequence[NetworkSpec],
+    configs: Optional[Sequence[AcceleratorConfig]] = None,
+    accuracies: Optional[Dict[str, float]] = None,
+) -> DeploymentPlan:
+    """Search (model x machine) and select the best feasible pairing.
+
+    Selection: maximize accuracy among feasible candidates, breaking
+    ties by lower energy, then lower latency.
+    """
+    if configs is None:
+        configs = [squeezelerator(32)]
+    accuracies = accuracies or {}
+    candidates: List[DeploymentCandidate] = []
+    for network in networks:
+        for config in configs:
+            accuracy = accuracies.get(network.name)
+            metrics = measure_candidate(network, config, accuracy)
+            candidates.append(DeploymentCandidate(
+                metrics=metrics,
+                problems=tuple(violations(metrics, constraints)),
+            ))
+    feasible = [c for c in candidates if c.feasible]
+    selected = None
+    if feasible:
+        selected = max(
+            feasible,
+            key=lambda c: (c.metrics.top1_accuracy,
+                           -c.metrics.energy_units,
+                           -c.metrics.latency_ms),
+        )
+    return DeploymentPlan(constraints=constraints,
+                          candidates=candidates, selected=selected)

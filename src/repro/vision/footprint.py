@@ -1,0 +1,92 @@
+"""Activation-memory footprint analysis (the paper's §2 claim).
+
+"Object detection and semantic segmentation are more sensitive to image
+resolutions ... As a result, DNN for object detection and semantic
+segmentation have much larger memory footprint."  This module makes
+that claim measurable: a liveness walk over the layer graph computes
+the peak number of activation bytes that must be simultaneously
+resident, plus total activation and weight traffic.
+
+Liveness: executing nodes in topological order, a node's output stays
+live until its last consumer has executed; the peak is the largest
+live-set total observed.  Branching (fire modules, skip connections)
+therefore costs real memory, as it does on the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.network_spec import NetworkSpec
+from repro.graph.stats import network_macs, weight_bytes
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Memory characteristics of one network at 16-bit activations."""
+
+    network: str
+    input_pixels: int
+    peak_activation_bytes: int
+    peak_layer: str               # where the peak occurs
+    total_activation_bytes: int   # sum of all layer outputs
+    weight_bytes: int
+    macs: int
+
+    @property
+    def peak_activation_kib(self) -> float:
+        return self.peak_activation_bytes / 1024
+
+    def fits_buffer(self, buffer_bytes: int) -> bool:
+        """Could the live activations ever stay fully on-chip?"""
+        return self.peak_activation_bytes <= buffer_bytes
+
+
+def profile_memory(network: NetworkSpec,
+                   bytes_per_element: int = 2) -> MemoryProfile:
+    """Liveness-based peak activation analysis of one network."""
+    last_consumer: Dict[str, int] = {}
+    order = {node.name: i for i, node in enumerate(network.nodes)}
+    for node in network.nodes:
+        for producer in node.inputs:
+            last_consumer[producer] = max(last_consumer.get(producer, -1),
+                                          order[node.name])
+    # The network output is "consumed" after everything else.
+    final = len(network.nodes)
+    last_consumer[network.output_node.name] = final
+
+    live_bytes: Dict[str, int] = {}
+    peak = 0
+    peak_layer = network.input_node.name
+    for step, node in enumerate(network.nodes):
+        live_bytes[node.name] = node.output_shape.bytes(bytes_per_element)
+        current = sum(live_bytes.values())
+        if current > peak:
+            peak = current
+            peak_layer = node.name
+        # Retire tensors whose last consumer has now executed.
+        dead = [name for name in live_bytes
+                if last_consumer.get(name, -1) <= step and name != node.name]
+        for name in dead:
+            del live_bytes[name]
+
+    total_activations = sum(
+        node.output_shape.bytes(bytes_per_element) for node in network.nodes)
+    shape = network.input_shape
+    return MemoryProfile(
+        network=network.name,
+        input_pixels=shape.height * shape.width,
+        peak_activation_bytes=peak,
+        peak_layer=peak_layer,
+        total_activation_bytes=total_activations,
+        weight_bytes=weight_bytes(network, bytes_per_element),
+        macs=network_macs(network),
+    )
+
+
+def compare_footprints(networks: List[NetworkSpec],
+                       bytes_per_element: int = 2) -> List[MemoryProfile]:
+    """Profiles for several networks, sorted by peak footprint."""
+    profiles = [profile_memory(n, bytes_per_element) for n in networks]
+    return sorted(profiles, key=lambda p: p.peak_activation_bytes)

@@ -1,0 +1,95 @@
+"""Unit tests for the accelerator machine description."""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    DataflowPolicy,
+    reference_os,
+    reference_ws,
+    squeezelerator,
+)
+
+
+class TestAcceleratorConfig:
+    def test_defaults_match_paper(self):
+        config = AcceleratorConfig()
+        assert config.array_rows == config.array_cols == 32
+        assert config.global_buffer_bytes == 128 * 1024
+        assert config.dram_latency_cycles == 100
+        assert config.dram_bandwidth_gbps == 16.0
+        assert config.weight_sparsity == 0.40
+        assert config.rf_entries_per_pe == 8
+
+    def test_num_pes(self):
+        assert AcceleratorConfig().num_pes == 1024
+        assert squeezelerator(8).num_pes == 64
+
+    def test_os_group_size_tracks_rf(self):
+        assert squeezelerator(32, 8).os_group_size == 8
+        assert squeezelerator(32, 16).os_group_size == 16
+
+    def test_dram_bytes_per_cycle(self):
+        config = AcceleratorConfig()
+        # 16 GB/s at 500 MHz = 32 bytes per cycle.
+        assert config.dram_bytes_per_cycle == pytest.approx(32.0)
+
+    def test_cycles_to_ms(self):
+        config = AcceleratorConfig()
+        assert config.cycles_to_ms(500e3) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("array_rows", 0),
+        ("rf_entries_per_pe", 2),
+        ("global_buffer_bytes", 0),
+        ("weight_sparsity", 1.0),
+        ("weight_sparsity", -0.1),
+        ("preload_elems_per_cycle", 0),
+        ("broadcast_lanes", 0),
+        ("ws_tap_fold_limit", 0),
+        ("frequency_hz", 0),
+        ("dram_bandwidth_gbps", 0),
+        ("dram_latency_cycles", -1),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(AcceleratorConfig(), **{field: value})
+
+    def test_with_policy_renames(self):
+        config = squeezelerator(32).with_policy(DataflowPolicy.WEIGHT_STATIONARY)
+        assert config.policy is DataflowPolicy.WEIGHT_STATIONARY
+        assert "ws" in config.name
+
+    def test_with_policy_is_idempotent_on_name(self):
+        config = squeezelerator(32)
+        twice = (config.with_policy(DataflowPolicy.OUTPUT_STATIONARY)
+                 .with_policy(DataflowPolicy.WEIGHT_STATIONARY))
+        assert twice.name.count("@") == 1
+
+    def test_scaled_array_adjusts_ports(self):
+        config = AcceleratorConfig().scaled_array(16, 16)
+        assert config.preload_elems_per_cycle == 16
+        assert config.drain_elems_per_cycle == 16
+
+    def test_presets(self):
+        assert squeezelerator().policy is DataflowPolicy.HYBRID
+        assert reference_ws().policy is DataflowPolicy.WEIGHT_STATIONARY
+        assert reference_os().policy is DataflowPolicy.OUTPUT_STATIONARY
+
+    def test_presets_share_machine_parameters(self):
+        hybrid = squeezelerator(32)
+        ws = reference_ws(32)
+        for field in ("array_rows", "global_buffer_bytes",
+                      "rf_entries_per_pe", "dram_bandwidth_gbps"):
+            assert getattr(hybrid, field) == getattr(ws, field)
+
+    def test_policy_str(self):
+        assert str(DataflowPolicy.WEIGHT_STATIONARY) == "WS"
+        assert str(DataflowPolicy.OUTPUT_STATIONARY) == "OS"
+        assert str(DataflowPolicy.HYBRID) == "hybrid"
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            AcceleratorConfig().array_rows = 64

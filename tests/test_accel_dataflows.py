@@ -1,0 +1,193 @@
+"""Unit tests for the WS and OS dataflow cycle models.
+
+The small cases are hand-computed from the mapping rules documented in
+each model's module docstring, so a change in the model's arithmetic
+fails loudly here.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import (
+    OutputStationaryModel,
+    WeightStationaryModel,
+    squeezelerator,
+)
+from repro.accel.dataflows.base import block_sizes, os_blocks
+from repro.accel.workload import ConvWorkload
+from repro.graph import LayerCategory
+
+
+def make_workload(**kwargs):
+    defaults = dict(
+        name="layer", category=LayerCategory.SPATIAL,
+        in_channels=32, out_channels=32, kernel_h=1, kernel_w=1,
+        stride_h=1, stride_w=1, in_h=10, in_w=10, out_h=10, out_w=10,
+    )
+    defaults.update(kwargs)
+    return ConvWorkload(**defaults)
+
+
+CONFIG = squeezelerator(32, 8)
+
+
+class TestBlockSizes:
+    def test_exact_division(self):
+        assert block_sizes(64, 32) == [32, 32]
+
+    def test_remainder(self):
+        assert block_sizes(55, 32) == [32, 23]
+
+    def test_smaller_than_tile(self):
+        assert block_sizes(13, 32) == [13]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_sizes(0, 32)
+
+
+class TestOsBlocks:
+    def test_single_block_geometry(self):
+        w = make_workload(out_h=13, out_w=13, kernel_h=3, kernel_w=3)
+        (block,) = os_blocks(w, CONFIG)
+        assert (block.bh, block.bw, block.count) == (13, 13, 1)
+        assert block.in_block_elems == 15 * 15
+        assert block.pack == 4  # (32//13)**2
+
+    def test_edge_blocks(self):
+        w = make_workload(out_h=55, out_w=55)
+        blocks = os_blocks(w, CONFIG)
+        total = sum(b.count * b.bh * b.bw for b in blocks)
+        assert total == 55 * 55
+        assert {(b.bh, b.bw) for b in blocks} == {
+            (32, 32), (32, 23), (23, 32), (23, 23)}
+
+    def test_stride_grows_halo(self):
+        w = make_workload(out_h=16, out_w=16, in_h=35, in_w=35,
+                          kernel_h=3, kernel_w=3, stride_h=2, stride_w=2)
+        (block,) = os_blocks(w, CONFIG)
+        assert block.in_block_elems == 33 * 33  # (15*2+3)^2
+
+    def test_passes_respect_rf(self):
+        w = make_workload(out_h=32, out_w=32, out_channels=64)
+        (block,) = os_blocks(w, CONFIG)
+        assert block.pack == 1
+        assert block.passes == 8  # ceil(64 / (G=8 * pack=1))
+
+
+class TestWeightStationary:
+    def test_single_tile_pointwise(self):
+        # One full 32x32 tile, one tap: cycles == output pixels.
+        w = make_workload()
+        perf = WeightStationaryModel().simulate(w, CONFIG)
+        assert perf.compute_cycles == 100
+
+    def test_tile_count_scales_cycles(self):
+        w = make_workload(in_channels=64, out_channels=64)
+        perf = WeightStationaryModel().simulate(w, CONFIG)
+        assert perf.compute_cycles == 4 * 100  # 2x2 tiles
+
+    def test_taps_scale_cycles(self):
+        w = make_workload(kernel_h=3, kernel_w=3, in_h=12, in_w=12)
+        perf = WeightStationaryModel().simulate(w, CONFIG)
+        assert perf.compute_cycles == 9 * 100
+
+    def test_fc_preload_exposed(self):
+        # P=1: each tile visit after the (pre-staged) first pays the
+        # full 32-cycle preload minus its 1 streaming cycle.
+        w = make_workload(in_channels=64, out_channels=64,
+                          in_h=1, in_w=1, out_h=1, out_w=1, is_fc=True)
+        perf = WeightStationaryModel().simulate(w, CONFIG)
+        assert perf.compute_cycles == 4 * 1 + 3 * 31
+
+    def test_depthwise_walks_dense_matrix(self):
+        # C=K=64 depthwise, 3x3: tiles 2x2, 9 taps, 100 pixels.
+        w = make_workload(in_channels=64, out_channels=64, groups=64,
+                          kernel_h=3, kernel_w=3, in_h=12, in_w=12)
+        perf = WeightStationaryModel().simulate(w, CONFIG)
+        assert perf.compute_cycles == 2 * 2 * 9 * 100
+
+    def test_tap_fold_reduces_first_layer(self):
+        w = make_workload(in_channels=3, out_channels=8,
+                          kernel_h=7, kernel_w=7, in_h=16, in_w=16)
+        perf = WeightStationaryModel().simulate(w, CONFIG)
+        # fold = min(kernel_w=7, 32//3=10, limit=2) = 2 -> ceil(49/2)=25
+        assert perf.compute_cycles == 25 * 100
+
+    def test_no_fold_when_rows_filled(self):
+        w = make_workload(kernel_h=3, kernel_w=3, in_h=12, in_w=12)
+        no_fold = WeightStationaryModel().simulate(w, CONFIG)
+        wide = dataclasses.replace(CONFIG, ws_tap_fold_limit=8)
+        assert (WeightStationaryModel().simulate(w, wide).compute_cycles
+                == no_fold.compute_cycles)
+
+    def test_grouped_conv_runs_groups_independently(self):
+        dense = make_workload(in_channels=64, out_channels=64)
+        grouped = make_workload(in_channels=64, out_channels=64, groups=2)
+        model = WeightStationaryModel()
+        # 2 groups of 32x32 = 2 tile visits vs 4 for the dense case.
+        assert (model.simulate(grouped, CONFIG).compute_cycles
+                == model.simulate(dense, CONFIG).compute_cycles / 2)
+
+    def test_sparsity_does_not_change_cycles(self):
+        w = make_workload()
+        sparse = dataclasses.replace(CONFIG, weight_sparsity=0.8)
+        model = WeightStationaryModel()
+        assert (model.simulate(w, CONFIG).compute_cycles
+                == model.simulate(w, sparse).compute_cycles)
+
+    def test_sparsity_gates_mac_energy(self):
+        w = make_workload()
+        model = WeightStationaryModel()
+        dense_cfg = dataclasses.replace(CONFIG, weight_sparsity=0.0)
+        assert (model.simulate(w, CONFIG).accesses.macs
+                == pytest.approx(0.6 * model.simulate(w, dense_cfg).accesses.macs))
+
+
+class TestOutputStationary:
+    def test_hand_computed_small_case(self):
+        w = make_workload(in_channels=4, out_channels=8,
+                          kernel_h=3, kernel_w=3, in_h=10, in_w=10,
+                          out_h=8, out_w=8)
+        perf = OutputStationaryModel().simulate(w, CONFIG)
+        # One 8x8 block, pack 16, one pass.  Compute side: 4 channels x
+        # broadcast ceil(8/2 lanes)*9*0.6 = 21.6 plus drain ceil(512/32)
+        # = 16; preload side: 4 x ceil(100/32) = 16, plus the final
+        # drain.  The pipelined layer takes the slower side.
+        expected = max(4 * 21.6 + 16, 4 * 4 + 16)
+        assert perf.compute_cycles == pytest.approx(expected)
+
+    def test_sparsity_skips_broadcasts(self):
+        w = make_workload(kernel_h=3, kernel_w=3, in_h=12, in_w=12)
+        model = OutputStationaryModel()
+        dense_cfg = dataclasses.replace(CONFIG, weight_sparsity=0.0)
+        assert (model.simulate(w, CONFIG).compute_cycles
+                < model.simulate(w, dense_cfg).compute_cycles)
+
+    def test_bigger_rf_reduces_passes(self):
+        w = make_workload(out_h=32, out_w=32, out_channels=64,
+                          in_channels=256)
+        small = OutputStationaryModel().simulate(w, squeezelerator(32, 8))
+        big = OutputStationaryModel().simulate(w, squeezelerator(32, 16))
+        assert big.compute_cycles < small.compute_cycles
+
+    def test_depthwise_uses_one_channel_per_group(self):
+        w = make_workload(in_channels=64, out_channels=64, groups=64,
+                          kernel_h=3, kernel_w=3, in_h=12, in_w=12)
+        perf = OutputStationaryModel().simulate(w, CONFIG)
+        ws = WeightStationaryModel().simulate(w, CONFIG)
+        assert perf.compute_cycles < ws.compute_cycles / 2
+
+    def test_macs_are_density_scaled(self):
+        w = make_workload()
+        perf = OutputStationaryModel().simulate(w, CONFIG)
+        assert perf.accesses.macs == pytest.approx(0.6 * w.macs)
+
+    def test_compute_cycles_cover_all_outputs(self):
+        # Total output elements drained must match the layer.
+        w = make_workload(out_h=55, out_w=55, out_channels=48)
+        perf = OutputStationaryModel().simulate(w, CONFIG)
+        assert perf.compute_cycles > 0
+        # dense-equivalent throughput cannot exceed the PE count
+        assert w.macs / perf.compute_cycles <= CONFIG.num_pes

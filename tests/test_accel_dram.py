@@ -1,0 +1,122 @@
+"""Unit tests for the DRAM traffic and double-buffering model."""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import squeezelerator
+from repro.accel.dram import (
+    DramTraffic,
+    combine_compute_and_dram,
+    layer_traffic,
+)
+from repro.accel.workload import ConvWorkload
+from repro.graph import LayerCategory
+
+CONFIG = squeezelerator(32, 8)
+
+
+def make_workload(**kwargs):
+    defaults = dict(
+        name="layer", category=LayerCategory.SPATIAL,
+        in_channels=16, out_channels=16, kernel_h=1, kernel_w=1,
+        stride_h=1, stride_w=1, in_h=10, in_w=10, out_h=10, out_w=10,
+    )
+    defaults.update(kwargs)
+    return ConvWorkload(**defaults)
+
+
+class TestDramTraffic:
+    def test_total(self):
+        traffic = DramTraffic(10, 20, 30)
+        assert traffic.total_elems == 60
+
+    def test_transfer_cycles(self):
+        traffic = DramTraffic(0, 16, 0)  # 32 bytes at 2 B/elem
+        assert traffic.transfer_cycles(CONFIG) == pytest.approx(1.0)
+
+
+class TestWsTraffic:
+    def test_small_layer_streams_once(self):
+        w = make_workload()
+        traffic = layer_traffic(w, "WS", CONFIG)
+        assert traffic.weight_elems == w.weight_elems
+        assert traffic.input_elems == w.input_elems
+        assert traffic.output_elems == w.output_elems
+
+    def test_big_weights_small_input_stream_once(self):
+        # AlexNet-FC-like: huge weights, tiny input.
+        w = make_workload(in_channels=4096, out_channels=4096,
+                          in_h=1, in_w=1, out_h=1, out_w=1, is_fc=True)
+        traffic = layer_traffic(w, "WS", CONFIG)
+        assert traffic.weight_elems == w.weight_elems
+        assert traffic.input_elems == w.input_elems
+
+    def test_neither_fits_refetches_cheaper_class(self):
+        # Both weights (512*512=262k elems) and inputs (100k elems)
+        # exceed the 32k-element streaming budget.
+        w = make_workload(in_channels=512, out_channels=512,
+                          in_h=14, in_w=14, out_h=14, out_w=14)
+        traffic = layer_traffic(w, "WS", CONFIG)
+        total_refetched = traffic.weight_elems + traffic.input_elems
+        assert total_refetched > w.weight_elems + w.input_elems
+        # The chosen plan must not be worse than either single-resident
+        # alternative.
+        budget = CONFIG.global_buffer_bytes * 0.5 / 2
+        n_wc = -(-w.weight_elems // budget)
+        n_pc = -(-w.input_elems // budget)
+        best = min(w.weight_elems + w.input_elems * n_wc,
+                   w.input_elems + w.weight_elems * n_pc)
+        assert total_refetched == pytest.approx(best)
+
+
+class TestOsTraffic:
+    def test_small_layer_fetches_once(self):
+        w = make_workload()
+        traffic = layer_traffic(w, "OS", CONFIG)
+        assert traffic.input_elems == pytest.approx(w.input_elems)
+        assert traffic.weight_elems == w.weight_elems
+
+    def test_halo_overlap_exceeds_fmap(self):
+        # 3x3 stride-1 over a 64x64 plane: 2x2 blocks with overlapping
+        # halos fetch slightly more than one feature map.
+        w = make_workload(kernel_h=3, kernel_w=3, in_h=66, in_w=66,
+                          out_h=64, out_w=64)
+        traffic = layer_traffic(w, "OS", CONFIG)
+        assert traffic.input_elems > w.input_elems
+
+    def test_large_input_restreams_excess_per_pass(self):
+        # 200k-element input (400 KB) with many passes must fetch more
+        # than one fmap's worth.
+        w = make_workload(in_channels=256, out_channels=256,
+                          in_h=28, in_w=28, out_h=28, out_w=28)
+        traffic = layer_traffic(w, "OS", CONFIG)
+        assert traffic.input_elems > 2 * w.input_elems
+
+    def test_oversized_weights_refetched_per_block(self):
+        w = make_workload(in_channels=128, out_channels=1024,
+                          kernel_h=3, kernel_w=3,
+                          in_h=66, in_w=66, out_h=64, out_w=64)
+        traffic = layer_traffic(w, "OS", CONFIG)
+        assert traffic.weight_elems == w.weight_elems * 4  # 2x2 blocks
+
+    def test_unknown_dataflow(self):
+        with pytest.raises(ValueError, match="dataflow"):
+            layer_traffic(make_workload(), "XYZ", CONFIG)
+
+
+class TestCombine:
+    def test_compute_bound(self):
+        traffic = DramTraffic(0, 16, 0)  # 1 cycle of transfer
+        total = combine_compute_and_dram(1000.0, traffic, CONFIG)
+        assert total == 1000.0 + CONFIG.dram_latency_cycles
+
+    def test_dram_bound(self):
+        traffic = DramTraffic(0, 16_000_000, 0)
+        total = combine_compute_and_dram(10.0, traffic, CONFIG)
+        assert total == pytest.approx(1_000_000 + CONFIG.dram_latency_cycles)
+
+    def test_latency_always_exposed(self):
+        config = dataclasses.replace(CONFIG, dram_latency_cycles=250)
+        total = combine_compute_and_dram(0.0, DramTraffic(0, 0, 0), config)
+        assert total == 250

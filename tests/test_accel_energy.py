@@ -1,0 +1,65 @@
+"""Unit tests for the Eyeriss-style energy model and access counts."""
+
+import pytest
+
+from repro.accel import DEFAULT_ENERGY_MODEL, AccessCounts, EnergyModel
+
+
+class TestAccessCounts:
+    def test_add(self):
+        a = AccessCounts(macs=1, rf_accesses=2, array_transfers=3,
+                         gb_accesses=4, dram_elems=5)
+        b = AccessCounts(macs=10, rf_accesses=20, array_transfers=30,
+                         gb_accesses=40, dram_elems=50)
+        total = a + b
+        assert total == AccessCounts(11, 22, 33, 44, 55)
+
+    def test_scaled(self):
+        a = AccessCounts(macs=1, rf_accesses=2, array_transfers=3,
+                         gb_accesses=4, dram_elems=5)
+        assert a.scaled(2.0) == AccessCounts(2, 4, 6, 8, 10)
+
+    def test_default_zero(self):
+        zero = AccessCounts()
+        assert zero.macs == 0 and zero.dram_elems == 0
+
+
+class TestEnergyModel:
+    def test_default_unit_ratios(self):
+        model = DEFAULT_ENERGY_MODEL
+        assert model.mac == 1.0
+        assert model.rf == 1.0
+        assert model.array == 2.0
+        assert model.global_buffer == 6.0
+        assert model.dram == 200.0
+
+    def test_breakdown(self):
+        counts = AccessCounts(macs=10, rf_accesses=10, array_transfers=10,
+                              gb_accesses=10, dram_elems=10)
+        breakdown = DEFAULT_ENERGY_MODEL.breakdown(counts)
+        assert breakdown == {
+            "mac": 10.0, "rf": 10.0, "array": 20.0,
+            "global_buffer": 60.0, "dram": 2000.0,
+        }
+
+    def test_total_is_sum_of_breakdown(self):
+        counts = AccessCounts(macs=3, rf_accesses=5, array_transfers=7,
+                              gb_accesses=11, dram_elems=13)
+        model = DEFAULT_ENERGY_MODEL
+        assert model.total(counts) == pytest.approx(
+            sum(model.breakdown(counts).values()))
+
+    def test_dram_dominates_per_access(self):
+        model = DEFAULT_ENERGY_MODEL
+        one_dram = AccessCounts(dram_elems=1)
+        many_macs = AccessCounts(macs=199)
+        assert model.total(one_dram) > model.total(many_macs)
+
+    def test_custom_units(self):
+        model = EnergyModel(mac=1, rf=2, array=3, global_buffer=4, dram=5)
+        counts = AccessCounts(1, 1, 1, 1, 1)
+        assert model.total(counts) == 15
+
+    def test_negative_unit_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram=-1)

@@ -1,0 +1,89 @@
+"""Tests for selection objectives and multi-core configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import SelectionObjective, Squeezelerator, squeezelerator
+from repro.accel.multicore import core_scaling, simulate_multicore
+from repro.models import alexnet, mobilenet, squeezenet_v1_0, vgg16
+
+
+class TestSelectionObjective:
+    def _run(self, objective):
+        config = dataclasses.replace(squeezelerator(32),
+                                     objective=objective)
+        return Squeezelerator(config=config).run(squeezenet_v1_0())
+
+    def test_default_is_time(self):
+        assert squeezelerator(32).objective is SelectionObjective.TIME
+
+    def test_time_objective_minimizes_cycles(self):
+        time_report = self._run(SelectionObjective.TIME)
+        energy_report = self._run(SelectionObjective.ENERGY)
+        assert time_report.total_cycles <= energy_report.total_cycles
+
+    def test_energy_objective_minimizes_energy(self):
+        time_report = self._run(SelectionObjective.TIME)
+        energy_report = self._run(SelectionObjective.ENERGY)
+        assert energy_report.total_energy <= time_report.total_energy
+
+    def test_edp_between_extremes(self):
+        reports = {obj: self._run(obj) for obj in SelectionObjective}
+        edp = {obj: r.total_energy * r.total_cycles
+               for obj, r in reports.items()}
+        assert edp[SelectionObjective.EDP] == min(edp.values())
+
+    def test_objective_changes_some_choices(self):
+        time_report = self._run(SelectionObjective.TIME)
+        energy_report = self._run(SelectionObjective.ENERGY)
+        time_flows = time_report.dataflow_choices()
+        energy_flows = energy_report.dataflow_choices()
+        assert time_flows != energy_flows  # at least one layer flips
+
+    def test_str(self):
+        assert str(SelectionObjective.EDP) == "edp"
+
+
+class TestMulticore:
+    def test_single_core_is_baseline(self):
+        report = simulate_multicore(squeezenet_v1_0(), 1)
+        assert report.speedup == pytest.approx(1.0)
+        assert report.parallel_efficiency == pytest.approx(1.0)
+
+    def test_never_slower_than_single_core(self):
+        """The per-layer fallback guarantees monotonicity vs 1 core."""
+        for cores in (2, 4):
+            report = simulate_multicore(squeezenet_v1_0(), cores)
+            assert report.speedup >= 1.0 - 1e-9
+
+    def test_scaling_is_sublinear(self):
+        """Batch-1 embedded inference is bandwidth-limited: far from
+        linear scaling (the roofline inherited)."""
+        report = simulate_multicore(squeezenet_v1_0(), 4)
+        assert report.speedup < 2.5
+        assert report.parallel_efficiency < 0.7
+
+    def test_memory_bound_networks_scale_worst(self):
+        mobile = simulate_multicore(mobilenet(), 4)
+        alex = simulate_multicore(alexnet(), 4)
+        # Both are bandwidth-limited; neither approaches linear.
+        assert mobile.speedup < 2.0
+        assert alex.speedup < 2.0
+
+    def test_vgg_fc_layers_do_not_parallelize(self):
+        report = simulate_multicore(vgg16(), 4)
+        assert report.speedup < 1.5  # FC DRAM traffic is the wall
+
+    def test_energy_rises_with_cores(self):
+        one = simulate_multicore(squeezenet_v1_0(), 1)
+        four = simulate_multicore(squeezenet_v1_0(), 4)
+        assert four.total_energy >= one.total_energy * 0.99
+
+    def test_core_scaling_curve(self):
+        reports = core_scaling(squeezenet_v1_0(), (1, 2, 4))
+        assert [r.cores for r in reports] == [1, 2, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_multicore(squeezenet_v1_0(), 0)

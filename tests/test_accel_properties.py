@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on the accelerator models.
+
+These pin the physical invariants any performance model must satisfy,
+over randomly drawn convolution geometries and machine configurations:
+throughput never exceeds peak, hybrid selection is optimal, traffic and
+energy are non-negative and at least one-pass, and utilization is
+bounded.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    AcceleratorSimulator,
+    OutputStationaryModel,
+    WeightStationaryModel,
+    squeezelerator,
+)
+from repro.accel.dram import layer_traffic
+from repro.accel.workload import ConvWorkload
+from repro.graph import LayerCategory
+
+
+@st.composite
+def workloads(draw):
+    """Random but valid convolution geometries."""
+    kernel = draw(st.sampled_from([(1, 1), (3, 3), (5, 5), (3, 1), (1, 3),
+                                   (7, 7)]))
+    stride = draw(st.sampled_from([1, 2]))
+    out_h = draw(st.integers(min_value=1, max_value=56))
+    out_w = draw(st.integers(min_value=1, max_value=56))
+    in_h = (out_h - 1) * stride + kernel[0]
+    in_w = (out_w - 1) * stride + kernel[1]
+    depthwise = draw(st.booleans())
+    if depthwise:
+        channels = draw(st.integers(min_value=1, max_value=256))
+        in_c = out_c = groups = channels
+    else:
+        in_c = draw(st.integers(min_value=1, max_value=256))
+        out_c = draw(st.integers(min_value=1, max_value=256))
+        groups = 1
+    return ConvWorkload(
+        name="rand", category=LayerCategory.SPATIAL,
+        in_channels=in_c, out_channels=out_c,
+        kernel_h=kernel[0], kernel_w=kernel[1],
+        stride_h=stride, stride_w=stride,
+        in_h=in_h, in_w=in_w, out_h=out_h, out_w=out_w,
+        groups=groups,
+    )
+
+
+@st.composite
+def configs(draw):
+    array = draw(st.sampled_from([8, 16, 32]))
+    rf = draw(st.sampled_from([4, 8, 16]))
+    sparsity = draw(st.sampled_from([0.0, 0.2, 0.4]))
+    config = squeezelerator(array, rf)
+    return dataclasses.replace(config, weight_sparsity=sparsity)
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_ws_throughput_never_exceeds_peak(workload, config):
+    perf = WeightStationaryModel().simulate(workload, config)
+    assert perf.compute_cycles > 0
+    assert workload.macs / perf.compute_cycles <= config.num_pes + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_os_throughput_never_exceeds_peak(workload, config):
+    perf = OutputStationaryModel().simulate(workload, config)
+    assert perf.compute_cycles > 0
+    effective_macs = workload.macs * (1 - config.weight_sparsity)
+    assert effective_macs / perf.compute_cycles <= config.num_pes + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_access_counts_non_negative(workload, config):
+    for model in (WeightStationaryModel(), OutputStationaryModel()):
+        accesses = model.simulate(workload, config).accesses
+        assert accesses.macs >= 0
+        assert accesses.rf_accesses >= 0
+        assert accesses.array_transfers >= 0
+        assert accesses.gb_accesses >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_dram_traffic_at_least_one_pass(workload, config):
+    """Every operand must cross DRAM at least once (batch 1, cold)."""
+    for dataflow in ("WS", "OS"):
+        traffic = layer_traffic(workload, dataflow, config)
+        assert traffic.weight_elems >= workload.weight_elems
+        assert traffic.input_elems > 0
+        if workload.stride_h == workload.stride_w == 1:
+            # Strided convolutions may legitimately skip input pixels;
+            # dense ones must fetch the whole map at least once.
+            assert traffic.input_elems >= workload.input_elems * 0.999
+        assert traffic.output_elems == workload.output_elems
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_hybrid_layer_choice_is_min(workload, config):
+    simulator = AcceleratorSimulator(config)
+    options = simulator.dataflow_options(workload)
+    chosen = simulator.simulate_layer(workload)
+    assert chosen.total_cycles == min(
+        o.total_cycles for o in options.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_layer_report_consistency(workload, config):
+    report = AcceleratorSimulator(config).simulate_layer(workload)
+    assert report.total_cycles >= report.compute_cycles
+    assert report.total_cycles >= report.dram_cycles
+    assert report.energy > 0
+    assert report.macs == workload.macs
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_os_sparsity_monotone_in_cycles(workload):
+    """More weight sparsity never slows the OS dataflow down."""
+    model = OutputStationaryModel()
+    previous = float("inf")
+    for sparsity in (0.0, 0.2, 0.4, 0.6):
+        config = dataclasses.replace(squeezelerator(32),
+                                     weight_sparsity=sparsity)
+        cycles = model.simulate(workload, config).compute_cycles
+        assert cycles <= previous + 1e-9
+        previous = cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_os_rf_monotone_in_cycles(workload):
+    """A bigger register file never meaningfully slows OS down.
+
+    Not strictly monotone: the final pass's remainder channel group
+    (and hence the exposed terminal drain) depends on the RF size, so
+    boundary rounding can cost a few hundred cycles either way.
+    """
+    model = OutputStationaryModel()
+    previous = float("inf")
+    for rf in (4, 8, 16, 32):
+        cycles = model.simulate(workload, squeezelerator(32, rf)).compute_cycles
+        assert cycles <= previous * 1.02 + 1024
+        previous = min(previous, cycles)

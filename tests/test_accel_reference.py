@@ -1,0 +1,157 @@
+"""Cross-validation of the analytical models against the event-level
+reference simulator — the repository's model-vs-model verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    OutputStationaryModel,
+    WeightStationaryModel,
+    network_workloads,
+    squeezelerator,
+)
+from repro.accel.reference import ReferenceSimulator
+from repro.accel.workload import ConvWorkload
+from repro.graph import LayerCategory
+from repro.models import mobilenet, squeezenet_v1_0
+
+CONFIG = squeezelerator(32, 8)
+
+
+def make_workload(**kwargs):
+    defaults = dict(
+        name="layer", category=LayerCategory.SPATIAL,
+        in_channels=16, out_channels=16, kernel_h=3, kernel_w=3,
+        stride_h=1, stride_w=1, in_h=16, in_w=16, out_h=14, out_w=14,
+    )
+    defaults.update(kwargs)
+    return ConvWorkload(**defaults)
+
+
+class TestWsCrossValidation:
+    def test_exact_on_whole_zoo_sample(self):
+        """WS analytical and event-level implementations must agree."""
+        reference = ReferenceSimulator(CONFIG, record_events=False)
+        model = WeightStationaryModel()
+        for network in (squeezenet_v1_0(), mobilenet()):
+            for workload in network_workloads(network):
+                if workload.is_fc:
+                    continue
+                analytical = model.simulate(workload, CONFIG).compute_cycles
+                event = reference.simulate_ws(workload).cycles
+                assert event == pytest.approx(analytical, rel=1e-9), \
+                    workload.name
+
+    def test_trace_well_formed(self):
+        reference = ReferenceSimulator(CONFIG)
+        result = reference.simulate_ws(make_workload())
+        result.assert_well_formed()
+        assert result.busy_cycles("compute") > 0
+
+    def test_preload_overlaps_compute(self):
+        """Double buffering: preload events run during compute events."""
+        reference = ReferenceSimulator(CONFIG)
+        result = reference.simulate_ws(
+            make_workload(in_channels=64, out_channels=64))
+        preloads = [e for e in result.events if e.engine == "preload"]
+        computes = [e for e in result.events if e.engine == "compute"]
+        assert len(preloads) == len(computes) == 4 * 9
+        # Every preload after the first starts inside some compute window.
+        for event in preloads[1:]:
+            assert any(c.start <= event.start < c.end for c in computes)
+
+
+class TestOsCrossValidation:
+    def test_close_on_whole_zoo_sample(self):
+        """OS models agree closely except known boundary effects.
+
+        The analytical model assumes the prefetch FIFO always hides
+        drains; the event model exposes them when large stride-2 blocks
+        limit the FIFO depth.  Median must be sub-percent, worst case
+        bounded.
+        """
+        reference = ReferenceSimulator(CONFIG, record_events=False)
+        model = OutputStationaryModel()
+        diffs = []
+        for network in (squeezenet_v1_0(), mobilenet()):
+            for workload in network_workloads(network):
+                if workload.is_fc:
+                    continue
+                analytical = model.simulate(workload, CONFIG).compute_cycles
+                event = reference.simulate_os(workload).cycles
+                diffs.append(abs(analytical - event) / analytical)
+        assert float(np.median(diffs)) < 0.02
+        assert max(diffs) < 0.20
+
+    def test_trace_well_formed(self):
+        reference = ReferenceSimulator(CONFIG)
+        result = reference.simulate_os(make_workload())
+        result.assert_well_formed()
+        assert result.busy_cycles("drain") > 0
+
+    def test_gantt_renders(self):
+        reference = ReferenceSimulator(CONFIG)
+        result = reference.simulate_os(make_workload())
+        chart = result.gantt(width=60)
+        assert "compute" in chart and "|" in chart
+
+    def test_preload_bound_layer_is_preload_limited(self):
+        """A 1x1 layer with few filters is gated by input streaming."""
+        workload = make_workload(kernel_h=1, kernel_w=1, in_h=14, in_w=14,
+                                 out_channels=8)
+        reference = ReferenceSimulator(CONFIG, record_events=False)
+        result = reference.simulate_os(workload)
+        # Preload side: 16 channels x ceil(196/32) = 112 cycles minimum.
+        assert result.cycles >= 16 * 7
+
+
+@st.composite
+def small_workloads(draw):
+    kernel = draw(st.sampled_from([(1, 1), (3, 3), (5, 5)]))
+    stride = draw(st.sampled_from([1, 2]))
+    out = draw(st.integers(min_value=2, max_value=40))
+    c = draw(st.integers(min_value=1, max_value=64))
+    k = draw(st.integers(min_value=1, max_value=64))
+    return ConvWorkload(
+        name="rand", category=LayerCategory.SPATIAL,
+        in_channels=c, out_channels=k,
+        kernel_h=kernel[0], kernel_w=kernel[1],
+        stride_h=stride, stride_w=stride,
+        in_h=(out - 1) * stride + kernel[0],
+        in_w=(out - 1) * stride + kernel[1],
+        out_h=out, out_w=out,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=small_workloads())
+def test_ws_property_agreement(workload):
+    reference = ReferenceSimulator(CONFIG, record_events=False)
+    analytical = WeightStationaryModel().simulate(workload, CONFIG)
+    assert reference.simulate_ws(workload).cycles == pytest.approx(
+        analytical.compute_cycles, rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=small_workloads())
+def test_os_property_agreement(workload):
+    reference = ReferenceSimulator(CONFIG, record_events=False)
+    analytical = OutputStationaryModel().simulate(workload, CONFIG)
+    event = reference.simulate_os(workload).cycles
+    # Event-level never beats the analytical prediction by much, and
+    # never lags it beyond the known divergences: drain exposure and
+    # FIFO warmup, both bounded by a few block-preload times (large for
+    # stride-2 halos on tiny layers, where relative bounds alone are
+    # meaningless).
+    from repro.accel.dataflows.base import os_blocks
+    worst_preload = max(
+        -(-b.in_block_elems // CONFIG.preload_elems_per_cycle)
+        for b in os_blocks(workload, CONFIG))
+    slack = 3 * worst_preload + 64
+    assert event >= analytical.compute_cycles * 0.98 - slack
+    # The residual optimism class: tiny-channel stride-2 layers whose
+    # halo blocks reduce the FIFO to depth 2, where warmup and drain
+    # stalls dominate; documented in docs/modeling.md.
+    assert event <= analytical.compute_cycles * 1.6 + slack

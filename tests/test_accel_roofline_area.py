@@ -1,0 +1,149 @@
+"""Tests for the roofline analyzer, area model and datapath emulation."""
+
+import numpy as np
+import pytest
+
+from repro.accel import squeezelerator
+from repro.accel.area import (
+    AreaBreakdown,
+    estimate_area,
+    performance_per_area,
+)
+from repro.accel.roofline import (
+    memory_bound_fraction,
+    render_roofline,
+    roofline,
+)
+from repro.models import alexnet, mobilenet, squeezenet_v1_1
+from repro.nn import GraphNetwork, make_shapes_dataset
+from repro.nn.fixed_point import emulate_fixed_point
+from repro.vision.pipeline import tiny_squeezenet
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        points = roofline(squeezenet_v1_1())
+        # 1024 MACs/cycle over 32 B/cycle = 32 MACs per byte.
+        assert points[0].ridge_intensity == pytest.approx(32.0)
+
+    def test_mobilenet_is_memory_bound(self):
+        """The paper's arithmetic-intensity criticism, quantified."""
+        fraction = memory_bound_fraction(roofline(mobilenet()))
+        assert fraction > 0.9
+
+    def test_alexnet_convs_are_compute_bound(self):
+        points = roofline(alexnet())
+        conv3 = next(p for p in points if p.layer == "conv3")
+        assert not conv3.memory_bound
+
+    def test_depthwise_has_poor_intensity(self):
+        points = roofline(mobilenet())
+        dw = [p for p in points if p.layer.endswith("/dw")]
+        pw = [p for p in points if p.layer.endswith("/pw")]
+        assert max(p.intensity for p in dw) < min(30.0, max(
+            p.intensity for p in pw))
+
+    def test_attained_below_roofline(self):
+        for point in roofline(squeezenet_v1_1()):
+            assert (point.attained_macs_per_cycle
+                    <= point.roofline_bound * 1.01), point.layer
+
+    def test_efficiency_bounded(self):
+        for point in roofline(squeezenet_v1_1()):
+            assert 0.0 < point.efficiency <= 1.01
+
+    def test_render(self):
+        text = render_roofline(roofline(squeezenet_v1_1())[:5])
+        assert "MEM" in text or "cmp" in text
+
+
+class TestAreaModel:
+    def test_breakdown_total(self):
+        breakdown = estimate_area(squeezelerator(32))
+        assert breakdown.total == pytest.approx(
+            breakdown.pe_array + breakdown.register_files
+            + breakdown.interconnect + breakdown.global_buffer
+            + breakdown.staging_buffers + breakdown.control)
+
+    def test_fractions_sum_to_one(self):
+        fractions = estimate_area(squeezelerator(32)).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_bigger_array_bigger_area(self):
+        assert (estimate_area(squeezelerator(32)).total
+                > estimate_area(squeezelerator(8)).total)
+
+    def test_rf_doubling_costs_area(self):
+        """The paper's RF 8 -> 16 tune-up is not free silicon."""
+        small = estimate_area(squeezelerator(32, 8))
+        big = estimate_area(squeezelerator(32, 16))
+        assert big.total > small.total
+        assert big.register_files == pytest.approx(
+            2 * small.register_files)
+
+    def test_performance_per_area_tradeoff(self):
+        """Tiny arrays waste their fixed SRAM/control area; the sweet
+        spot for SqueezeNet-class nets sits at 16x16 or above."""
+        from repro.accel import Squeezelerator
+        net = squeezenet_v1_1()
+        ppa = {}
+        for size in (8, 16, 32):
+            cycles = Squeezelerator(size).run(net).total_cycles
+            ppa[size] = performance_per_area(cycles, squeezelerator(size))
+        assert ppa[16] > ppa[8]
+        assert ppa[32] > ppa[8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            performance_per_area(0.0, squeezelerator(8))
+
+
+class TestFixedPointEmulation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        network = GraphNetwork(tiny_squeezenet(),
+                               rng=np.random.default_rng(0))
+        network.eval()
+        images = make_shapes_dataset(8, image_size=32, seed=1).images
+        return network, images
+
+    def test_16bit_matches_float_predictions(self, setup):
+        network, images = setup
+        float_out = network.forward(images)
+        int_out, _ = emulate_fixed_point(network, images)
+        assert (np.argmax(float_out, 1) == np.argmax(int_out, 1)).all()
+        rel = np.abs(float_out - int_out).max() / np.abs(float_out).max()
+        assert rel < 1e-3
+
+    def test_8bit_noisier_than_16bit(self, setup):
+        network, images = setup
+        float_out = network.forward(images)
+        out16, _ = emulate_fixed_point(network, images, 16, 16)
+        out8, _ = emulate_fixed_point(network, images, 8, 8)
+        err16 = np.abs(float_out - out16).max()
+        err8 = np.abs(float_out - out8).max()
+        assert err8 > err16
+
+    def test_accumulator_width_findings(self, setup):
+        """16-bit operands genuinely need >32-bit accumulators here —
+        the classic narrow-accumulator pitfall, caught by emulation."""
+        network, images = setup
+        _, report = emulate_fixed_point(network, images,
+                                        accumulator_bits=32)
+        assert report.max_accumulator_bits_used > 32
+        assert report.would_saturate
+        _, wide = emulate_fixed_point(network, images,
+                                      accumulator_bits=48)
+        assert not wide.would_saturate
+
+    def test_8bit_fits_32bit_accumulator(self, setup):
+        network, images = setup
+        _, report = emulate_fixed_point(network, images, 8, 8,
+                                        accumulator_bits=32)
+        assert not report.would_saturate
+
+    def test_per_layer_bits_recorded(self, setup):
+        network, images = setup
+        _, report = emulate_fixed_point(network, images)
+        assert "conv1" in report.per_layer_acc_bits
+        assert all(bits >= 1 for bits in report.per_layer_acc_bits.values())

@@ -1,0 +1,109 @@
+"""Tests for the static schedule compiler."""
+
+import pytest
+
+from repro.accel import Squeezelerator, compile_network, squeezelerator
+from repro.accel.schedule import DmaPlan, LayerDirective, Program
+from repro.graph import NetworkBuilder, TensorShape
+from repro.models import mobilenet, squeezenet_v1_1
+
+
+def small_net():
+    b = NetworkBuilder("small", TensorShape(3, 32, 32))
+    b.conv("conv1", 16, kernel_size=3, padding=1, stride=2)
+    b.conv("pw", 32, kernel_size=1)
+    b.global_avg_pool("gap")
+    b.dense("fc", 10)
+    return b.build()
+
+
+class TestCompileNetwork:
+    def test_one_directive_per_compute_layer(self):
+        net = squeezenet_v1_1()
+        program = compile_network(net)
+        assert len(program.directives) == len(net.compute_nodes())
+        assert [d.layer for d in program.directives] == [
+            n.name for n in net.compute_nodes()]
+
+    def test_totals_match_simulator(self):
+        net = squeezenet_v1_1()
+        program = compile_network(net)
+        report = Squeezelerator(32).run(net)
+        assert program.total_cycles == pytest.approx(report.total_cycles)
+
+    def test_dataflow_histogram_matches_decisions(self):
+        net = squeezenet_v1_1()
+        program = compile_network(net)
+        decisions = Squeezelerator(32).decisions(net)
+        for directive in program.directives:
+            assert directive.dataflow == decisions[directive.layer].chosen
+
+    def test_validate_clean_program(self):
+        assert compile_network(squeezenet_v1_1()).validate() == []
+        assert compile_network(mobilenet()).validate() == []
+
+    def test_fc_directive_notes_bandwidth(self):
+        program = compile_network(small_net())
+        fc = program.directives[-1]
+        assert fc.layer == "fc"
+        assert "matrix-vector" in fc.mapping
+        assert any("bandwidth" in n for n in fc.notes)
+
+    def test_depthwise_note(self):
+        program = compile_network(mobilenet())
+        dw = next(d for d in program.directives if d.layer.endswith("/dw"))
+        assert dw.dataflow == "OS" or any("depthwise" in n for n in dw.notes)
+
+    def test_disassembly_contains_every_layer(self):
+        program = compile_network(small_net())
+        text = program.disassemble()
+        for directive in program.directives:
+            assert directive.layer in text
+        assert "total:" in text
+
+    def test_dma_plan_volumes_positive(self):
+        program = compile_network(small_net())
+        for directive in program.directives:
+            assert directive.dma.weight_elems > 0
+            assert directive.dma.input_elems > 0
+            assert directive.dma.output_elems > 0
+
+    def test_custom_machine(self):
+        config = squeezelerator(8, rf_entries=16)
+        program = compile_network(small_net(), config)
+        assert program.machine.array_rows == 8
+        assert "8x8" in program.disassemble()
+
+    def test_utilization_bounded(self):
+        program = compile_network(squeezenet_v1_1())
+        for directive in program.directives:
+            assert 0.0 <= directive.utilization <= 1.0
+
+
+class TestProgramValidation:
+    def _directive(self, **overrides):
+        defaults = dict(
+            index=0, layer="l", dataflow="WS", mapping="m",
+            resident_operand="weights resident",
+            dma=DmaPlan(10, 10, 10),
+            compute_cycles=5.0, dram_cycles=5.0, total_cycles=10.0,
+            utilization=0.5,
+        )
+        defaults.update(overrides)
+        return LayerDirective(**defaults)
+
+    def test_flags_nonpositive_cycles(self):
+        program = Program("n", squeezelerator(32),
+                          [self._directive(total_cycles=0.0)])
+        assert any("non-positive" in p for p in program.validate())
+
+    def test_flags_overfull_utilization(self):
+        program = Program("n", squeezelerator(32),
+                          [self._directive(utilization=1.5)])
+        assert any("utilization" in p for p in program.validate())
+
+    def test_flags_impossible_residency(self):
+        huge = squeezelerator(32).global_buffer_bytes  # elems >> capacity
+        program = Program("n", squeezelerator(32),
+                          [self._directive(dma=DmaPlan(huge, 1, 1))])
+        assert any("resident weights" in p for p in program.validate())

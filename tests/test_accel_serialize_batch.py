@@ -1,0 +1,99 @@
+"""Tests for report serialization and the batch-size model."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.accel import Squeezelerator, squeezelerator
+from repro.accel.schedule import compile_network
+from repro.accel.serialize import (
+    load_report,
+    network_report_from_dict,
+    network_report_to_dict,
+    program_to_dict,
+    save_report,
+)
+from repro.models import alexnet, squeezenet_v1_1
+
+
+class TestSerialization:
+    def test_round_trip_preserves_totals(self):
+        report = Squeezelerator(32).run(squeezenet_v1_1())
+        restored = network_report_from_dict(network_report_to_dict(report))
+        assert restored.total_cycles == pytest.approx(report.total_cycles)
+        assert restored.total_energy == pytest.approx(report.total_energy)
+        assert restored.inference_ms == pytest.approx(report.inference_ms)
+        assert len(restored.layers) == len(report.layers)
+
+    def test_round_trip_preserves_layers(self):
+        report = Squeezelerator(32).run(squeezenet_v1_1())
+        restored = network_report_from_dict(network_report_to_dict(report))
+        for a, b in zip(report.layers, restored.layers):
+            assert a.name == b.name
+            assert a.dataflow == b.dataflow
+            assert a.category is b.category
+            assert a.energy == pytest.approx(b.energy)
+
+    def test_dict_is_json_compatible(self):
+        report = Squeezelerator(32).run(squeezenet_v1_1())
+        text = json.dumps(network_report_to_dict(report))
+        assert "fire2/squeeze1x1" in text
+
+    def test_file_round_trip(self, tmp_path):
+        report = Squeezelerator(32).run(squeezenet_v1_1())
+        path = tmp_path / "report.json"
+        save_report(report, str(path))
+        restored = load_report(str(path))
+        assert restored.network == report.network
+        assert restored.total_cycles == pytest.approx(report.total_cycles)
+
+    def test_program_to_dict(self):
+        program = compile_network(squeezenet_v1_1())
+        data = program_to_dict(program)
+        assert data["network"] == "SqueezeNet v1.1"
+        assert len(data["directives"]) == len(program.directives)
+        json.dumps(data)  # must be serializable
+
+
+class TestBatchSize:
+    def test_batch_one_is_default_behaviour(self):
+        base = Squeezelerator(32).run(alexnet())
+        explicit = Squeezelerator(
+            config=dataclasses.replace(squeezelerator(32), batch_size=1)
+        ).run(alexnet())
+        assert base.total_cycles == pytest.approx(explicit.total_cycles)
+
+    def test_batching_reduces_per_image_cost(self):
+        costs = []
+        for batch in (1, 4, 16):
+            config = dataclasses.replace(squeezelerator(32),
+                                         batch_size=batch)
+            costs.append(Squeezelerator(config=config)
+                         .run(alexnet()).total_cycles)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_batching_rescues_fc_layers(self):
+        """The paper's batch-1 choice is what makes FC DRAM-bound."""
+
+        def fc_share(batch):
+            config = dataclasses.replace(squeezelerator(32),
+                                         batch_size=batch)
+            report = Squeezelerator(config=config).run(alexnet())
+            fc = sum(l.total_cycles for l in report.layers
+                     if l.name.startswith("fc"))
+            return fc / report.total_cycles
+
+        assert fc_share(1) > 0.7
+        assert fc_share(64) < 0.2
+
+    def test_batch_barely_helps_conv_only_networks(self):
+        """SqueezeNet has no FC layers; batching gains little."""
+        base = Squeezelerator(32).run(squeezenet_v1_1()).total_cycles
+        config = dataclasses.replace(squeezelerator(32), batch_size=16)
+        batched = Squeezelerator(config=config).run(squeezenet_v1_1())
+        assert batched.total_cycles > 0.7 * base
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(squeezelerator(32), batch_size=0)

@@ -1,0 +1,131 @@
+"""Integration-level tests for the simulator and the Squeezelerator."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorSimulator,
+    DataflowPolicy,
+    Squeezelerator,
+    network_workloads,
+    reference_os,
+    reference_ws,
+    simulate,
+    squeezelerator,
+)
+from repro.graph import NetworkBuilder, TensorShape
+from repro.models import mobilenet, squeezenet_v1_0
+
+
+def small_net():
+    b = NetworkBuilder("small", TensorShape(3, 32, 32))
+    b.conv("conv1", 16, kernel_size=3, padding=1, stride=2)
+    b.conv("pw", 32, kernel_size=1)
+    b.depthwise_conv("dw", kernel_size=3, padding=1)
+    b.global_avg_pool("gap")
+    b.dense("fc", 10)
+    return b.build()
+
+
+class TestSimulator:
+    def test_report_structure(self):
+        report = simulate(small_net(), squeezelerator(32))
+        assert report.network == "small"
+        assert [l.name for l in report.layers] == ["conv1", "pw", "dw", "fc"]
+        assert report.total_cycles == pytest.approx(
+            sum(l.total_cycles for l in report.layers))
+        assert report.total_energy == pytest.approx(
+            sum(l.energy for l in report.layers))
+
+    def test_inference_ms_uses_frequency(self):
+        report = simulate(small_net(), squeezelerator(32))
+        expected = report.total_cycles / 500e6 * 1e3
+        assert report.inference_ms == pytest.approx(expected)
+
+    def test_hybrid_never_slower_than_references_per_layer(self):
+        net = squeezenet_v1_0()
+        hybrid = AcceleratorSimulator(squeezelerator(32))
+        ws = AcceleratorSimulator(reference_ws(32))
+        os_ = AcceleratorSimulator(reference_os(32))
+        for w in network_workloads(net):
+            h = hybrid.simulate_layer(w).total_cycles
+            assert h <= ws.simulate_layer(w).total_cycles + 1e-9
+            if not w.is_fc:
+                assert h <= os_.simulate_layer(w).total_cycles + 1e-9
+
+    def test_policy_pins_dataflow(self):
+        net = small_net()
+        ws_report = simulate(net, reference_ws(32))
+        assert all(l.dataflow == "WS" for l in ws_report.layers)
+        os_report = simulate(net, reference_os(32))
+        # FC layers always take the WS matrix-vector path.
+        assert all(l.dataflow == "OS" for l in os_report.layers
+                   if l.name != "fc")
+
+    def test_utilization_bounded(self):
+        report = simulate(squeezenet_v1_0(), squeezelerator(32))
+        for layer in report.layers:
+            assert 0.0 <= report.layer_utilization(layer) <= 1.0
+        assert 0.0 <= report.mean_utilization <= 1.0
+
+    def test_energy_breakdown_levels(self):
+        report = simulate(small_net(), squeezelerator(32))
+        breakdown = report.energy_breakdown()
+        assert set(breakdown) == {"mac", "rf", "array", "global_buffer",
+                                  "dram"}
+        assert report.total_energy == pytest.approx(sum(breakdown.values()))
+
+    def test_total_macs_match_graph(self):
+        from repro.graph.stats import network_macs
+        net = squeezenet_v1_0()
+        report = simulate(net, squeezelerator(32))
+        assert report.total_macs == network_macs(net)
+
+    def test_larger_array_not_slower_compute(self):
+        net = squeezenet_v1_0()
+        small = simulate(net, squeezelerator(8))
+        large = simulate(net, squeezelerator(32))
+        assert large.total_cycles < small.total_cycles
+
+
+class TestSqueezelerator:
+    def test_requires_hybrid_policy(self):
+        with pytest.raises(ValueError, match="HYBRID"):
+            Squeezelerator(config=reference_ws(32))
+
+    def test_decisions_cover_compute_layers(self):
+        net = small_net()
+        decisions = Squeezelerator(32).decisions(net)
+        assert set(decisions) == {"conv1", "pw", "dw", "fc"}
+
+    def test_fc_decision_has_no_os_option(self):
+        decisions = Squeezelerator(32).decisions(small_net())
+        assert decisions["fc"].os_cycles is None
+        assert decisions["fc"].advantage == 1.0
+
+    def test_decision_advantage_at_least_one(self):
+        decisions = Squeezelerator(32).decisions(squeezenet_v1_0())
+        assert all(d.advantage >= 1.0 for d in decisions.values())
+
+    def test_decisions_match_report_dataflows(self):
+        accelerator = Squeezelerator(32)
+        net = squeezenet_v1_0()
+        decisions = accelerator.decisions(net)
+        report = accelerator.run(net)
+        for layer in report.layers:
+            assert layer.dataflow == decisions[layer.name].chosen
+
+    def test_depthwise_always_os(self):
+        decisions = Squeezelerator(32).decisions(mobilenet())
+        dw = {n: d for n, d in decisions.items() if n.endswith("/dw")}
+        assert dw and all(d.chosen == "OS" for d in dw.values())
+
+    def test_compare_with_references_shares_machine(self):
+        accelerator = Squeezelerator(16, rf_entries=16)
+        reports = accelerator.compare_with_references(small_net())
+        assert set(reports) == {"hybrid", "WS", "OS"}
+        assert reports["hybrid"].num_pes == reports["WS"].num_pes == 256
+
+    def test_hybrid_total_not_worse(self):
+        reports = Squeezelerator(32).compare_with_references(small_net())
+        assert reports["hybrid"].total_cycles <= reports["WS"].total_cycles
+        assert reports["hybrid"].total_cycles <= reports["OS"].total_cycles

@@ -1,0 +1,93 @@
+"""Unit tests for the ConvWorkload view of compute layers."""
+
+import pytest
+
+from repro.accel import ConvWorkload, network_workloads
+from repro.graph import LayerCategory, NetworkBuilder, TensorShape
+from repro.models import squeezenet_v1_0
+
+
+def build_net():
+    b = NetworkBuilder("n", TensorShape(3, 32, 32))
+    b.conv("first", 8, kernel_size=3, padding=1, stride=2)
+    b.depthwise_conv("dw", kernel_size=3, padding=1)
+    b.conv("pw", 16, kernel_size=1)
+    b.global_avg_pool("gap")
+    b.dense("fc", 10)
+    return b.build()
+
+
+class TestWorkloadConversion:
+    def test_conv_geometry(self):
+        net = build_net()
+        w = ConvWorkload.from_node(net["first"], net)
+        assert (w.in_channels, w.out_channels) == (3, 8)
+        assert (w.kernel_h, w.kernel_w) == (3, 3)
+        assert (w.out_h, w.out_w) == (16, 16)
+        assert w.category is LayerCategory.CONV1
+        assert not w.is_fc
+
+    def test_depthwise(self):
+        net = build_net()
+        w = ConvWorkload.from_node(net["dw"], net)
+        assert w.is_depthwise
+        assert w.groups == 8
+        assert w.group_in_channels == 1
+        assert w.group_out_channels == 1
+
+    def test_fc_as_degenerate_conv(self):
+        net = build_net()
+        w = ConvWorkload.from_node(net["fc"], net)
+        assert w.is_fc
+        assert (w.out_h, w.out_w) == (1, 1)
+        assert w.macs == 16 * 10
+
+    def test_macs_match_stats(self):
+        from repro.graph.stats import layer_macs
+        net = squeezenet_v1_0()
+        for node in net.compute_nodes():
+            w = ConvWorkload.from_node(node, net)
+            assert w.macs == layer_macs(node), node.name
+
+    def test_weight_elems_include_bias(self):
+        net = build_net()
+        w = ConvWorkload.from_node(net["pw"], net)
+        assert w.weight_elems == 8 * 16 + 16
+
+    def test_element_counts(self):
+        net = build_net()
+        w = ConvWorkload.from_node(net["first"], net)
+        assert w.input_elems == 3 * 32 * 32
+        assert w.output_elems == 8 * 16 * 16
+
+    def test_non_compute_node_rejected(self):
+        net = build_net()
+        with pytest.raises(TypeError):
+            ConvWorkload.from_node(net["gap"], net)
+
+    def test_network_workloads_order_and_count(self):
+        net = build_net()
+        workloads = network_workloads(net)
+        assert [w.name for w in workloads] == ["first", "dw", "pw", "fc"]
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError, match="geometry"):
+            ConvWorkload(
+                name="bad", category=LayerCategory.SPATIAL,
+                in_channels=0, out_channels=1, kernel_h=1, kernel_w=1,
+                stride_h=1, stride_w=1, in_h=1, in_w=1, out_h=1, out_w=1,
+            )
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError, match="groups"):
+            ConvWorkload(
+                name="bad", category=LayerCategory.SPATIAL,
+                in_channels=6, out_channels=4, kernel_h=1, kernel_w=1,
+                stride_h=1, stride_w=1, in_h=1, in_w=1, out_h=1, out_w=1,
+                groups=4,
+            )
+
+    def test_filter_taps(self):
+        net = build_net()
+        assert ConvWorkload.from_node(net["first"], net).filter_taps == 9
+        assert ConvWorkload.from_node(net["pw"], net).filter_taps == 1

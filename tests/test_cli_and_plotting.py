@@ -1,0 +1,73 @@
+"""Smoke tests for CLI entry points and the ASCII plotting helper."""
+
+import pytest
+
+from repro.experiments.plotting import ScatterPoint, scatter_plot
+from repro.experiments.runner import main
+
+
+class TestScatterPlot:
+    def _points(self):
+        return [
+            ScatterPoint(1.0, 50.0, "alpha"),
+            ScatterPoint(2.0, 60.0, "alpha"),
+            ScatterPoint(3.0, 70.0, "beta"),
+        ]
+
+    def test_contains_axes_and_legend(self):
+        text = scatter_plot(self._points(), x_label="ms", y_label="acc")
+        assert "> ms" in text
+        assert "acc ^" in text
+        assert "A=alpha" in text and "B=beta" in text
+
+    def test_extreme_values_on_frame(self):
+        text = scatter_plot(self._points())
+        assert "70.0" in text and "50.0" in text
+
+    def test_marker_collision_disambiguated(self):
+        points = [ScatterPoint(0, 0, "apple"), ScatterPoint(1, 1, "ant")]
+        text = scatter_plot(points)
+        assert "A=apple" in text
+        assert "2=ant" in text
+
+    def test_degenerate_single_point(self):
+        text = scatter_plot([ScatterPoint(5.0, 5.0, "one")])
+        assert "O=one" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([])
+
+    def test_title(self):
+        text = scatter_plot(self._points(), title="hello plot")
+        assert text.splitlines()[0] == "hello plot"
+
+
+class TestRunnerCli:
+    def test_main_subset(self, capsys):
+        assert main(["t1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_main_with_machine_flags(self, capsys):
+        assert main(["f2", "--array-size", "8", "--rf-entries", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "8 x 8" in out
+
+    def test_main_unknown_artifact(self, capsys):
+        assert main(["table9"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestExperimentMains:
+    """Every experiment module's main() must run standalone."""
+
+    @pytest.mark.parametrize("module_name", [
+        "table1", "figure2", "taxonomy", "energy_breakdown",
+    ])
+    def test_module_main(self, module_name, capsys):
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        module.main()
+        assert capsys.readouterr().out.strip()

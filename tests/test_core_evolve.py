@@ -1,0 +1,51 @@
+"""Tests for the iterative greedy co-design search."""
+
+import pytest
+
+from repro.core.evolve import describe, evolve_squeezenext
+
+
+class TestEvolve:
+    @pytest.fixture(scope="class")
+    def constrained(self):
+        """The paper's restraint: >= 2 blocks per stage, 5x5 floor."""
+        return evolve_squeezenext(min_stage_blocks=2, min_conv1_kernel=5,
+                                  max_iterations=12)
+
+    def test_monotone_descent(self, constrained):
+        cycles = [s.cycles for s in constrained.steps]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_rediscovers_paper_move_types(self, constrained):
+        """The greedy must find the paper's two optimization classes."""
+        moves = [s.move for s in constrained.steps[1:]]
+        assert any("conv1" in m for m in moves)
+        assert any("stage1 -> stage3" in m or "stage1 -> stage2" in m
+                   for m in moves)
+
+    def test_constrained_endpoint_near_v5(self, constrained):
+        """With the accuracy-protecting floors, the fixed point lands
+        in v5's neighbourhood (conv1 5x5, early stages drained)."""
+        final = constrained.final
+        assert final.conv1_kernel == 5
+        assert final.stages[0] == 2           # v5's stage1 count
+        assert final.stages[2] >= 12          # depth migrated late
+        assert 1.15 < constrained.speedup < 1.5
+
+    def test_depth_preserved(self, constrained):
+        total = sum(constrained.initial.stages)
+        assert all(sum(s.stages) == total for s in constrained.steps)
+
+    def test_unconstrained_goes_further(self, constrained):
+        free = evolve_squeezenext(max_iterations=14)
+        assert free.speedup >= constrained.speedup
+
+    def test_describe(self, constrained):
+        text = describe(constrained)
+        assert "trajectory" in text and "total gain" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evolve_squeezenext(max_iterations=0)
+        with pytest.raises(ValueError):
+            evolve_squeezenext(min_stage_blocks=0)

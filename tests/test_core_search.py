@@ -1,0 +1,93 @@
+"""Tests for the hardware-aware architecture search extension."""
+
+import pytest
+
+from repro.core.search import (
+    CandidateSpec,
+    SearchResult,
+    default_search_space,
+    hardware_aware_search,
+)
+from repro.nn import make_shapes_dataset
+
+
+class TestCandidateSpec:
+    def test_build_shapes(self):
+        spec = CandidateSpec(width=4, conv1_kernel=3, early_fires=1,
+                             late_fires=1)
+        net = spec.build(image_size=32, num_classes=6)
+        assert net.output_shape.channels == 6
+        assert net["conv1"].spec.kernel_size == (3, 3)
+
+    def test_conv1_kernel_applied(self):
+        spec = CandidateSpec(width=4, conv1_kernel=5, early_fires=1,
+                             late_fires=0)
+        assert spec.build()["conv1"].spec.kernel_size == (5, 5)
+
+    def test_name_is_descriptive(self):
+        spec = CandidateSpec(width=8, conv1_kernel=3, early_fires=2,
+                             late_fires=1)
+        assert spec.name == "nas-w8-k3-e2l1"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(width=1, conv1_kernel=3, early_fires=1, late_fires=1),
+        dict(width=4, conv1_kernel=4, early_fires=1, late_fires=1),
+        dict(width=4, conv1_kernel=3, early_fires=0, late_fires=0),
+        dict(width=4, conv1_kernel=3, early_fires=-1, late_fires=1),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CandidateSpec(**kwargs)
+
+    def test_default_space_is_valid(self):
+        specs = default_search_space()
+        assert len(specs) >= 3
+        assert len({s.name for s in specs}) == len(specs)
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        candidates = [
+            CandidateSpec(width=4, conv1_kernel=3, early_fires=1,
+                          late_fires=0),
+            CandidateSpec(width=8, conv1_kernel=3, early_fires=1,
+                          late_fires=1),
+        ]
+        dataset = make_shapes_dataset(160, image_size=16, num_classes=4,
+                                      seed=3)
+        return hardware_aware_search(candidates, dataset=dataset,
+                                     epochs=2, seed=3)
+
+    def test_every_candidate_evaluated(self, result):
+        assert len(result.candidates) == 2
+        for candidate in result.candidates:
+            assert 0.0 <= candidate.test_accuracy <= 1.0
+            assert candidate.latency_ms > 0
+            assert candidate.energy > 0
+
+    def test_bigger_model_costs_more(self, result):
+        small, big = result.candidates
+        assert big.latency_ms > small.latency_ms
+        assert big.energy > small.energy
+
+    def test_frontier_non_empty_and_non_dominated(self, result):
+        frontier = result.frontier
+        assert frontier
+        for a in frontier:
+            assert not any(b.dominates(a) for b in result.candidates
+                           if b is not a)
+
+    def test_best_under_latency(self, result):
+        loosest = max(c.latency_ms for c in result.candidates)
+        best = result.best_under_latency(loosest)
+        assert best is not None
+        assert best.test_accuracy == max(c.test_accuracy
+                                         for c in result.candidates)
+
+    def test_best_under_impossible_budget(self, result):
+        assert result.best_under_latency(1e-9) is None
+
+    def test_epochs_validation(self):
+        with pytest.raises(ValueError):
+            hardware_aware_search(epochs=0)

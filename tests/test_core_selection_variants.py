@@ -1,0 +1,130 @@
+"""Tests for dataflow selection analysis and DNN variant generation."""
+
+import pytest
+
+from repro.accel import Squeezelerator, squeezelerator
+from repro.core import (
+    best_variant,
+    category_preferences,
+    dataflow_ratios,
+    evaluate_variants,
+    profile_stages,
+    propose_stage_shift,
+    squeezenext_stage_of,
+)
+from repro.graph import LayerCategory
+from repro.models import mobilenet, squeezenet_v1_0, squeezenext
+
+
+ACCEL = Squeezelerator(32, 8)
+
+
+class TestCategoryPreferences:
+    def test_squeezenet_preferences(self):
+        prefs = category_preferences(squeezenet_v1_0(), ACCEL)
+        assert prefs[LayerCategory.POINTWISE].preferred == "WS"
+        assert prefs[LayerCategory.CONV1].preferred == "OS"
+
+    def test_mobilenet_depthwise_prefers_os(self):
+        prefs = category_preferences(mobilenet(), ACCEL)
+        assert prefs[LayerCategory.DEPTHWISE].preferred == "OS"
+        assert prefs[LayerCategory.DEPTHWISE].os_wins == 13
+
+    def test_advantages_ordered(self):
+        prefs = category_preferences(squeezenet_v1_0(), ACCEL)
+        for pref in prefs.values():
+            assert (pref.min_advantage <= pref.median_advantage
+                    <= pref.max_advantage)
+            assert pref.min_advantage >= 1.0
+
+    def test_fc_not_counted(self):
+        prefs = category_preferences(mobilenet(), ACCEL)
+        assert LayerCategory.FC not in prefs
+
+
+class TestDataflowRatios:
+    def test_every_conv_measured(self):
+        net = squeezenet_v1_0()
+        ratios = dataflow_ratios(net, squeezelerator(32))
+        assert len(ratios) == len(net.conv_nodes())
+
+    def test_first_layer_favors_os(self):
+        ratios = dataflow_ratios(squeezenet_v1_0(), squeezelerator(32))
+        conv1 = next(r for r in ratios if r.category is LayerCategory.CONV1)
+        assert conv1.ws_over_os > 1.5
+
+    def test_depthwise_strongly_favors_os(self):
+        ratios = dataflow_ratios(mobilenet(), squeezelerator(32))
+        dw = [r for r in ratios if r.category is LayerCategory.DEPTHWISE]
+        assert max(r.ws_over_os for r in dw) > 19
+
+
+class TestStageShift:
+    def test_moves_from_low_to_high_utilization(self):
+        shifted = propose_stage_shift((6, 6, 8, 1), (0.2, 0.5, 0.8, 0.4),
+                                      shift=2)
+        assert shifted == (4, 6, 10, 1)
+
+    def test_preserves_total(self):
+        shifted = propose_stage_shift((6, 6, 8, 1), (0.9, 0.1, 0.5, 0.6))
+        assert sum(shifted) == 21
+
+    def test_never_empties_a_stage(self):
+        shifted = propose_stage_shift((1, 2, 3), (0.1, 0.5, 0.9), shift=5)
+        assert all(s >= 1 for s in shifted)
+
+    def test_donor_with_one_block_skipped(self):
+        shifted = propose_stage_shift((1, 5, 5), (0.1, 0.2, 0.9), shift=2)
+        assert shifted[0] == 1  # lowest-util stage cannot shrink below 1
+        assert shifted == (1, 3, 7)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            propose_stage_shift((1, 2), (0.5,))
+
+    def test_invalid_stage(self):
+        with pytest.raises(ValueError):
+            propose_stage_shift((0, 2), (0.5, 0.5))
+
+
+class TestVariants:
+    def test_five_variants_evaluated(self):
+        results = evaluate_variants(ACCEL)
+        assert [r.variant for r in results] == [1, 2, 3, 4, 5]
+
+    def test_v5_faster_than_v1(self):
+        results = evaluate_variants(ACCEL)
+        assert results[-1].cycles < results[0].cycles
+
+    def test_best_variant_does_not_regress_accuracy(self):
+        results = evaluate_variants(ACCEL)
+        best = best_variant(results)
+        assert best.top1_accuracy >= results[0].top1_accuracy
+        assert best.cycles <= results[0].cycles
+
+    def test_best_variant_empty(self):
+        with pytest.raises(ValueError):
+            best_variant([])
+
+
+class TestStageProfiles:
+    def test_profiles_cover_all_cycles(self):
+        net = squeezenext()
+        report = ACCEL.run(net)
+        profiles = profile_stages(report, squeezenext_stage_of(net))
+        assert sum(p.cycles for p in profiles) == pytest.approx(
+            report.total_cycles)
+
+    def test_utilization_bounded(self):
+        net = squeezenext()
+        report = ACCEL.run(net)
+        for profile in profile_stages(report, squeezenext_stage_of(net)):
+            assert 0.0 <= profile.utilization <= 1.1
+
+    def test_early_stage_lower_utilization_than_late(self):
+        """The Figure 3 observation driving the redistribution."""
+        net = squeezenext()
+        report = ACCEL.run(net)
+        profiles = {p.stage: p for p in
+                    profile_stages(report, squeezenext_stage_of(net))}
+        assert profiles["stage1"].utilization < profiles["stage3"].utilization

@@ -1,0 +1,134 @@
+"""Tests for hardware tuning sweeps, Pareto analysis and the co-design loop."""
+
+import pytest
+
+from repro.accel import Squeezelerator
+from repro.core import (
+    CoDesignLoop,
+    DesignPoint,
+    array_size_sweep,
+    best_point,
+    buffer_size_sweep,
+    evaluate_design_points,
+    families_on_front,
+    pareto_front,
+    rf_size_sweep,
+    run_paper_codesign,
+    sparsity_sweep,
+    tune_for_network,
+)
+from repro.models import squeezenet_v1_1, squeezenext
+from repro.vision.pipeline import tiny_squeezenet
+
+
+NET = squeezenet_v1_1()
+
+
+class TestSweeps:
+    def test_rf_sweep_labels_and_monotone(self):
+        points = rf_size_sweep(squeezenext(), rf_entries=(4, 8, 16))
+        assert [p.label for p in points] == ["rf=4", "rf=8", "rf=16"]
+        cycles = [p.cycles for p in points]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_array_sweep_bigger_is_faster(self):
+        points = array_size_sweep(NET, sizes=(8, 32))
+        assert points[-1].cycles < points[0].cycles
+
+    def test_sparsity_sweep_monotone(self):
+        points = sparsity_sweep(NET, sparsities=(0.0, 0.4))
+        assert points[1].cycles <= points[0].cycles
+
+    def test_buffer_sweep_runs(self):
+        points = buffer_size_sweep(NET, buffer_kib=(64, 128))
+        assert len(points) == 2
+        assert points[0].cycles >= points[1].cycles
+
+    def test_best_point_default_objective(self):
+        points = array_size_sweep(NET, sizes=(8, 32))
+        assert best_point(points) is min(points, key=lambda p: p.cycles)
+
+    def test_best_point_custom_objective(self):
+        points = array_size_sweep(NET, sizes=(8, 32))
+        cheapest = best_point(points, objective=lambda p: p.energy)
+        assert cheapest.energy == min(p.energy for p in points)
+
+    def test_best_point_empty(self):
+        with pytest.raises(ValueError):
+            best_point([])
+
+    def test_tune_for_network_prefers_smaller_on_tie(self):
+        point = tune_for_network(NET, array_sizes=(16, 32),
+                                 rf_entries=(8, 16))
+        assert point.cycles <= min(
+            p.cycles for p in array_size_sweep(NET, sizes=(16, 32)))
+
+    def test_inference_ms_positive(self):
+        (point,) = array_size_sweep(NET, sizes=(32,))
+        assert point.inference_ms > 0
+
+
+class TestPareto:
+    def _points(self):
+        return [
+            DesignPoint("a", "F1", 60.0, 1.0, 1.0),
+            DesignPoint("b", "F1", 70.0, 2.0, 2.0),
+            DesignPoint("c", "F2", 55.0, 1.5, 1.5),   # dominated by a
+            DesignPoint("d", "F2", 70.0, 1.0, 3.0),
+        ]
+
+    def test_dominates(self):
+        a, b, c, d = self._points()
+        assert a.dominates(c)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_front_excludes_dominated(self):
+        front = pareto_front(self._points())
+        assert {p.model for p in front} == {"a", "b", "d"}
+
+    def test_front_sorted_by_latency(self):
+        front = pareto_front(self._points())
+        latencies = [p.inference_ms for p in front]
+        assert latencies == sorted(latencies)
+
+    def test_families_on_front(self):
+        counts = families_on_front(self._points())
+        assert counts == {"F1": 2, "F2": 1}
+
+    def test_evaluate_design_points_skips_unknown_accuracy(self):
+        models = {"tiny": [tiny_squeezenet()]}  # no published accuracy
+        points = evaluate_design_points(models, Squeezelerator(32))
+        assert points == []
+
+    def test_evaluate_design_points_real_models(self):
+        models = {"SqueezeNet": [squeezenet_v1_1()]}
+        points = evaluate_design_points(models, Squeezelerator(32))
+        assert len(points) == 1
+        assert points[0].family == "SqueezeNet"
+        assert points[0].inference_ms > 0
+
+
+class TestCoDesignLoop:
+    def test_paper_loop_narrative(self):
+        result = run_paper_codesign()
+        assert [s.name for s in result.steps] == [
+            "accelerator-for-dnn", "dnn-for-accelerator",
+            "retune-accelerator",
+        ]
+        assert result.final_accelerator is not None
+        assert result.final_variant is not None
+        assert "SqNxt" in result.final_variant.network.name
+
+    def test_loop_improves_over_seed(self):
+        result = run_paper_codesign()
+        seed_cycles = result.steps[0].cycles       # SqueezeNet on best HW
+        final_cycles = result.final_variant.cycles
+        assert final_cycles < seed_cycles
+
+    def test_narrative_text(self):
+        result = CoDesignLoop(squeezenet_v1_1(), array_sizes=(32,),
+                              rf_entries=(8, 16)).run()
+        text = result.narrative
+        assert "accelerator-for-dnn" in text
+        assert "retune-accelerator" in text

@@ -1,0 +1,251 @@
+"""Tests for the reproduction harness: every artifact runs and preserves
+the paper's qualitative structure."""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    headline,
+    table1,
+    table2,
+    text_claims,
+)
+from repro.experiments.runner import resolve, run
+from repro.graph import LayerCategory
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1.run_table1()
+
+    def test_all_networks_present(self, rows):
+        assert [r.network for r in rows] == list(table1.PAPER_TABLE1)
+
+    def test_squeezenet_row_close_to_paper(self, rows):
+        row = next(r for r in rows if r.network == "SqueezeNet v1.0")
+        for category, paper in zip(
+                (LayerCategory.CONV1, LayerCategory.POINTWISE,
+                 LayerCategory.SPATIAL, LayerCategory.DEPTHWISE),
+                row.paper):
+            assert row.measured[category] == pytest.approx(paper, abs=3)
+
+    def test_mobilenet_dw_share(self, rows):
+        row = next(r for r in rows if "MobileNet" in r.network)
+        assert row.measured[LayerCategory.DEPTHWISE] == pytest.approx(3, abs=1)
+
+    def test_format_contains_paper_values(self, rows):
+        text = table1.format_table1(rows)
+        assert "Conv1" in text and "(21)" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2.run_table2()
+
+    def test_structure(self, rows):
+        assert len(rows) == 6
+
+    def test_hybrid_never_slower(self, rows):
+        for row in rows:
+            assert row.speedup_vs_os >= 1.0 - 1e-9, row.network
+            assert row.speedup_vs_ws >= 1.0 - 1e-9, row.network
+
+    def test_mobilenet_largest_ws_gap(self, rows):
+        """The paper's strongest claim: MobileNet needs the hybrid most."""
+        by_name = {r.network: r for r in rows}
+        mobilenet_row = by_name["1.0 MobileNet-224"]
+        assert mobilenet_row.speedup_vs_ws == max(r.speedup_vs_ws
+                                                  for r in rows)
+
+    def test_alexnet_smallest_gains(self, rows):
+        """FC-dominated AlexNet benefits least (paper: 1.00x / 1.19x)."""
+        by_name = {r.network: r for r in rows}
+        alexnet_row = by_name["AlexNet"]
+        assert alexnet_row.speedup_vs_os == min(r.speedup_vs_os for r in rows)
+
+    def test_speedups_within_factor_of_paper(self, rows):
+        for row in rows:
+            assert row.speedup_vs_os == pytest.approx(
+                row.paper.speedup_vs_os, rel=0.45), row.network
+            assert row.speedup_vs_ws == pytest.approx(
+                row.paper.speedup_vs_ws, rel=0.45), row.network
+
+    def test_energy_signs_mostly_match_paper(self, rows):
+        agree = sum(
+            1 for row in rows
+            if (row.energy_vs_ws_pct > 0) == (row.paper.energy_vs_ws_pct > 0)
+        )
+        assert agree >= 5
+
+    def test_format(self, rows):
+        text = table2.format_table2(rows)
+        assert "speedup vs OS" in text
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure1.run_figure1()
+
+    def test_per_layer_series_cover_network(self, result):
+        assert len(result.layers) == 26  # convs + conv10 of SqueezeNet v1.0
+
+    def test_first_layer_os_favored(self, result):
+        conv1 = result.layers[0]
+        assert conv1.os_cycles < conv1.ws_cycles
+        assert conv1.hybrid_dataflow == "OS"
+
+    def test_hybrid_totals_improve(self, result):
+        assert result.improvement_vs_os > 0.10
+        assert result.improvement_vs_ws > 0.50
+
+    def test_hybrid_is_per_layer_min(self, result):
+        for layer in result.layers:
+            assert layer.hybrid_cycles == pytest.approx(
+                min(layer.ws_cycles, layer.os_cycles))
+
+    def test_utilizations_bounded(self, result):
+        for layer in result.layers:
+            for util in (layer.ws_utilization, layer.os_utilization,
+                         layer.hybrid_utilization):
+                assert 0.0 <= util <= 1.0
+
+    def test_format(self, result):
+        text = figure1.format_figure1(result)
+        assert "conv1" in text and "paper" in text
+
+
+class TestFigure2:
+    def test_renders_machine_parameters(self):
+        text = figure2.render_block_diagram()
+        assert "32 x 32" in text
+        assert "128 KB" in text
+        assert "DMA" in text
+
+    def test_scales_with_config(self):
+        from repro.accel import squeezelerator
+        text = figure2.render_block_diagram(squeezelerator(8, 16))
+        assert "8 x 8" in text
+        assert "16 entries" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run_figure3()
+
+    def test_five_variants(self, result):
+        assert [v.variant for v in result.variants] == [1, 2, 3, 4, 5]
+
+    def test_monotone_improvement(self, result):
+        assert result.monotone_improvement()
+
+    def test_v5_at_least_15pct_faster(self, result):
+        totals = result.total_cycles()
+        assert totals[5] < totals[1] * 0.85
+
+    def test_early_stage_low_utilization(self, result):
+        """The paper's Figure 3 observation about initial layers."""
+        v1 = result.series[0]
+        assert (v1.stage_utilization["stage1"]
+                < v1.stage_utilization["stage3"])
+
+    def test_accuracy_never_regresses(self, result):
+        base = result.variants[0].top1_accuracy
+        assert all(v.top1_accuracy >= base for v in result.variants)
+
+    def test_format(self, result):
+        text = figure3.format_figure3(result)
+        assert "v5" in text and "monotone" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run_figure4()
+
+    def test_squeezenext_dominates_squeezenet(self, result):
+        assert result.squeezenext_dominates_squeezenet()
+
+    def test_alexnet_is_worst(self, result):
+        alexnet_point = next(p for p in result.points
+                             if p.model == "AlexNet")
+        assert alexnet_point not in result.front
+        assert alexnet_point.inference_ms == max(p.inference_ms
+                                                 for p in result.points)
+
+    def test_front_non_empty(self, result):
+        assert result.front
+        assert sum(result.front_families.values()) == len(result.front)
+
+    def test_format(self, result):
+        text = figure4.format_figure4(result)
+        assert "Pareto" in text
+
+
+class TestTextClaims:
+    @pytest.fixture(scope="class")
+    def bands(self):
+        return text_claims.run_text_claims()
+
+    def test_three_bands(self, bands):
+        assert {b.category for b in bands} == {
+            LayerCategory.POINTWISE, LayerCategory.CONV1,
+            LayerCategory.DEPTHWISE}
+
+    def test_conv1_band_within_paper(self, bands):
+        conv1 = next(b for b in bands if b.category is LayerCategory.CONV1)
+        assert conv1.winner_agreement == 1.0
+        assert conv1.measured_low >= 1.0
+        assert conv1.measured_high <= conv1.paper_high * 1.2
+
+    def test_depthwise_all_os(self, bands):
+        dw = next(b for b in bands if b.category is LayerCategory.DEPTHWISE)
+        assert dw.winner_agreement == 1.0
+        assert dw.measured_high > 19
+
+    def test_pointwise_mostly_ws(self, bands):
+        pw = next(b for b in bands if b.category is LayerCategory.POINTWISE)
+        assert pw.winner_agreement > 0.6
+
+    def test_format(self, bands):
+        assert "agreement" in text_claims.format_text_claims(bands)
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return headline.run_headline()
+
+    def test_direction_and_magnitude(self, result):
+        assert 1.5 < result.speed_vs_squeezenet < 3.5
+        assert 1.5 < result.energy_vs_squeezenet < 3.5
+        assert result.speed_vs_alexnet > 6
+        assert result.energy_vs_alexnet > 5
+
+    def test_accuracy_improved(self, result):
+        assert result.accuracy_improved
+
+    def test_format(self, result):
+        text = headline.format_headline(result)
+        assert "2.59x" in text  # paper reference value shown
+
+
+class TestRunner:
+    def test_resolve_aliases(self):
+        assert resolve("table1") == "t1"
+        assert resolve("F3") == "f3"
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            resolve("table9")
+
+    def test_run_subset(self):
+        output = run(["t1"])
+        assert "Table 1" in output
+        assert "Table 2" not in output

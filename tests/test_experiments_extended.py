@@ -1,0 +1,100 @@
+"""Tests for the per-layer, energy-breakdown and runner extensions."""
+
+import pytest
+
+from repro.experiments.energy_breakdown import (
+    format_energy_breakdown,
+    run_energy_breakdown,
+)
+from repro.experiments.per_layer import format_per_layer, run_per_layer
+from repro.experiments.runner import run
+from repro.graph.categories import LayerCategory
+
+
+class TestPerLayer:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return run_per_layer()
+
+    def test_all_networks_profiled(self, profiles):
+        assert len(profiles) == 6
+        for profile in profiles:
+            assert len(profile.hybrid.layers) == len(profile.ws.layers)
+
+    def test_alexnet_fc_dominates_time(self, profiles):
+        """Paper: AlexNet spends 73% of its runtime in FC layers."""
+        alexnet = next(p for p in profiles if p.network == "AlexNet")
+        assert alexnet.fc_time_share > 0.6
+
+    def test_alexnet_fc_dominates_energy(self, profiles):
+        """Paper: AlexNet takes 80% of its energy in FC layers."""
+        alexnet = next(p for p in profiles if p.network == "AlexNet")
+        assert alexnet.fc_energy_share == pytest.approx(0.80, abs=0.08)
+
+    def test_mobilenet_dominated_by_pointwise(self, profiles):
+        mobile = next(p for p in profiles
+                      if p.network == "1.0 MobileNet-224")
+        assert mobile.dominant_category() is LayerCategory.POINTWISE
+
+    def test_hybrid_never_slower(self, profiles):
+        for profile in profiles:
+            assert (profile.hybrid.total_cycles
+                    <= profile.ws.total_cycles + 1e-6)
+            assert (profile.hybrid.total_cycles
+                    <= profile.os.total_cycles + 1e-6)
+
+    def test_format_summary(self, profiles):
+        text = format_per_layer(profiles)
+        assert "longer version" in text
+
+    def test_format_detail_lists_layers(self, profiles):
+        text = format_per_layer(profiles[:1], detail=True)
+        assert "conv1" in text and "fc6" in text
+
+
+class TestEnergyBreakdown:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_energy_breakdown()
+
+    def test_shares_sum_to_one(self, rows):
+        for row in rows:
+            assert sum(row.shares.values()) == pytest.approx(1.0)
+
+    def test_alexnet_80_percent_fc(self, rows):
+        """The paper's exact number."""
+        alexnet = next(r for r in rows if r.network == "AlexNet")
+        assert alexnet.fc_share == pytest.approx(0.80, abs=0.08)
+
+    def test_mobilenet_dram_heaviest_compact_net(self, rows):
+        mobile = next(r for r in rows
+                      if r.network == "1.0 MobileNet-224")
+        for row in rows:
+            if row.network in ("AlexNet", "1.0 MobileNet-224",
+                               "SqueezeNext"):
+                continue
+            assert mobile.dram_share > row.dram_share, row.network
+
+    def test_squeezenets_compute_heavy(self, rows):
+        """OS-friendly FxF mixes put more energy in the MAC/RF levels."""
+        squeezenet = next(r for r in rows
+                          if r.network == "SqueezeNet v1.0")
+        mobile = next(r for r in rows
+                      if r.network == "1.0 MobileNet-224")
+        assert squeezenet.shares["mac"] > mobile.shares["mac"]
+
+    def test_format(self, rows):
+        text = format_energy_breakdown(rows)
+        assert "80%" in text and "DRAM" in text
+
+
+class TestRunnerRegistration:
+    def test_new_artifacts_resolve(self):
+        output = run(["perlayer"])
+        assert "longer version" in output
+        output = run(["energy"])
+        assert "Energy breakdown" in output
+
+    def test_taxonomy_and_footprint_resolve(self):
+        assert "taxonomy" in run(["taxonomy"])
+        assert "footprint" in run(["footprint"])

@@ -1,0 +1,169 @@
+"""Unit tests for NetworkSpec validation and the fluent builder."""
+
+import pytest
+
+from repro.graph import (
+    Conv2D,
+    Input,
+    NetworkBuilder,
+    NetworkSpec,
+    Pool2D,
+    TensorShape,
+)
+
+
+def tiny_spec() -> NetworkSpec:
+    return NetworkSpec("tiny", [
+        ("input", Input(TensorShape(3, 8, 8)), []),
+        ("conv", Conv2D(3, 4, kernel_size=3, padding=1), ["input"]),
+        ("pool", Pool2D(kernel_size=2), ["conv"]),
+    ])
+
+
+class TestNetworkSpec:
+    def test_topological_order_preserved(self):
+        net = tiny_spec()
+        assert [n.name for n in net.nodes] == ["input", "conv", "pool"]
+
+    def test_shapes_resolved(self):
+        net = tiny_spec()
+        assert net["conv"].output_shape == TensorShape(4, 8, 8)
+        assert net.output_shape == TensorShape(4, 4, 4)
+
+    def test_input_and_output_nodes(self):
+        net = tiny_spec()
+        assert net.input_node.name == "input"
+        assert net.output_node.name == "pool"
+        assert net.input_shape == TensorShape(3, 8, 8)
+
+    def test_len_contains_getitem(self):
+        net = tiny_spec()
+        assert len(net) == 3
+        assert "conv" in net
+        assert "nope" not in net
+
+    def test_compute_nodes(self):
+        net = tiny_spec()
+        assert [n.name for n in net.compute_nodes()] == ["conv"]
+
+    def test_first_conv(self):
+        assert tiny_spec().first_conv().name == "conv"
+
+    def test_consumers(self):
+        net = tiny_spec()
+        assert [n.name for n in net.consumers("conv")] == ["pool"]
+        assert net.consumers("pool") == []
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            NetworkSpec("bad", [
+                ("input", Input(TensorShape(1, 4, 4)), []),
+                ("input", Conv2D(1, 1, 1), ["input"]),
+            ])
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            NetworkSpec("bad", [
+                ("input", Input(TensorShape(1, 4, 4)), []),
+                ("a", Conv2D(1, 1, 1), ["b"]),
+                ("b", Conv2D(1, 1, 1), ["input"]),
+            ])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError, match="no layers"):
+            NetworkSpec("empty", [])
+
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(ValueError, match="Input"):
+            NetworkSpec("two-inputs", [
+                ("a", Input(TensorShape(1, 4, 4)), []),
+                ("b", Input(TensorShape(1, 4, 4)), []),
+            ])
+
+    def test_shape_error_names_layer(self):
+        with pytest.raises(ValueError, match="bad-conv"):
+            NetworkSpec("bad", [
+                ("input", Input(TensorShape(3, 4, 4)), []),
+                ("bad-conv", Conv2D(5, 1, 1), ["input"]),
+            ])
+
+    def test_with_name_copies(self):
+        renamed = tiny_spec().with_name("other")
+        assert renamed.name == "other"
+        assert len(renamed) == 3
+
+    def test_summary_mentions_every_layer(self):
+        summary = tiny_spec().summary()
+        for name in ("input", "conv", "pool"):
+            assert name in summary
+
+    def test_repr(self):
+        assert "tiny" in repr(tiny_spec())
+
+
+class TestNetworkBuilder:
+    def test_linear_chain(self):
+        b = NetworkBuilder("n", TensorShape(3, 16, 16))
+        b.conv("c1", 8, kernel_size=3, padding=1)
+        b.pool("p1", kernel_size=2)
+        b.global_avg_pool("gap")
+        b.dense("fc", 10)
+        net = b.build()
+        assert net.output_shape == TensorShape(10)
+
+    def test_branching_with_after(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        trunk = b.conv("trunk", 4, kernel_size=1)
+        left = b.conv("left", 4, kernel_size=1, after=trunk)
+        right = b.conv("right", 4, kernel_size=3, padding=1, after=trunk)
+        b.concat("join", [left, right])
+        net = b.build()
+        assert net["join"].output_shape == TensorShape(8, 8, 8)
+
+    def test_residual_add(self):
+        b = NetworkBuilder("n", TensorShape(4, 8, 8))
+        entry = b.cursor
+        b.conv("c", 4, kernel_size=3, padding=1)
+        b.add("res", ["c", entry])
+        assert b.build()["res"].output_shape == TensorShape(4, 8, 8)
+
+    def test_depthwise_helper(self):
+        b = NetworkBuilder("n", TensorShape(8, 8, 8))
+        b.depthwise_conv("dw", kernel_size=3, padding=1)
+        node = b.build()["dw"]
+        assert node.spec.groups == 8
+        assert node.output_shape == TensorShape(8, 8, 8)
+
+    def test_cursor_tracks_last(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        assert b.cursor == "input"
+        b.conv("c1", 4, kernel_size=1)
+        assert b.cursor == "c1"
+
+    def test_channels_query(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        b.conv("c1", 7, kernel_size=1)
+        assert b.channels() == 7
+        assert b.channels("input") == 3
+
+    def test_shape_of(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        assert b.shape_of("input") == TensorShape(3, 8, 8)
+
+    def test_unknown_anchor(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        with pytest.raises(ValueError, match="anchor"):
+            b.conv("c", 4, kernel_size=1, after="missing")
+
+    def test_duplicate_layer_name(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        b.conv("c", 4, kernel_size=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            b.conv("c", 4, kernel_size=1)
+
+    def test_softmax_and_flatten(self):
+        b = NetworkBuilder("n", TensorShape(3, 4, 4))
+        b.flatten("flat")
+        b.dense("fc", 5, activation="identity")
+        b.softmax("prob")
+        assert b.build().output_shape == TensorShape(5)

@@ -1,0 +1,91 @@
+"""Round-trip tests for network-spec serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    NetworkBuilder,
+    TensorShape,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.graph.stats import network_macs, network_params
+from repro.models import build_all, squeezedet, squeezenext, squeezeseg
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", [
+        "AlexNet", "1.0 MobileNet-224", "Tiny Darknet",
+        "SqueezeNet v1.0", "SqueezeNet v1.1", "SqueezeNext",
+    ])
+    def test_zoo_models_round_trip(self, name):
+        original = build_all()[name]
+        restored = network_from_dict(network_to_dict(original))
+        assert restored.name == original.name
+        assert len(restored) == len(original)
+        assert network_macs(restored) == network_macs(original)
+        assert network_params(restored) == network_params(original)
+        for a, b in zip(original.nodes, restored.nodes):
+            assert a.name == b.name
+            assert a.spec == b.spec
+            assert a.inputs == b.inputs
+            assert a.output_shape == b.output_shape
+
+    def test_detection_and_segmentation_round_trip(self):
+        for original in (squeezedet(), squeezeseg()):
+            restored = network_from_dict(network_to_dict(original))
+            assert restored.output_shape == original.output_shape
+
+    def test_dict_is_json_compatible(self):
+        text = json.dumps(network_to_dict(squeezenext()))
+        assert "stage1/block1/c31" in text
+
+    def test_file_round_trip(self, tmp_path):
+        original = build_all()["SqueezeNet v1.1"]
+        path = str(tmp_path / "net.json")
+        save_network(original, path)
+        restored = load_network(path)
+        assert network_macs(restored) == network_macs(original)
+
+    def test_restored_spec_runs_on_both_engines(self):
+        """The deserialized graph must be simulatable and executable."""
+        from repro.accel import Squeezelerator
+        from repro.nn import GraphNetwork
+        from repro.vision.pipeline import tiny_squeezenet
+
+        restored = network_from_dict(network_to_dict(tiny_squeezenet()))
+        report = Squeezelerator(32).run(restored)
+        assert report.total_cycles > 0
+        engine = GraphNetwork(restored, rng=np.random.default_rng(0))
+        assert engine.forward(np.zeros((1, 3, 32, 32))).shape == (1, 6)
+
+
+class TestValidationOnLoad:
+    def test_unknown_spec_type(self):
+        with pytest.raises(ValueError, match="unknown spec type"):
+            network_from_dict({"name": "x", "nodes": [
+                {"name": "input", "inputs": [],
+                 "spec": {"type": "lstm"}},
+            ]})
+
+    def test_broken_graph_rejected(self):
+        """Deserialization re-runs shape validation."""
+        b = NetworkBuilder("ok", TensorShape(3, 8, 8))
+        b.conv("c", 4, kernel_size=3, padding=1)
+        data = network_to_dict(b.build())
+        data["nodes"][1]["spec"]["in_channels"] = 5  # corrupt
+        with pytest.raises(ValueError, match="channels"):
+            network_from_dict(data)
+
+    def test_unserializable_spec_type_raises(self):
+        from repro.graph.serialize import _spec_to_dict
+
+        class Fake:
+            pass
+
+        with pytest.raises(TypeError):
+            _spec_to_dict(Fake())

@@ -1,0 +1,188 @@
+"""Unit tests for tensor shapes and layer-spec shape inference."""
+
+import pytest
+
+from repro.graph import (
+    Activation,
+    Add,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    Pool2D,
+    Softmax,
+    TensorShape,
+)
+
+
+class TestTensorShape:
+    def test_numel(self):
+        assert TensorShape(3, 4, 5).numel == 60
+
+    def test_flat_vector_defaults(self):
+        shape = TensorShape(10)
+        assert shape.spatial == (1, 1)
+        assert shape.numel == 10
+
+    def test_bytes_16bit(self):
+        assert TensorShape(2, 2, 2).bytes() == 16
+
+    def test_bytes_custom_width(self):
+        assert TensorShape(2, 2, 2).bytes(4) == 32
+
+    def test_str(self):
+        assert str(TensorShape(3, 224, 224)) == "3x224x224"
+
+    @pytest.mark.parametrize("c,h,w", [(0, 1, 1), (1, 0, 1), (1, 1, 0),
+                                       (-1, 4, 4)])
+    def test_rejects_nonpositive(self, c, h, w):
+        with pytest.raises(ValueError):
+            TensorShape(c, h, w)
+
+    def test_is_hashable_value(self):
+        assert TensorShape(1, 2, 3) == TensorShape(1, 2, 3)
+        assert len({TensorShape(1, 2, 3), TensorShape(1, 2, 3)}) == 1
+
+
+class TestConv2D:
+    def test_basic_shape(self):
+        conv = Conv2D(3, 16, kernel_size=3, padding=1)
+        out = conv.infer_shape([TensorShape(3, 32, 32)])
+        assert out == TensorShape(16, 32, 32)
+
+    def test_stride(self):
+        conv = Conv2D(3, 96, kernel_size=7, stride=2)
+        out = conv.infer_shape([TensorShape(3, 227, 227)])
+        assert out == TensorShape(96, 111, 111)
+
+    def test_alexnet_conv1(self):
+        conv = Conv2D(3, 96, kernel_size=11, stride=4)
+        out = conv.infer_shape([TensorShape(3, 227, 227)])
+        assert out == TensorShape(96, 55, 55)
+
+    def test_rectangular_kernel(self):
+        conv = Conv2D(8, 16, kernel_size=(3, 1), padding=(1, 0))
+        out = conv.infer_shape([TensorShape(8, 14, 14)])
+        assert out == TensorShape(16, 14, 14)
+
+    def test_kernel_normalized_to_pair(self):
+        assert Conv2D(1, 1, kernel_size=3).kernel_size == (3, 3)
+        assert Conv2D(1, 1, kernel_size=3).stride == (1, 1)
+
+    def test_depthwise_flags(self):
+        dw = Conv2D(32, 32, kernel_size=3, groups=32)
+        assert dw.is_depthwise
+        assert not dw.is_pointwise
+
+    def test_pointwise_flags(self):
+        pw = Conv2D(32, 64, kernel_size=1)
+        assert pw.is_pointwise
+        assert not pw.is_depthwise
+
+    def test_grouped_not_depthwise(self):
+        grouped = Conv2D(32, 32, kernel_size=3, groups=2)
+        assert not grouped.is_depthwise
+
+    def test_wrong_input_channels_raises(self):
+        conv = Conv2D(3, 8, kernel_size=3)
+        with pytest.raises(ValueError, match="channels"):
+            conv.infer_shape([TensorShape(4, 8, 8)])
+
+    def test_kernel_too_large_raises(self):
+        conv = Conv2D(3, 8, kernel_size=9)
+        with pytest.raises(ValueError, match="larger"):
+            conv.infer_shape([TensorShape(3, 4, 4)])
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError, match="groups"):
+            Conv2D(6, 8, kernel_size=1, groups=4)
+
+    def test_wrong_arity(self):
+        conv = Conv2D(3, 8, kernel_size=1)
+        with pytest.raises(ValueError, match="input"):
+            conv.infer_shape([TensorShape(3, 4, 4), TensorShape(3, 4, 4)])
+
+
+class TestDense:
+    def test_shape(self):
+        dense = Dense(100, 10)
+        assert dense.infer_shape([TensorShape(100)]) == TensorShape(10)
+
+    def test_accepts_chw_matching_numel(self):
+        dense = Dense(4 * 2 * 2, 5)
+        assert dense.infer_shape([TensorShape(4, 2, 2)]) == TensorShape(5)
+
+    def test_feature_mismatch(self):
+        with pytest.raises(ValueError, match="features"):
+            Dense(10, 5).infer_shape([TensorShape(11)])
+
+
+class TestPooling:
+    def test_maxpool_default_stride_is_kernel(self):
+        pool = Pool2D(kernel_size=2)
+        assert pool.stride == (2, 2)
+        out = pool.infer_shape([TensorShape(8, 32, 32)])
+        assert out == TensorShape(8, 16, 16)
+
+    def test_overlapping_pool(self):
+        pool = Pool2D(kernel_size=3, stride=2)
+        out = pool.infer_shape([TensorShape(96, 111, 111)])
+        assert out == TensorShape(96, 55, 55)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            Pool2D(kernel_size=2, mode="median")
+
+    def test_global_avg_pool(self):
+        out = GlobalAvgPool().infer_shape([TensorShape(512, 13, 13)])
+        assert out == TensorShape(512)
+
+    def test_flatten(self):
+        out = Flatten().infer_shape([TensorShape(256, 6, 6)])
+        assert out == TensorShape(256 * 36)
+
+
+class TestStructural:
+    def test_concat_adds_channels(self):
+        concat = Concat(num_inputs=2)
+        out = concat.infer_shape(
+            [TensorShape(64, 55, 55), TensorShape(64, 55, 55)])
+        assert out == TensorShape(128, 55, 55)
+
+    def test_concat_spatial_mismatch(self):
+        with pytest.raises(ValueError, match="spatial"):
+            Concat(2).infer_shape(
+                [TensorShape(64, 55, 55), TensorShape(64, 27, 27)])
+
+    def test_concat_needs_two(self):
+        with pytest.raises(ValueError):
+            Concat(num_inputs=1)
+
+    def test_add_same_shape(self):
+        add = Add(num_inputs=2)
+        out = add.infer_shape([TensorShape(32, 14, 14)] * 2)
+        assert out == TensorShape(32, 14, 14)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError, match="share"):
+            Add(2).infer_shape(
+                [TensorShape(32, 14, 14), TensorShape(16, 14, 14)])
+
+    def test_input_arity_zero(self):
+        node = Input(TensorShape(3, 8, 8))
+        assert node.infer_shape([]) == TensorShape(3, 8, 8)
+
+    def test_softmax_requires_vector(self):
+        with pytest.raises(ValueError, match="flat"):
+            Softmax().infer_shape([TensorShape(10, 2, 2)])
+        assert Softmax().infer_shape([TensorShape(10)]) == TensorShape(10)
+
+    def test_activation_passthrough(self):
+        shape = TensorShape(7, 3, 3)
+        assert Activation("relu").infer_shape([shape]) == shape
+
+    def test_activation_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Activation("swish")

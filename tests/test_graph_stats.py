@@ -1,0 +1,165 @@
+"""Unit tests for MAC/parameter counting and layer categorization."""
+
+import pytest
+
+from repro.graph import (
+    Conv2D,
+    Dense,
+    Input,
+    LayerCategory,
+    NetworkBuilder,
+    NetworkSpec,
+    TensorShape,
+    categorize,
+)
+from repro.graph.categories import categorize_network
+from repro.graph.stats import (
+    NetworkStats,
+    category_breakdown,
+    category_percentages,
+    layer_macs,
+    layer_params,
+    network_macs,
+    network_params,
+    weight_bytes,
+)
+
+
+def single_conv_net(conv: Conv2D, in_shape: TensorShape) -> NetworkSpec:
+    return NetworkSpec("one", [
+        ("input", Input(in_shape), []),
+        ("conv", conv, ["input"]),
+    ])
+
+
+class TestLayerCounts:
+    def test_conv_macs_hand_computed(self):
+        # 16 output channels, 8x8 output, 3x3 kernel, 4 input channels:
+        # 16 * 64 * 9 * 4 = 36864
+        net = single_conv_net(Conv2D(4, 16, 3, padding=1), TensorShape(4, 8, 8))
+        assert layer_macs(net["conv"]) == 36864
+
+    def test_depthwise_macs(self):
+        # groups == channels: one input channel per filter.
+        net = single_conv_net(Conv2D(8, 8, 3, padding=1, groups=8),
+                              TensorShape(8, 8, 8))
+        assert layer_macs(net["conv"]) == 8 * 64 * 9
+
+    def test_grouped_macs_halved(self):
+        dense_net = single_conv_net(Conv2D(8, 8, 3, padding=1),
+                                    TensorShape(8, 8, 8))
+        grouped_net = single_conv_net(Conv2D(8, 8, 3, padding=1, groups=2),
+                                      TensorShape(8, 8, 8))
+        assert (layer_macs(grouped_net["conv"]) * 2
+                == layer_macs(dense_net["conv"]))
+
+    def test_dense_macs(self):
+        net = NetworkSpec("fc", [
+            ("input", Input(TensorShape(100)), []),
+            ("fc", Dense(100, 10), ["input"]),
+        ])
+        assert layer_macs(net["fc"]) == 1000
+
+    def test_conv_params_with_bias(self):
+        net = single_conv_net(Conv2D(4, 16, 3), TensorShape(4, 8, 8))
+        assert layer_params(net["conv"]) == 16 * 4 * 9 + 16
+
+    def test_conv_params_without_bias(self):
+        net = single_conv_net(Conv2D(4, 16, 3, bias=False),
+                              TensorShape(4, 8, 8))
+        assert layer_params(net["conv"]) == 16 * 4 * 9
+
+    def test_pool_has_no_macs_or_params(self):
+        b = NetworkBuilder("n", TensorShape(4, 8, 8))
+        b.pool("p", kernel_size=2)
+        node = b.build()["p"]
+        assert layer_macs(node) == 0
+        assert layer_params(node) == 0
+
+    def test_network_totals_are_sums(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        b.conv("c1", 4, kernel_size=1)
+        b.conv("c2", 4, kernel_size=1)
+        net = b.build()
+        assert network_macs(net) == sum(layer_macs(n) for n in net.nodes)
+        assert network_params(net) == sum(layer_params(n) for n in net.nodes)
+
+    def test_weight_bytes_16bit(self):
+        b = NetworkBuilder("n", TensorShape(3, 8, 8))
+        b.conv("c1", 4, kernel_size=1)
+        net = b.build()
+        assert weight_bytes(net) == network_params(net) * 2
+
+
+class TestCategories:
+    def build_mixed(self) -> NetworkSpec:
+        b = NetworkBuilder("mixed", TensorShape(3, 32, 32))
+        b.conv("first", 8, kernel_size=3, padding=1)
+        b.conv("pw", 16, kernel_size=1)
+        b.depthwise_conv("dw", kernel_size=3, padding=1)
+        b.conv("spatial", 16, kernel_size=5, padding=2)
+        b.global_avg_pool("gap")
+        b.dense("fc", 10)
+        return b.build()
+
+    def test_first_conv_is_conv1(self):
+        net = self.build_mixed()
+        assert categorize(net["first"], net) is LayerCategory.CONV1
+
+    def test_pointwise(self):
+        net = self.build_mixed()
+        assert categorize(net["pw"], net) is LayerCategory.POINTWISE
+
+    def test_depthwise(self):
+        net = self.build_mixed()
+        assert categorize(net["dw"], net) is LayerCategory.DEPTHWISE
+
+    def test_spatial(self):
+        net = self.build_mixed()
+        assert categorize(net["spatial"], net) is LayerCategory.SPATIAL
+
+    def test_fc(self):
+        net = self.build_mixed()
+        assert categorize(net["fc"], net) is LayerCategory.FC
+
+    def test_non_compute_is_other(self):
+        net = self.build_mixed()
+        assert categorize(net["gap"], net) is LayerCategory.OTHER
+
+    def test_without_network_no_conv1(self):
+        net = self.build_mixed()
+        assert categorize(net["first"]) is LayerCategory.SPATIAL
+
+    def test_categorize_network_covers_compute(self):
+        net = self.build_mixed()
+        mapping = categorize_network(net)
+        assert set(mapping) == {n.name for n in net.compute_nodes()}
+
+    def test_breakdown_sums_to_total(self):
+        net = self.build_mixed()
+        assert sum(category_breakdown(net).values()) == network_macs(net)
+
+    def test_percentages_sum_to_100(self):
+        net = self.build_mixed()
+        assert sum(category_percentages(net).values()) == pytest.approx(100.0)
+
+    def test_percentages_empty_network_raises(self):
+        net = NetworkSpec("no-compute", [
+            ("input", Input(TensorShape(3, 4, 4)), []),
+        ])
+        with pytest.raises(ValueError, match="compute"):
+            category_percentages(net)
+
+
+class TestNetworkStats:
+    def test_stats_fields(self):
+        net = NetworkBuilder("n", TensorShape(3, 8, 8))
+        net.conv("c1", 4, kernel_size=3, padding=1)
+        net.dense("fc", 10, after="c1")
+        spec = net.build()
+        stats = NetworkStats.of(spec)
+        assert stats.name == "n"
+        assert stats.num_conv == 1
+        assert stats.num_fc == 1
+        assert stats.macs == network_macs(spec)
+        assert stats.peak_activation_bytes >= 4 * 64 * 2

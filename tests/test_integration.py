@@ -1,0 +1,83 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.accel import Squeezelerator, squeezelerator
+from repro.models import squeezenet_v1_1
+from repro.nn import GraphNetwork, make_shapes_dataset
+from repro.vision import ApplicationConstraints, plan_deployment, run_pipeline
+from repro.vision.pipeline import tiny_squeezenet
+
+
+class TestTrainQuantizeDeployPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        dataset = make_shapes_dataset(360, image_size=32, seed=9)
+        return run_pipeline(dataset=dataset, epochs=5, seed=9)
+
+    def test_training_beats_chance(self, result):
+        assert result.float_accuracy > 0.4  # chance = 1/6
+
+    def test_16bit_quantization_is_nearly_free(self, result):
+        assert result.quantization_drop < 0.05
+
+    def test_metrics_populated(self, result):
+        assert result.metrics.latency_ms > 0
+        assert result.metrics.energy_units > 0
+        assert result.metrics.model_bytes > 0
+        assert result.metrics.top1_accuracy == pytest.approx(
+            result.quantized_accuracy * 100.0)
+
+    def test_history_recorded(self, result):
+        assert len(result.history.epochs) == 5
+
+
+class TestGraphConsistencyAcrossStacks:
+    def test_same_spec_runs_on_both_engines(self):
+        """One NetworkSpec must serve both the simulator and numpy."""
+        spec = tiny_squeezenet(image_size=32)
+        report = Squeezelerator(32).run(spec)
+        network = GraphNetwork(spec, rng=np.random.default_rng(0))
+        out = network.forward(np.zeros((1, 3, 32, 32)))
+        assert out.shape == (1, 6)
+        assert report.total_cycles > 0
+        # The simulator sees exactly the compute layers numpy executes.
+        simulated = {layer.name for layer in report.layers}
+        assert simulated == {n.name for n in spec.compute_nodes()}
+
+    def test_macs_per_inference_engine_agnostic(self):
+        from repro.graph.stats import network_macs
+        spec = squeezenet_v1_1()
+        report = Squeezelerator(32).run(spec)
+        assert report.total_macs == network_macs(spec)
+
+
+class TestDeploymentScenario:
+    def test_full_deployment_story(self):
+        """Pick a model for a 2 ms / 10 mJ battery-powered camera."""
+        constraints = ApplicationConstraints(
+            "smart-camera", min_top1_accuracy=55.0, max_latency_ms=2.0,
+            max_energy_mj=10.0,
+        )
+        from repro.models import mobilenet, squeezenext
+        plan = plan_deployment(
+            constraints,
+            [squeezenet_v1_1(), squeezenext(variant=5), mobilenet(0.5)],
+            configs=[squeezelerator(32)],
+        )
+        assert plan.selected is not None
+        assert plan.selected.metrics.latency_ms <= 2.0
+        assert plan.selected.metrics.top1_accuracy >= 55.0
+
+    def test_codesigned_model_preferred_over_seed(self):
+        """Under a tight latency budget, SqueezeNext v5 beats SqueezeNet
+        v1.0 — the co-design payoff as a deployment outcome."""
+        from repro.models import squeezenet_v1_0, squeezenext
+        constraints = ApplicationConstraints("tight", max_latency_ms=1.2)
+        plan = plan_deployment(
+            constraints, [squeezenet_v1_0(), squeezenext(variant=5)],
+            configs=[squeezelerator(32)],
+        )
+        assert plan.selected is not None
+        assert "SqNxt" in plan.selected.metrics.model

@@ -1,0 +1,270 @@
+"""Model zoo tests: shapes, parameter/MAC counts, Table 1 structure."""
+
+import pytest
+
+from repro.graph import LayerCategory, TensorShape
+from repro.graph.categories import categorize
+from repro.graph.stats import category_percentages, network_macs, network_params
+from repro.models import (
+    alexnet,
+    build_all,
+    build_model,
+    maybe_top1_accuracy,
+    mobilenet,
+    model_names,
+    squeezenet_v1_0,
+    squeezenet_v1_1,
+    squeezenext,
+    squeezenext_variants,
+    tiny_darknet,
+    top1_accuracy,
+)
+
+
+class TestZooRegistry:
+    def test_six_models_in_paper_order(self):
+        assert model_names() == [
+            "AlexNet", "1.0 MobileNet-224", "Tiny Darknet",
+            "SqueezeNet v1.0", "SqueezeNet v1.1", "SqueezeNext",
+        ]
+
+    def test_build_model_unknown(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            build_model("ResNet-50")
+
+    def test_build_all_instantiates_everything(self):
+        nets = build_all()
+        assert len(nets) == 6
+        for name, net in nets.items():
+            assert net.output_shape.channels == 1000, name
+
+
+class TestAlexNet:
+    def test_parameter_count_matches_published(self):
+        # ~61M parameters (grouped-conv variant).
+        params = network_params(alexnet())
+        assert params == pytest.approx(61e6, rel=0.02)
+
+    def test_macs_in_published_range(self):
+        assert network_macs(alexnet()) == pytest.approx(724e6, rel=0.02)
+
+    def test_conv1_output(self):
+        assert alexnet()["conv1"].output_shape == TensorShape(96, 55, 55)
+
+    def test_has_three_fc_layers(self):
+        fcs = [n for n in alexnet().compute_nodes()
+               if categorize(n, alexnet()) is LayerCategory.FC]
+        assert len(fcs) == 3
+
+    def test_num_classes_parameter(self):
+        assert alexnet(num_classes=10).output_shape.channels == 10
+
+
+class TestSqueezeNet:
+    def test_v10_parameter_count(self):
+        # Published: ~1.25M parameters.
+        assert network_params(squeezenet_v1_0()) == pytest.approx(1.25e6,
+                                                                  rel=0.02)
+
+    def test_v11_cheaper_than_v10(self):
+        ratio = network_macs(squeezenet_v1_0()) / network_macs(squeezenet_v1_1())
+        # v1.1 is famously ~2.4x cheaper at similar accuracy.
+        assert 2.0 < ratio < 2.8
+
+    def test_fire_module_concat_channels(self):
+        net = squeezenet_v1_0()
+        assert net["fire2/concat"].output_shape.channels == 128
+
+    def test_v10_table1_mix(self):
+        p = category_percentages(squeezenet_v1_0())
+        assert p[LayerCategory.CONV1] == pytest.approx(21, abs=2)
+        assert p[LayerCategory.POINTWISE] == pytest.approx(25, abs=2)
+        assert p[LayerCategory.SPATIAL] == pytest.approx(54, abs=2)
+
+    def test_v11_table1_mix(self):
+        p = category_percentages(squeezenet_v1_1())
+        assert p[LayerCategory.CONV1] == pytest.approx(6, abs=2)
+        assert p[LayerCategory.POINTWISE] == pytest.approx(40, abs=2)
+
+    def test_no_fc_layers(self):
+        assert all(categorize(n, squeezenet_v1_0()) is not LayerCategory.FC
+                   for n in squeezenet_v1_0().compute_nodes())
+
+
+class TestMobileNet:
+    def test_parameter_count(self):
+        # Published: ~4.2M parameters for 1.0-224.
+        assert network_params(mobilenet()) == pytest.approx(4.2e6, rel=0.03)
+
+    def test_macs(self):
+        # Published: ~569M MACs.
+        assert network_macs(mobilenet()) == pytest.approx(569e6, rel=0.02)
+
+    def test_table1_mix(self):
+        p = category_percentages(mobilenet())
+        assert p[LayerCategory.POINTWISE] == pytest.approx(95, abs=2)
+        assert p[LayerCategory.DEPTHWISE] == pytest.approx(3, abs=1)
+
+    def test_width_multiplier_scales_channels(self):
+        half = mobilenet(0.5)
+        full = mobilenet(1.0)
+        assert half["conv1"].output_shape.channels == 16
+        assert full["conv1"].output_shape.channels == 32
+
+    def test_width_multiplier_monotone_macs(self):
+        macs = [network_macs(mobilenet(w)) for w in (0.25, 0.5, 0.75, 1.0)]
+        assert macs == sorted(macs)
+
+    def test_thirteen_separable_blocks(self):
+        dw_layers = [n for n in mobilenet().conv_nodes()
+                     if n.spec.is_depthwise]
+        assert len(dw_layers) == 13
+
+    def test_resolution_must_be_multiple_of_32(self):
+        with pytest.raises(ValueError, match="multiple"):
+            mobilenet(resolution=220)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            mobilenet(width_multiplier=0)
+
+
+class TestTinyDarknet:
+    def test_parameter_count(self):
+        # Published: ~1.0M parameters.
+        assert network_params(tiny_darknet()) == pytest.approx(1.0e6, rel=0.1)
+
+    def test_table1_mix(self):
+        p = category_percentages(tiny_darknet())
+        assert p[LayerCategory.SPATIAL] == pytest.approx(82, abs=2)
+        assert p[LayerCategory.POINTWISE] == pytest.approx(13, abs=2)
+
+    def test_input_resolution(self):
+        assert tiny_darknet().input_shape == TensorShape(3, 224, 224)
+
+
+class TestSqueezeNext:
+    def test_macs_match_published(self):
+        # Published 1.0-SqNxt-23: ~282M MACs.
+        assert network_macs(squeezenext()) == pytest.approx(282e6, rel=0.03)
+
+    def test_params_match_published(self):
+        # Published: ~0.7M parameters (ours is slightly leaner because
+        # shortcut convolutions only appear on shape changes).
+        assert 0.4e6 < network_params(squeezenext()) < 0.9e6
+
+    def test_block_counts_per_variant(self):
+        for variant, expected in ((1, 21), (3, 21), (5, 21)):
+            net = squeezenext(variant=variant)
+            blocks = {n.name.split("/")[0] + "/" + n.name.split("/")[1]
+                      for n in net.compute_nodes()
+                      if n.name.startswith("stage")}
+            assert len(blocks) == expected, f"variant {variant}"
+
+    def test_variant_2_shrinks_first_filter(self):
+        assert squeezenext(variant=1)["conv1"].spec.kernel_size == (7, 7)
+        assert squeezenext(variant=2)["conv1"].spec.kernel_size == (5, 5)
+
+    def test_variants_share_total_depth(self):
+        from repro.models.squeezenext import VARIANT_STAGES
+        totals = {sum(stages) for stages in VARIANT_STAGES.values()}
+        assert totals == {21}
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            squeezenext(variant=6)
+
+    def test_width_scaling(self):
+        assert (network_macs(squeezenext(2.0))
+                > 2 * network_macs(squeezenext(1.0)))
+
+    def test_variants_iterator(self):
+        variants = squeezenext_variants()
+        assert [v for v, _ in variants] == [1, 2, 3, 4, 5]
+
+    def test_separable_pair_present(self):
+        net = squeezenext()
+        block = "stage1/block1"
+        assert net[f"{block}/c31"].spec.kernel_size == (3, 1)
+        assert net[f"{block}/c13"].spec.kernel_size == (1, 3)
+
+    def test_residual_add_shapes(self):
+        net = squeezenext()
+        add = net["stage1/block2/add"]
+        assert len(add.inputs) == 2
+
+
+class TestAccuracyTable:
+    def test_known_model(self):
+        assert top1_accuracy("SqueezeNet v1.0") == pytest.approx(57.1)
+
+    def test_unknown_model_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="known models"):
+            top1_accuracy("Inception-v3")
+
+    def test_maybe_returns_none(self):
+        assert maybe_top1_accuracy("Inception-v3") is None
+
+    def test_every_zoo_name_except_generic_has_accuracy(self):
+        # The registry's "SqueezeNext" builds "1.0-SqNxt-23".
+        for name, net in build_all().items():
+            assert maybe_top1_accuracy(net.name) is not None, net.name
+
+    def test_variants_slightly_improve(self):
+        base = top1_accuracy("1.0-SqNxt-23")
+        v5 = top1_accuracy("1.0-SqNxt-23-v5")
+        assert v5 >= base
+
+
+class TestExtraModels:
+    """ResNet-18 and VGG-16 — reference workloads beyond the paper."""
+
+    def test_resnet18_published_counts(self):
+        from repro.models import resnet18
+        net = resnet18()
+        assert network_macs(net) == pytest.approx(1.81e9, rel=0.03)
+        assert network_params(net) == pytest.approx(11.7e6, rel=0.03)
+
+    def test_resnet18_residual_blocks(self):
+        from repro.models import resnet18
+        net = resnet18()
+        adds = [n for n in net.nodes if n.name.endswith("/add")]
+        assert len(adds) == 8  # two blocks per stage, four stages
+
+    def test_resnet18_downsample_only_on_stride(self):
+        from repro.models import resnet18
+        net = resnet18()
+        downsamples = [n for n in net.compute_nodes()
+                       if n.name.endswith("/downsample")]
+        assert len(downsamples) == 3  # stages 2-4 transitions only
+
+    def test_vgg16_published_counts(self):
+        from repro.models import vgg16
+        net = vgg16()
+        assert network_macs(net) == pytest.approx(15.5e9, rel=0.03)
+        assert network_params(net) == pytest.approx(138e6, rel=0.02)
+
+    def test_vgg16_fc_dominates_parameters(self):
+        from repro.graph.layer_spec import Dense
+        from repro.graph.stats import layer_params
+        from repro.models import vgg16
+        net = vgg16()
+        fc_params = sum(layer_params(n) for n in net.compute_nodes()
+                        if isinstance(n.spec, Dense))
+        assert fc_params / network_params(net) > 0.85
+
+    def test_both_have_published_accuracy(self):
+        assert top1_accuracy("ResNet-18") == pytest.approx(69.8)
+        assert top1_accuracy("VGG-16") == pytest.approx(71.6)
+
+    def test_vgg16_batch_ablation_is_extreme(self):
+        """89% FC parameters: batching is transformative for VGG."""
+        import dataclasses
+
+        from repro.accel import Squeezelerator, squeezelerator
+        from repro.models import vgg16
+        net = vgg16()
+        batch1 = Squeezelerator(32).run(net).total_cycles
+        config = dataclasses.replace(squeezelerator(32), batch_size=32)
+        batch32 = Squeezelerator(config=config).run(net).total_cycles
+        assert batch1 / batch32 > 1.5

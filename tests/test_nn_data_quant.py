@@ -1,0 +1,156 @@
+"""Tests for the synthetic dataset and post-training quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import NetworkBuilder, TensorShape
+from repro.nn import (
+    GraphNetwork,
+    QuantizationSpec,
+    make_shapes_dataset,
+    quantization_sweep,
+    quantize_network,
+    quantize_tensor,
+    train_test_split,
+)
+from repro.nn.data import SHAPE_CLASSES, Dataset
+
+
+class TestShapesDataset:
+    def test_deterministic_for_seed(self):
+        a = make_shapes_dataset(40, image_size=16, seed=5)
+        b = make_shapes_dataset(40, image_size=16, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_shapes_dataset(40, image_size=16, seed=5)
+        b = make_shapes_dataset(40, image_size=16, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_balanced_classes(self):
+        dataset = make_shapes_dataset(60, image_size=16, num_classes=6)
+        counts = np.bincount(dataset.labels)
+        assert counts.min() == counts.max() == 10
+
+    def test_value_range(self):
+        dataset = make_shapes_dataset(20, image_size=16)
+        assert dataset.images.min() >= -1.0
+        assert dataset.images.max() <= 1.0
+
+    def test_shapes(self):
+        dataset = make_shapes_dataset(10, image_size=24, channels=1,
+                                      num_classes=3)
+        assert dataset.images.shape == (10, 1, 24, 24)
+        assert dataset.num_classes == 3
+
+    def test_class_count_validation(self):
+        with pytest.raises(ValueError):
+            make_shapes_dataset(10, num_classes=len(SHAPE_CLASSES) + 1)
+        with pytest.raises(ValueError):
+            make_shapes_dataset(10, image_size=4)
+
+    def test_batches_cover_dataset(self):
+        dataset = make_shapes_dataset(25, image_size=16)
+        seen = sum(len(labels) for _, labels in dataset.batches(8))
+        assert seen == 25
+
+    def test_batches_shuffle_with_rng(self):
+        dataset = make_shapes_dataset(64, image_size=16, seed=0)
+        plain = np.concatenate(
+            [l for _, l in dataset.batches(16)])
+        shuffled = np.concatenate(
+            [l for _, l in dataset.batches(16, np.random.default_rng(1))])
+        assert not np.array_equal(plain, shuffled)
+        assert sorted(plain) == sorted(shuffled)
+
+    def test_split_disjoint_and_complete(self):
+        dataset = make_shapes_dataset(50, image_size=16)
+        train, test = train_test_split(dataset, 0.2, seed=1)
+        assert len(train) + len(test) == 50
+        assert len(test) == 10
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 3, 4)), np.zeros(2))
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 3, 4, 4)), np.zeros(3))
+
+
+class TestQuantization:
+    def test_16bit_nearly_lossless(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 64))
+        xq = quantize_tensor(x, QuantizationSpec(16))
+        assert np.abs(x - xq).max() < np.abs(x).max() / 2 ** 14
+
+    def test_zero_tensor_unchanged(self):
+        x = np.zeros((4, 4))
+        np.testing.assert_array_equal(quantize_tensor(x, QuantizationSpec(8)),
+                                      x)
+
+    def test_coarser_bits_more_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(128,))
+        errors = [np.abs(x - quantize_tensor(x, QuantizationSpec(b))).max()
+                  for b in (4, 8, 16)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(min_value=2, max_value=16),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_quantization_bounded_error(self, bits, seed):
+        """|x - q(x)| <= scale/2 everywhere (half a quantization step)."""
+        x = np.random.default_rng(seed).normal(size=(32,))
+        spec = QuantizationSpec(bits)
+        xq = quantize_tensor(x, spec)
+        scale = np.abs(x).max() / spec.qmax
+        assert np.abs(x - xq).max() <= scale / 2 + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(min_value=2, max_value=16))
+    def test_quantization_idempotent(self, bits):
+        x = np.random.default_rng(7).normal(size=(32,))
+        spec = QuantizationSpec(bits)
+        once = quantize_tensor(x, spec)
+        twice = quantize_tensor(once, spec)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def _small_net(self):
+        b = NetworkBuilder("q", TensorShape(3, 16, 16))
+        b.conv("c1", 8, kernel_size=3, padding=1, stride=2)
+        b.global_avg_pool("gap")
+        b.dense("fc", 4, activation="identity")
+        return GraphNetwork(b.build(), rng=np.random.default_rng(2))
+
+    def test_quantize_network_reports_every_parameter(self):
+        net = self._small_net()
+        reports = quantize_network(net, QuantizationSpec(8))
+        assert len(reports) == sum(1 for _ in net.parameters())
+        assert all(r.bits == 8 for r in reports)
+
+    def test_16bit_network_accuracy_preserved(self):
+        net = self._small_net()
+        dataset = make_shapes_dataset(64, image_size=16, num_classes=4,
+                                      seed=3)
+        before = net.predict(dataset.images)
+        quantize_network(net, QuantizationSpec(16))
+        after = net.predict(dataset.images)
+        assert (before == after).mean() > 0.95
+
+    def test_sweep_restores_weights(self):
+        net = self._small_net()
+        dataset = make_shapes_dataset(32, image_size=16, num_classes=4,
+                                      seed=4)
+        saved = net.state_dict()
+        results = quantization_sweep(net, dataset.images, dataset.labels,
+                                     [16, 8, 4])
+        assert set(results) == {16, 8, 4}
+        for name, value in net.state_dict().items():
+            np.testing.assert_array_equal(value, saved[name])

@@ -1,0 +1,200 @@
+"""Tests for Adam, Dropout, metrics and data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dropout,
+    Parameter,
+    additive_noise,
+    augment_dataset,
+    classification_report,
+    compose,
+    confusion_matrix,
+    make_shapes_dataset,
+    random_horizontal_flip,
+    random_translate,
+    top_k_accuracy,
+)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        param = Parameter(np.array([5.0]))
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            param.grad[:] = 2 * param.value
+            opt.step()
+        assert abs(param.value[0]) < 1e-3
+
+    def test_bias_correction_first_step(self):
+        # With bias correction, the first step is ~lr in the gradient
+        # direction regardless of beta values.
+        param = Parameter(np.array([0.0]))
+        opt = Adam([param], lr=0.01)
+        param.grad[:] = 3.0
+        opt.step()
+        assert param.value[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_handles_sparse_like_gradients(self):
+        param = Parameter(np.zeros(4))
+        opt = Adam([param], lr=0.1)
+        param.grad[:] = [1.0, 0.0, 0.0, 0.0]
+        opt.step()
+        assert param.value[0] < 0
+        np.testing.assert_array_equal(param.value[1:], np.zeros(3))
+
+    def test_weight_decay(self):
+        param = Parameter(np.array([10.0]))
+        opt = Adam([param], lr=0.1, weight_decay=1.0)
+        param.grad[:] = 0.0
+        opt.step()
+        assert param.value[0] < 10.0
+
+    def test_validation(self):
+        param = Parameter(np.array([0.0]))
+        with pytest.raises(ValueError):
+            Adam([param], lr=0)
+        with pytest.raises(ValueError):
+            Adam([param], betas=(1.0, 0.9))
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        dropout = Dropout(0.5).eval()
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(dropout.forward(x), x)
+
+    def test_training_zeroes_and_rescales(self):
+        dropout = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((1000,))
+        out = dropout.forward(x)
+        kept = out[out > 0]
+        assert 0.3 < (out == 0).mean() < 0.7
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling
+
+    def test_expectation_preserved(self):
+        dropout = Dropout(0.3, rng=np.random.default_rng(1))
+        x = np.ones((100_000,))
+        assert dropout.forward(x).mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        dropout = Dropout(0.5, rng=np.random.default_rng(2))
+        x = np.ones((100,))
+        out = dropout.forward(x)
+        grad = dropout.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_p_zero_is_identity(self):
+        dropout = Dropout(0.0)
+        x = np.random.default_rng(3).normal(size=(8,))
+        np.testing.assert_array_equal(dropout.forward(x), x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestMetrics:
+    def test_top1_matches_argmax(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2], [0.4, 0.6]])
+        labels = np.array([1, 0, 0])
+        assert top_k_accuracy(scores, labels, 1) == pytest.approx(2 / 3)
+
+    def test_top_k_grows_with_k(self):
+        rng = np.random.default_rng(4)
+        scores = rng.normal(size=(50, 10))
+        labels = rng.integers(0, 10, size=50)
+        accs = [top_k_accuracy(scores, labels, k) for k in (1, 3, 5, 10)]
+        assert accs == sorted(accs)
+        assert accs[-1] == 1.0  # top-10 of 10 classes is everything
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), 4)
+
+    def test_confusion_matrix_counts(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]),
+                                  np.array([0, 1, 2, 2]), 3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1  # true 2 predicted 1
+        assert matrix.sum() == 4
+
+    def test_confusion_matrix_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([3]), np.array([0]), 3)
+
+    def test_classification_report_perfect(self):
+        predictions = np.array([0, 1, 2, 0, 1, 2])
+        report = classification_report(predictions, predictions, 3)
+        assert report.accuracy == 1.0
+        np.testing.assert_array_equal(report.precision, np.ones(3))
+        np.testing.assert_array_equal(report.recall, np.ones(3))
+        assert report.macro_f1 == 1.0
+
+    def test_classification_report_absent_class(self):
+        # Class 2 never appears: zero support, metrics stay finite.
+        report = classification_report(np.array([0, 1]), np.array([0, 1]), 3)
+        assert report.support[2] == 0
+        assert np.isfinite(report.macro_f1)
+
+
+class TestAugmentation:
+    def _dataset(self):
+        return make_shapes_dataset(24, image_size=16, seed=0)
+
+    def test_flip_preserves_shape_and_content(self):
+        dataset = self._dataset()
+        rng = np.random.default_rng(1)
+        flipped = random_horizontal_flip(1.0)(dataset.images, rng)
+        np.testing.assert_allclose(flipped, dataset.images[:, :, :, ::-1])
+
+    def test_flip_probability_zero(self):
+        dataset = self._dataset()
+        rng = np.random.default_rng(1)
+        out = random_horizontal_flip(0.0)(dataset.images, rng)
+        np.testing.assert_array_equal(out, dataset.images)
+
+    def test_translate_preserves_mass_mostly(self):
+        dataset = self._dataset()
+        rng = np.random.default_rng(2)
+        shifted = random_translate(2)(dataset.images, rng)
+        assert shifted.shape == dataset.images.shape
+        # Zero-filled edges can only reduce the total absolute mass.
+        assert np.abs(shifted).sum() <= np.abs(dataset.images).sum() + 1e-9
+
+    def test_noise_changes_values(self):
+        dataset = self._dataset()
+        rng = np.random.default_rng(3)
+        noisy = additive_noise(0.1)(dataset.images, rng)
+        assert not np.array_equal(noisy, dataset.images)
+        assert np.abs(noisy - dataset.images).mean() < 0.2
+
+    def test_compose_applies_in_order(self):
+        dataset = self._dataset()
+        rng = np.random.default_rng(4)
+        pipeline = compose([random_horizontal_flip(1.0),
+                            random_horizontal_flip(1.0)])
+        out = pipeline(dataset.images, rng)
+        np.testing.assert_array_equal(out, dataset.images)  # double flip
+
+    def test_augment_dataset_grows(self):
+        dataset = self._dataset()
+        grown = augment_dataset(dataset, additive_noise(0.05), copies=2)
+        assert len(grown) == 3 * len(dataset)
+        np.testing.assert_array_equal(grown.labels[:24], dataset.labels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(1.5)
+        with pytest.raises(ValueError):
+            random_translate(-1)
+        with pytest.raises(ValueError):
+            additive_noise(-0.1)
+        with pytest.raises(ValueError):
+            augment_dataset(self._dataset(), additive_noise(0.1), copies=0)

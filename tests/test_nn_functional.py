@@ -1,0 +1,120 @@
+"""Unit tests for the numpy kernels (im2col, softmax, one-hot)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_plane,
+    im2col,
+    log_softmax,
+    one_hot,
+    pad2d,
+    softmax,
+)
+
+
+class TestPad:
+    def test_zero_padding_is_identity(self):
+        x = np.random.default_rng(0).normal(size=(1, 2, 3, 3))
+        assert pad2d(x, (0, 0)) is x
+
+    def test_padding_shape_and_zeros(self):
+        x = np.ones((1, 1, 2, 2))
+        padded = pad2d(x, (1, 2))
+        assert padded.shape == (1, 1, 4, 6)
+        assert padded[0, 0, 0, 0] == 0
+        assert padded[0, 0, 1, 2] == 1
+
+
+class TestOutputPlane:
+    def test_basic(self):
+        assert conv_output_plane(32, 32, (3, 3), (1, 1), (1, 1)) == (32, 32)
+
+    def test_stride(self):
+        assert conv_output_plane(227, 227, (7, 7), (2, 2), (0, 0)) == (111, 111)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_plane(2, 2, (5, 5), (1, 1), (0, 0))
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+        cols = im2col(x, (3, 3), (1, 1), (0, 0))
+        assert cols.shape == (2, 27, 9)
+
+    def test_values_against_naive_window(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 4, 4))
+        cols = im2col(x, (2, 2), (1, 1), (0, 0))
+        # Window at output position (1, 2):
+        window = x[0, :, 1:3, 2:4].reshape(-1)
+        out_index = 1 * 3 + 2
+        np.testing.assert_allclose(cols[0, :, out_index], window)
+
+    def test_conv_via_gemm_matches_naive_loop(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols = im2col(x, (3, 3), (1, 1), (1, 1))
+        gemm = (w.reshape(4, -1) @ cols[0]).reshape(4, 6, 6)
+        # Naive direct convolution.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((4, 6, 6))
+        for k in range(4):
+            for i in range(6):
+                for j in range(6):
+                    naive[k, i, j] = (w[k] * xp[0, :, i:i + 3, j:j + 3]).sum()
+        np.testing.assert_allclose(gemm, naive, atol=1e-12)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> for random x, y."""
+        rng = np.random.default_rng(3)
+        shape = (2, 3, 7, 7)
+        kernel, stride, padding = (3, 3), (2, 2), (1, 1)
+        x = rng.normal(size=shape)
+        cols = im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, shape, kernel, stride, padding)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(4).normal(size=(5, 7)) * 10
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(5))
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_values_stable(self):
+        logits = np.array([[1000.0, 0.0, -1000.0]])
+        probs = softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(5).normal(size=(3, 4))
+        np.testing.assert_allclose(np.exp(log_softmax(logits)),
+                                   softmax(logits))
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([[1]]), 3)

@@ -1,0 +1,225 @@
+"""Layer-module tests, including numeric gradient checks.
+
+The gradient checks compare each module's analytic backward pass against
+central finite differences of a scalar loss — the strongest correctness
+evidence a hand-written framework can have.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import layers
+from repro.nn.module import Module
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(module: Module, x: np.ndarray,
+                         rtol: float = 1e-5) -> None:
+    """Assert analytic input gradient matches finite differences."""
+    rng = np.random.default_rng(7)
+    out = module.forward(x)
+    weights = rng.normal(size=out.shape)  # random linear readout
+
+    def loss() -> float:
+        return float((module.forward(x) * weights).sum())
+
+    module.forward(x)
+    analytic = module.backward(weights)
+    numeric = numeric_gradient(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=1e-6)
+
+
+def check_param_gradients(module: Module, x: np.ndarray,
+                          rtol: float = 1e-5) -> None:
+    """Assert analytic parameter gradients match finite differences."""
+    rng = np.random.default_rng(8)
+    out = module.forward(x)
+    weights = rng.normal(size=out.shape)
+
+    def loss() -> float:
+        return float((module.forward(x) * weights).sum())
+
+    module.zero_grad()
+    module.forward(x)
+    module.backward(weights)
+    for param in module.parameters():
+        numeric = numeric_gradient(loss, param.value)
+        np.testing.assert_allclose(param.grad, numeric, rtol=rtol, atol=1e-6)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestConv2D:
+    def test_forward_matches_naive(self):
+        conv = layers.Conv2D(2, 3, (3, 3), padding=(1, 1), rng=RNG)
+        x = RNG.normal(size=(2, 2, 5, 5))
+        out = conv.forward(x)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for n in (0, 1):
+            for k in range(3):
+                expected = sum(
+                    (conv.weight.value[k] * xp[n, :, i:i + 3, j:j + 3]).sum()
+                    for i in [2] for j in [3]
+                ) + conv.bias.value[k]
+                assert out[n, k, 2, 3] == pytest.approx(expected)
+
+    def test_input_gradient(self):
+        conv = layers.Conv2D(2, 3, (3, 3), padding=(1, 1), rng=RNG)
+        check_input_gradient(conv, RNG.normal(size=(2, 2, 4, 4)))
+
+    def test_param_gradients(self):
+        conv = layers.Conv2D(2, 2, (3, 3), rng=RNG)
+        check_param_gradients(conv, RNG.normal(size=(1, 2, 4, 4)))
+
+    def test_strided_gradient(self):
+        conv = layers.Conv2D(2, 2, (3, 3), stride=(2, 2), padding=(1, 1),
+                             rng=RNG)
+        check_input_gradient(conv, RNG.normal(size=(1, 2, 6, 6)))
+
+    def test_depthwise_gradient(self):
+        conv = layers.Conv2D(4, 4, (3, 3), padding=(1, 1), groups=4, rng=RNG)
+        check_input_gradient(conv, RNG.normal(size=(1, 4, 4, 4)))
+        check_param_gradients(conv, RNG.normal(size=(1, 4, 4, 4)))
+
+    def test_rectangular_kernel_gradient(self):
+        conv = layers.Conv2D(2, 2, (3, 1), padding=(1, 0), rng=RNG)
+        check_input_gradient(conv, RNG.normal(size=(1, 2, 4, 4)))
+
+    def test_grouped_channels_independent(self):
+        conv = layers.Conv2D(4, 4, (1, 1), groups=2, rng=RNG)
+        x = RNG.normal(size=(1, 4, 3, 3))
+        base = conv.forward(x).copy()
+        # Perturbing group-0 input must not change group-1 output.
+        x2 = x.copy()
+        x2[:, 0] += 1.0
+        out = conv.forward(x2)
+        np.testing.assert_allclose(out[:, 2:], base[:, 2:])
+
+    def test_wrong_channels_raises(self):
+        conv = layers.Conv2D(3, 4, (1, 1), rng=RNG)
+        with pytest.raises(ValueError, match="channels"):
+            conv.forward(RNG.normal(size=(1, 2, 4, 4)))
+
+    def test_backward_before_forward_raises(self):
+        conv = layers.Conv2D(1, 1, (1, 1), rng=RNG)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 1, 1)))
+
+
+class TestDense:
+    def test_forward(self):
+        dense = layers.Dense(3, 2, rng=RNG)
+        x = RNG.normal(size=(4, 3))
+        out = dense.forward(x)
+        expected = x @ dense.weight.value.T + dense.bias.value
+        np.testing.assert_allclose(out, expected)
+
+    def test_flattens_chw_input(self):
+        dense = layers.Dense(12, 5, rng=RNG)
+        out = dense.forward(RNG.normal(size=(2, 3, 2, 2)))
+        assert out.shape == (2, 5)
+
+    def test_gradients(self):
+        dense = layers.Dense(4, 3, rng=RNG)
+        x = RNG.normal(size=(2, 4))
+        check_input_gradient(dense, x)
+        check_param_gradients(dense, x)
+
+    def test_backward_restores_input_shape(self):
+        dense = layers.Dense(12, 5, rng=RNG)
+        x = RNG.normal(size=(2, 3, 2, 2))
+        dense.forward(x)
+        grad = dense.backward(np.ones((2, 5)))
+        assert grad.shape == x.shape
+
+
+class TestActivationsAndPooling:
+    def test_relu_forward(self):
+        relu = layers.ReLU()
+        out = relu.forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_relu_gradient_masks(self):
+        relu = layers.ReLU()
+        relu.forward(np.array([[-1.0, 2.0]]))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_maxpool_forward(self):
+        pool = layers.MaxPool2D((2, 2), (2, 2))
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient(self):
+        pool = layers.MaxPool2D((2, 2), (2, 2))
+        check_input_gradient(pool, RNG.normal(size=(2, 2, 4, 4)))
+
+    def test_avgpool_forward(self):
+        pool = layers.AvgPool2D((2, 2), (2, 2))
+        x = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        assert pool.forward(x)[0, 0, 0, 0] == pytest.approx(1.5)
+
+    def test_avgpool_gradient(self):
+        pool = layers.AvgPool2D((2, 2), (2, 2))
+        check_input_gradient(pool, RNG.normal(size=(1, 2, 4, 4)))
+
+    def test_global_avg_pool(self):
+        gap = layers.GlobalAvgPool()
+        x = RNG.normal(size=(2, 3, 4, 4))
+        np.testing.assert_allclose(gap.forward(x), x.mean(axis=(2, 3)))
+        check_input_gradient(layers.GlobalAvgPool(), x)
+
+    def test_flatten_round_trip(self):
+        flat = layers.Flatten()
+        x = RNG.normal(size=(2, 3, 2, 2))
+        out = flat.forward(x)
+        assert out.shape == (2, 12)
+        assert flat.backward(out).shape == x.shape
+
+    def test_softmax_module_gradient(self):
+        softmax = layers.Softmax()
+        check_input_gradient(softmax, RNG.normal(size=(3, 5)), rtol=1e-4)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = layers.BatchNorm2D(3)
+        x = RNG.normal(loc=5.0, scale=3.0, size=(8, 3, 4, 4))
+        out = bn.forward(x)
+        assert abs(out.mean()) < 1e-8
+        assert out.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_eval_uses_running_stats(self):
+        bn = layers.BatchNorm2D(2)
+        x = RNG.normal(size=(16, 2, 3, 3))
+        for _ in range(50):
+            bn.forward(x)
+        bn.eval()
+        out = bn.forward(x)
+        assert abs(out.mean()) < 0.2
+
+    def test_gradients(self):
+        bn = layers.BatchNorm2D(2)
+        check_input_gradient(bn, RNG.normal(size=(4, 2, 3, 3)), rtol=1e-4)
+        check_param_gradients(bn, RNG.normal(size=(4, 2, 3, 3)), rtol=1e-4)
+
+    def test_he_init_rejects_bad_fan_in(self):
+        with pytest.raises(ValueError):
+            layers.he_init(RNG, (2, 2), 0)

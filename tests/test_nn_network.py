@@ -1,0 +1,144 @@
+"""Tests for lowering layer graphs to runnable numpy networks."""
+
+import numpy as np
+import pytest
+
+from repro.graph import NetworkBuilder, TensorShape
+from repro.models.squeezenet import fire_module
+from repro.nn import GraphNetwork
+
+
+def branchy_spec():
+    b = NetworkBuilder("branchy", TensorShape(3, 8, 8))
+    trunk = b.conv("trunk", 4, kernel_size=1)
+    left = b.conv("left", 4, kernel_size=1, after=trunk)
+    right = b.conv("right", 4, kernel_size=3, padding=1, after=trunk)
+    b.concat("cat", [left, right])
+    b.add("res", ["cat", "cat"])  # degenerate add exercises fan-out
+    b.global_avg_pool("gap")
+    b.dense("fc", 5, activation="identity")
+    return b.build()
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestGraphNetwork:
+    def test_forward_shape(self):
+        net = GraphNetwork(branchy_spec(), rng=RNG)
+        out = net.forward(RNG.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 5)
+
+    def test_forward_validates_input_shape(self):
+        net = GraphNetwork(branchy_spec(), rng=RNG)
+        with pytest.raises(ValueError, match="input shape"):
+            net.forward(RNG.normal(size=(2, 3, 9, 9)))
+        with pytest.raises(ValueError, match="NCHW"):
+            net.forward(RNG.normal(size=(3, 8, 8)))
+
+    def test_backward_through_dag_matches_numeric(self):
+        spec = branchy_spec()
+        net = GraphNetwork(spec, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).normal(size=(1, 3, 8, 8))
+        readout = np.random.default_rng(5).normal(size=(1, 5))
+
+        def loss():
+            return float((net.forward(x) * readout).sum())
+
+        net.forward(x)
+        analytic = net.backward(readout)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        flat_x, flat_g = x.reshape(-1), numeric.reshape(-1)
+        for i in range(0, flat_x.size, 17):  # sample positions for speed
+            orig = flat_x[i]
+            flat_x[i] = orig + eps
+            hi = loss()
+            flat_x[i] = orig - eps
+            lo = loss()
+            flat_x[i] = orig
+            flat_g[i] = (hi - lo) / (2 * eps)
+        mask = numeric != 0
+        np.testing.assert_allclose(analytic[0].reshape(-1)[mask.reshape(-1)[:analytic.size]],
+                                   numeric.reshape(-1)[mask.reshape(-1)],
+                                   rtol=1e-4, atol=1e-7)
+
+    def test_parameter_gradient_through_dag(self):
+        spec = branchy_spec()
+        net = GraphNetwork(spec, rng=np.random.default_rng(6))
+        x = np.random.default_rng(7).normal(size=(1, 3, 8, 8))
+        readout = np.random.default_rng(8).normal(size=(1, 5))
+
+        def loss():
+            return float((net.forward(x) * readout).sum())
+
+        net.zero_grad()
+        net.forward(x)
+        net.backward(readout)
+        # Check a handful of weights of the trunk conv numerically.
+        param = next(p for p in net.parameters() if p.name == "trunk.weight")
+        eps = 1e-6
+        for index in [(0, 0, 0, 0), (3, 2, 0, 0)]:
+            orig = param.value[index]
+            param.value[index] = orig + eps
+            hi = loss()
+            param.value[index] = orig - eps
+            lo = loss()
+            param.value[index] = orig
+            numeric = (hi - lo) / (2 * eps)
+            assert param.grad[index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_fire_module_runs(self):
+        b = NetworkBuilder("fire", TensorShape(3, 16, 16))
+        b.conv("conv1", 8, kernel_size=3, padding=1)
+        fire_module(b, "fire2", 4, 8, 8)
+        b.global_avg_pool("gap")
+        net = GraphNetwork(b.build(), rng=RNG)
+        out = net.forward(RNG.normal(size=(1, 3, 16, 16)))
+        assert out.shape == (1, 16)
+
+    def test_num_parameters_matches_graph_stats(self):
+        from repro.graph.stats import network_params
+        spec = branchy_spec()
+        net = GraphNetwork(spec, rng=RNG)
+        assert net.num_parameters() == network_params(spec)
+
+    def test_state_dict_round_trip(self):
+        spec = branchy_spec()
+        net1 = GraphNetwork(spec, rng=np.random.default_rng(1))
+        net2 = GraphNetwork(spec, rng=np.random.default_rng(2))
+        x = RNG.normal(size=(1, 3, 8, 8))
+        assert not np.allclose(net1.forward(x), net2.forward(x))
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net1.forward(x), net2.forward(x))
+
+    def test_load_state_dict_missing_key(self):
+        net = GraphNetwork(branchy_spec(), rng=RNG)
+        with pytest.raises(KeyError):
+            net.load_state_dict({})
+
+    def test_predict_returns_argmax(self):
+        net = GraphNetwork(branchy_spec(), rng=RNG)
+        x = RNG.normal(size=(3, 3, 8, 8))
+        preds = net.predict(x)
+        assert preds.shape == (3,)
+        assert set(preds) <= set(range(5))
+
+    def test_train_eval_toggles(self):
+        net = GraphNetwork(branchy_spec(), rng=RNG, batch_norm=True)
+        net.eval()
+        assert not net.training
+        net.train()
+        assert net.training
+
+    def test_batch_norm_option_adds_parameters(self):
+        spec = branchy_spec()
+        plain = GraphNetwork(spec, rng=RNG)
+        with_bn = GraphNetwork(spec, rng=RNG, batch_norm=True)
+        assert with_bn.num_parameters() > plain.num_parameters()
+
+    def test_backward_before_forward(self):
+        net = GraphNetwork(branchy_spec(), rng=RNG)
+        with pytest.raises(RuntimeError):
+            net.backward(np.zeros((1, 5)))

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) on the numpy NN substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import layers
+from repro.nn.functional import col2im, im2col, one_hot, softmax
+from repro.nn.loss import CrossEntropyLoss
+
+
+@st.composite
+def conv_cases(draw):
+    """Random valid convolution module + input pairs."""
+    cin = draw(st.integers(min_value=1, max_value=6))
+    cout = draw(st.integers(min_value=1, max_value=6))
+    kernel = draw(st.sampled_from([(1, 1), (3, 3), (3, 1), (2, 2)]))
+    stride = draw(st.sampled_from([(1, 1), (2, 2)]))
+    padding = draw(st.sampled_from([(0, 0), (1, 1)]))
+    size = draw(st.integers(min_value=4, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    conv = layers.Conv2D(cin, cout, kernel, stride=stride,
+                         padding=padding, rng=rng)
+    x = rng.normal(size=(2, cin, size, size))
+    return conv, x
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=conv_cases())
+def test_conv_is_linear_in_input(case):
+    """conv(a*x + b*y) == a*conv(x) + b*conv(y) for bias-free convs."""
+    conv, x = case
+    conv.bias = None
+    y = np.random.default_rng(1).normal(size=x.shape)
+    lhs = conv.forward(2.0 * x - 3.0 * y)
+    rhs = 2.0 * conv.forward(x) - 3.0 * conv.forward(y)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=conv_cases())
+def test_conv_backward_is_adjoint(case):
+    """<conv(x), g> == <x, conv_backward(g)> (bias-free)."""
+    conv, x = case
+    conv.bias = None
+    out = conv.forward(x)
+    g = np.random.default_rng(2).normal(size=out.shape)
+    conv.zero_grad()
+    conv.forward(x)
+    grad_in = conv.backward(g)
+    lhs = float((out * g).sum())
+    rhs = float((x * grad_in).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 3), st.integers(1, 4),
+                    st.integers(4, 9), st.integers(4, 9)),
+    kernel=st.sampled_from([(2, 2), (3, 3)]),
+    seed=st.integers(0, 1000),
+)
+def test_im2col_col2im_adjoint(shape, kernel, seed):
+    rng = np.random.default_rng(seed)
+    if shape[2] < kernel[0] or shape[3] < kernel[1]:
+        return
+    x = rng.normal(size=shape)
+    cols = im2col(x, kernel, (1, 1), (0, 0))
+    y = rng.normal(size=cols.shape)
+    lhs = float((cols * y).sum())
+    back = col2im(y, shape, kernel, (1, 1), (0, 0))
+    rhs = float((x * back).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 8), k=st.integers(2, 12),
+    scale=st.floats(0.1, 100.0), seed=st.integers(0, 1000),
+)
+def test_softmax_invariants(n, k, scale, seed):
+    logits = np.random.default_rng(seed).normal(size=(n, k)) * scale
+    probs = softmax(logits)
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(n), rtol=1e-9)
+    # Shift invariance.
+    np.testing.assert_allclose(probs, softmax(logits + 42.0), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 10), k=st.integers(2, 8), seed=st.integers(0, 500))
+def test_cross_entropy_nonnegative_and_zero_gradient_sum(n, k, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(n, k))
+    labels = rng.integers(0, k, size=n)
+    loss, grad = CrossEntropyLoss()(logits, labels)
+    assert loss >= 0.0
+    # Softmax-CE gradient rows sum to zero.
+    np.testing.assert_allclose(grad.sum(axis=-1), np.zeros(n), atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 12), k=st.integers(2, 9), seed=st.integers(0, 500))
+def test_one_hot_round_trip(n, k, seed):
+    labels = np.random.default_rng(seed).integers(0, k, size=n)
+    encoded = one_hot(labels, k)
+    np.testing.assert_array_equal(encoded.argmax(axis=-1), labels)
+    np.testing.assert_allclose(encoded.sum(axis=-1), np.ones(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(4, 10), channels=st.integers(1, 4),
+    seed=st.integers(0, 500),
+)
+def test_maxpool_dominates_avgpool(size, channels, seed):
+    """max over a window >= mean over the same window, everywhere."""
+    x = np.random.default_rng(seed).normal(size=(1, channels, size, size))
+    maxed = layers.MaxPool2D((2, 2), (2, 2)).forward(x)
+    averaged = layers.AvgPool2D((2, 2), (2, 2)).forward(x)
+    assert (maxed >= averaged - 1e-12).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale=st.integers(1, 4), seed=st.integers(0, 500))
+def test_upsample_preserves_mean(scale, seed):
+    """Nearest-neighbour upsampling replicates values: mean invariant."""
+    x = np.random.default_rng(seed).normal(size=(1, 2, 5, 5))
+    up = layers.Upsample(scale=scale).forward(x)
+    assert up.mean() == pytest.approx(x.mean(), rel=1e-9)
+    assert up.shape == (1, 2, 5 * scale, 5 * scale)

@@ -1,0 +1,87 @@
+"""Tests for early stopping and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.graph import NetworkBuilder, TensorShape
+from repro.nn import (
+    GraphNetwork,
+    SGD,
+    Trainer,
+    load_checkpoint,
+    make_shapes_dataset,
+    save_checkpoint,
+    train_test_split,
+)
+
+
+def tiny_net(seed=0):
+    b = NetworkBuilder("t", TensorShape(3, 16, 16))
+    b.conv("c1", 8, kernel_size=3, padding=1, stride=2)
+    b.global_avg_pool("gap")
+    b.dense("fc", 4, activation="identity")
+    return GraphNetwork(b.build(), rng=np.random.default_rng(seed))
+
+
+class TestEarlyStopping:
+    def test_stops_before_budget_when_stale(self):
+        dataset = make_shapes_dataset(120, image_size=16, num_classes=4,
+                                      seed=1)
+        train, test = train_test_split(dataset, 0.25, seed=1)
+        network = tiny_net(1)
+        # Zero-ish learning rate: accuracy cannot improve after epoch 1.
+        trainer = Trainer(network, SGD(network.parameters(), lr=1e-12),
+                          batch_size=16, seed=1)
+        history = trainer.fit(train, test, epochs=20,
+                              early_stopping_patience=2)
+        assert len(history.epochs) <= 4
+
+    def test_restores_best_weights(self):
+        dataset = make_shapes_dataset(160, image_size=16, num_classes=4,
+                                      seed=2)
+        train, test = train_test_split(dataset, 0.25, seed=2)
+        network = tiny_net(2)
+        trainer = Trainer(network, SGD(network.parameters(), lr=0.05),
+                          batch_size=16, seed=2)
+        history = trainer.fit(train, test, epochs=6,
+                              early_stopping_patience=3)
+        from repro.nn import evaluate
+        final = evaluate(network, test, 16)
+        best_seen = max(e.test_accuracy for e in history.epochs)
+        assert final == pytest.approx(best_seen, abs=1e-9)
+
+    def test_validation(self):
+        network = tiny_net()
+        trainer = Trainer(network, SGD(network.parameters(), lr=0.01))
+        dataset = make_shapes_dataset(16, image_size=16, num_classes=4)
+        with pytest.raises(ValueError, match="patience"):
+            trainer.fit(dataset, dataset, epochs=2,
+                        early_stopping_patience=0)
+        with pytest.raises(ValueError, match="test set"):
+            trainer.fit(dataset, None, epochs=2,
+                        early_stopping_patience=1)
+
+
+class TestCheckpointing:
+    def test_round_trip(self, tmp_path):
+        source = tiny_net(3)
+        target = tiny_net(4)
+        x = np.random.default_rng(5).normal(size=(2, 3, 16, 16))
+        assert not np.allclose(source.forward(x), target.forward(x))
+        path = str(tmp_path / "weights.npz")
+        save_checkpoint(source, path)
+        load_checkpoint(target, path)
+        np.testing.assert_allclose(source.forward(x), target.forward(x))
+
+    def test_slash_names_survive(self, tmp_path):
+        """Fire-module layer names contain '/', which npz keys cannot."""
+        from repro.vision.pipeline import tiny_squeezenet
+        source = GraphNetwork(tiny_squeezenet(),
+                              rng=np.random.default_rng(6))
+        path = str(tmp_path / "fire.npz")
+        save_checkpoint(source, path)
+        target = GraphNetwork(tiny_squeezenet(),
+                              rng=np.random.default_rng(7))
+        load_checkpoint(target, path)
+        x = np.zeros((1, 3, 32, 32))
+        np.testing.assert_allclose(source.forward(x), target.forward(x))

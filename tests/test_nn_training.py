@@ -1,0 +1,171 @@
+"""Tests for losses, optimizers, schedules and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import NetworkBuilder, TensorShape
+from repro.nn import (
+    CosineLR,
+    CrossEntropyLoss,
+    GraphNetwork,
+    MSELoss,
+    Parameter,
+    SGD,
+    StepLR,
+    Trainer,
+    evaluate,
+    make_shapes_dataset,
+    train_test_split,
+)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((4, 10))
+        loss, _ = CrossEntropyLoss()(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        loss_fn = CrossEntropyLoss()
+        _, grad = loss_fn(logits, labels)
+        eps = 1e-6
+        for index in [(0, 0), (1, 3), (2, 2)]:
+            perturbed = logits.copy()
+            perturbed[index] += eps
+            hi, _ = loss_fn(perturbed, labels)
+            perturbed[index] -= 2 * eps
+            lo, _ = loss_fn(perturbed, labels)
+            assert grad[index] == pytest.approx((hi - lo) / (2 * eps),
+                                                rel=1e-5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 2, 2)), np.array([0, 1]))
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        x = np.ones((2, 3))
+        loss, grad = MSELoss()(x, x)
+        assert loss == 0
+        np.testing.assert_array_equal(grad, np.zeros_like(x))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestSGD:
+    def test_plain_gradient_step(self):
+        param = Parameter(np.array([1.0]))
+        param.grad[:] = 2.0
+        SGD([param], lr=0.1, momentum=0.0).step()
+        assert param.value[0] == pytest.approx(0.8)
+
+    def test_momentum_accumulates(self):
+        param = Parameter(np.array([0.0]))
+        opt = SGD([param], lr=0.1, momentum=0.9)
+        param.grad[:] = 1.0
+        opt.step()
+        first = param.value[0]
+        param.grad[:] = 1.0
+        opt.step()
+        second_step = param.value[0] - first
+        assert abs(second_step) > abs(first)  # momentum grows the step
+
+    def test_weight_decay_pulls_to_zero(self):
+        param = Parameter(np.array([10.0]))
+        opt = SGD([param], lr=0.1, momentum=0.0, weight_decay=0.5)
+        param.grad[:] = 0.0
+        opt.step()
+        assert param.value[0] < 10.0
+
+    def test_minimizes_quadratic(self):
+        param = Parameter(np.array([5.0]))
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            param.grad[:] = 2 * param.value  # d/dx x^2
+            opt.step()
+        assert abs(param.value[0]) < 1e-4
+
+    def test_validation(self):
+        param = Parameter(np.array([0.0]))
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([param], momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        param = Parameter(np.array([0.0]))
+        opt = SGD([param], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        assert sched.step() == 1.0
+        assert sched.step() == pytest.approx(0.1)
+
+    def test_cosine_lr_endpoints(self):
+        param = Parameter(np.array([0.0]))
+        opt = SGD([param], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.0)
+        values = [sched.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        assert values == sorted(values, reverse=True)
+
+
+def tiny_classifier():
+    b = NetworkBuilder("clf", TensorShape(3, 16, 16))
+    b.conv("c1", 8, kernel_size=3, padding=1, stride=2)
+    b.conv("c2", 12, kernel_size=3, padding=1, stride=2)
+    b.global_avg_pool("gap")
+    b.dense("fc", 4, activation="identity")
+    return b.build()
+
+
+class TestTrainer:
+    def test_training_reduces_loss_and_beats_chance(self):
+        dataset = make_shapes_dataset(400, image_size=16, num_classes=4,
+                                      seed=11)
+        train, test = train_test_split(dataset, 0.25, seed=12)
+        net = GraphNetwork(tiny_classifier(), rng=np.random.default_rng(13))
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.05),
+                          batch_size=32, seed=14)
+        history = trainer.fit(train, test, epochs=6)
+        losses = [e.train_loss for e in history.epochs]
+        assert losses[-1] < losses[0]
+        assert history.final_test_accuracy > 0.45  # chance = 0.25
+
+    def test_history_accessors(self):
+        dataset = make_shapes_dataset(80, image_size=16, num_classes=4,
+                                      seed=1)
+        net = GraphNetwork(tiny_classifier(), rng=np.random.default_rng(2))
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.01), batch_size=16)
+        history = trainer.fit(dataset, epochs=2)
+        assert len(history.epochs) == 2
+        assert history.final_test_accuracy is None
+        assert history.final_train_loss == history.epochs[-1].train_loss
+
+    def test_evaluate_range(self):
+        dataset = make_shapes_dataset(60, image_size=16, num_classes=4,
+                                      seed=3)
+        net = GraphNetwork(tiny_classifier(), rng=np.random.default_rng(4))
+        accuracy = evaluate(net, dataset)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_invalid_epochs(self):
+        net = GraphNetwork(tiny_classifier(), rng=np.random.default_rng(5))
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.01))
+        with pytest.raises(ValueError):
+            trainer.fit(make_shapes_dataset(8, image_size=16), epochs=0)

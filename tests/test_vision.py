@@ -1,0 +1,117 @@
+"""Tests for the embedded-vision application layer."""
+
+import pytest
+
+from repro.accel import squeezelerator
+from repro.models import squeezenet_v1_1, mobilenet
+from repro.vision import (
+    ApplicationConstraints,
+    CandidateMetrics,
+    measure_candidate,
+    plan_deployment,
+    satisfies,
+    violations,
+)
+
+
+def make_metrics(**kwargs):
+    defaults = dict(
+        model="m", machine="hw", top1_accuracy=60.0, latency_ms=2.0,
+        energy_units=1e9, model_bytes=2 * 1024 * 1024,
+    )
+    defaults.update(kwargs)
+    return CandidateMetrics(**defaults)
+
+
+class TestConstraints:
+    def test_no_budgets_always_feasible(self):
+        constraints = ApplicationConstraints("anything")
+        assert satisfies(make_metrics(), constraints)
+
+    def test_accuracy_violation(self):
+        constraints = ApplicationConstraints("x", min_top1_accuracy=65.0)
+        problems = violations(make_metrics(), constraints)
+        assert len(problems) == 1
+        assert "accuracy" in problems[0]
+
+    def test_latency_violation(self):
+        constraints = ApplicationConstraints("x", max_latency_ms=1.0)
+        assert not satisfies(make_metrics(latency_ms=2.0), constraints)
+
+    def test_energy_conversion(self):
+        # 1e9 normalized units * 1 pJ = 1 mJ
+        metrics = make_metrics(energy_units=1e9)
+        assert metrics.energy_mj == pytest.approx(1.0)
+
+    def test_power_derivation(self):
+        # 1 mJ per inference at 2 ms latency = 500 mW average.
+        metrics = make_metrics(energy_units=1e9, latency_ms=2.0)
+        assert metrics.average_power_mw == pytest.approx(500.0)
+
+    def test_model_size_violation(self):
+        constraints = ApplicationConstraints("x", max_model_mib=1.0)
+        problems = violations(make_metrics(), constraints)
+        assert any("model" in p for p in problems)
+
+    def test_multiple_violations_all_reported(self):
+        constraints = ApplicationConstraints(
+            "tight", min_top1_accuracy=99.0, max_latency_ms=0.1,
+            max_energy_mj=0.001)
+        assert len(violations(make_metrics(), constraints)) == 3
+
+    def test_constraint_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationConstraints("x", min_top1_accuracy=150.0)
+        with pytest.raises(ValueError):
+            ApplicationConstraints("x", max_latency_ms=0.0)
+
+
+class TestDeployment:
+    def test_measure_candidate_known_model(self):
+        metrics = measure_candidate(squeezenet_v1_1(), squeezelerator(32))
+        assert metrics.top1_accuracy == pytest.approx(57.1)
+        assert metrics.latency_ms > 0
+        assert metrics.model_bytes > 1024
+
+    def test_measure_candidate_unknown_needs_accuracy(self):
+        from repro.vision.pipeline import tiny_squeezenet
+        with pytest.raises(ValueError, match="accuracy"):
+            measure_candidate(tiny_squeezenet(), squeezelerator(32))
+        metrics = measure_candidate(tiny_squeezenet(), squeezelerator(32),
+                                    accuracy=90.0)
+        assert metrics.top1_accuracy == 90.0
+
+    def test_plan_selects_most_accurate_feasible(self):
+        constraints = ApplicationConstraints("relaxed")
+        plan = plan_deployment(
+            constraints, [squeezenet_v1_1(), mobilenet(0.5)],
+            configs=[squeezelerator(32)],
+        )
+        assert plan.selected is not None
+        assert plan.selected.metrics.model == "0.5 MobileNet-224"
+
+    def test_plan_respects_latency_budget(self):
+        constraints = ApplicationConstraints("fast", max_latency_ms=1.0)
+        plan = plan_deployment(
+            constraints, [squeezenet_v1_1(), mobilenet(0.25)],
+            configs=[squeezelerator(32)],
+        )
+        assert plan.selected is not None
+        assert plan.selected.metrics.latency_ms <= 1.0
+
+    def test_plan_infeasible_returns_none(self):
+        constraints = ApplicationConstraints("impossible",
+                                             max_latency_ms=0.0001)
+        plan = plan_deployment(constraints, [squeezenet_v1_1()],
+                               configs=[squeezelerator(32)])
+        assert plan.selected is None
+        assert plan.feasible_count == 0
+        assert all(not c.feasible for c in plan.candidates)
+
+    def test_plan_enumerates_cross_product(self):
+        constraints = ApplicationConstraints("any")
+        plan = plan_deployment(
+            constraints, [squeezenet_v1_1(), mobilenet(0.5)],
+            configs=[squeezelerator(16), squeezelerator(32)],
+        )
+        assert len(plan.candidates) == 4

@@ -1,0 +1,154 @@
+"""Tests for detection/segmentation models and the footprint analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.memory_footprint import (
+    format_memory_footprint,
+    run_memory_footprint,
+)
+from repro.graph import NetworkBuilder, TensorShape, Upsample
+from repro.models import squeezedet, squeezenet_v1_1, squeezeseg
+from repro.nn import GraphNetwork
+from repro.vision import compare_footprints, profile_memory
+
+
+class TestUpsample:
+    def test_shape_inference(self):
+        up = Upsample(scale=2)
+        out = up.infer_shape([TensorShape(8, 5, 7)])
+        assert out == TensorShape(8, 10, 14)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Upsample(scale=0)
+
+    def test_numpy_forward_values(self):
+        from repro.nn.layers import Upsample as UpsampleModule
+        module = UpsampleModule(scale=2)
+        x = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        out = module.forward(x)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_array_equal(
+            out[0, 0],
+            [[0, 0, 1, 1], [0, 0, 1, 1], [2, 2, 3, 3], [2, 2, 3, 3]])
+
+    def test_numpy_backward_sums_window(self):
+        from repro.nn.layers import Upsample as UpsampleModule
+        module = UpsampleModule(scale=2)
+        module.forward(np.zeros((1, 1, 2, 2)))
+        grad = module.backward(np.ones((1, 1, 4, 4)))
+        np.testing.assert_array_equal(grad[0, 0], [[4, 4], [4, 4]])
+
+
+class TestDetectionModel:
+    def test_output_geometry(self):
+        net = squeezedet(image_height=384, image_width=1248)
+        out = net.output_shape
+        # Four stride-2 stages: 384/16 x 1248/16 grid.
+        assert (out.height, out.width) == (24, 78)
+        # 9 anchors x (3 classes + 1 confidence + 4 box) = 72 channels.
+        assert out.channels == 72
+
+    def test_custom_classes(self):
+        net = squeezedet(num_classes=10, anchors_per_cell=5)
+        assert net.output_shape.channels == 5 * (10 + 1 + 4)
+
+    def test_fully_convolutional(self):
+        from repro.graph.layer_spec import Dense
+        net = squeezedet()
+        assert not any(isinstance(n.spec, Dense) for n in net.nodes)
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            squeezedet(image_height=32, image_width=32)
+
+
+class TestSegmentationModel:
+    def test_full_resolution_output(self):
+        net = squeezeseg(image_height=256, image_width=512, num_classes=19)
+        out = net.output_shape
+        assert (out.channels, out.height, out.width) == (19, 256, 512)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="multiples"):
+            squeezeseg(image_height=250, image_width=512)
+
+    def test_runs_on_numpy_engine(self):
+        net = squeezeseg(image_height=32, image_width=32, num_classes=4)
+        engine = GraphNetwork(net, rng=np.random.default_rng(0))
+        out = engine.forward(np.zeros((1, 3, 32, 32)))
+        assert out.shape == (1, 4, 32, 32)
+
+
+class TestFootprint:
+    def test_linear_chain_peak_is_adjacent_pair(self):
+        b = NetworkBuilder("chain", TensorShape(4, 8, 8))
+        b.conv("big", 64, kernel_size=1)      # 64*64 elems
+        b.conv("small", 4, kernel_size=1)     # 4*64 elems
+        profile = profile_memory(b.build())
+        # Peak: input(4*64) + big(64*64) live together = 8704 bytes @16b.
+        assert profile.peak_activation_bytes == (4 * 64 + 64 * 64) * 2
+        assert profile.peak_layer == "big"
+
+    def test_branching_costs_memory(self):
+        def branchy(width):
+            b = NetworkBuilder("b", TensorShape(4, 8, 8))
+            left = b.conv("left", width, kernel_size=1, after="input")
+            right = b.conv("right", width, kernel_size=1, after="input")
+            b.concat("cat", [left, right])
+            return b.build()
+
+        profile = profile_memory(branchy(16))
+        # While computing "right", "left" must stay live.
+        assert profile.peak_activation_bytes >= (16 + 16 + 4) * 64 * 2
+
+    def test_skip_connection_extends_liveness(self):
+        b = NetworkBuilder("skip", TensorShape(8, 8, 8))
+        entry = b.cursor
+        b.conv("mid", 8, kernel_size=1)
+        b.conv("mid2", 8, kernel_size=1)
+        b.add("res", ["mid2", entry])
+        profile = profile_memory(b.build())
+        # input stays live until the add: 3 tensors of 8*64 at the peak.
+        assert profile.peak_activation_bytes >= 3 * 8 * 64 * 2
+
+    def test_detection_much_larger_than_classification(self):
+        profiles = {p.network: p for p in compare_footprints(
+            [squeezenet_v1_1(), squeezedet()])}
+        classifier = profiles["SqueezeNet v1.1"]
+        detector = profiles["SqueezeDet-384x1248"]
+        assert (detector.peak_activation_bytes
+                > 5 * classifier.peak_activation_bytes)
+
+    def test_fits_buffer(self):
+        profile = profile_memory(squeezenet_v1_1())
+        assert not profile.fits_buffer(128 * 1024)
+        assert profile.fits_buffer(10 * 1024 * 1024)
+
+    def test_compare_sorted(self):
+        profiles = compare_footprints([squeezedet(), squeezenet_v1_1()])
+        peaks = [p.peak_activation_bytes for p in profiles]
+        assert peaks == sorted(peaks)
+
+
+class TestFootprintExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_memory_footprint()
+
+    def test_three_tasks(self, rows):
+        assert [r.task for r in rows] == ["classification", "detection",
+                                          "segmentation"]
+
+    def test_paper_claim_holds(self, rows):
+        classifier = rows[0]
+        for other in rows[1:]:
+            assert (other.profile.peak_activation_bytes
+                    > 3 * classifier.profile.peak_activation_bytes)
+
+    def test_none_fit_the_128kb_buffer(self, rows):
+        assert all(not r.fits_128kb for r in rows)
+
+    def test_format(self, rows):
+        assert "peak act KiB" in format_memory_footprint(rows)

@@ -1,0 +1,100 @@
+"""Cross-product coverage: every zoo model through every subsystem.
+
+A model added to the zoo must work everywhere: both dataflow references
+and the hybrid, the schedule compiler, the DRAM/energy accounting, the
+footprint analyzer, the roofline, and the JSON round-trip.  These tests
+make that contract explicit, so a future model with an odd topology
+(grouped convs, residuals, separable filters, huge FC heads) fails
+loudly in whichever subsystem mishandles it.
+"""
+
+import pytest
+
+from repro.accel import (
+    DataflowPolicy,
+    AcceleratorSimulator,
+    Squeezelerator,
+    compile_network,
+    squeezelerator,
+)
+from repro.accel.roofline import roofline
+from repro.graph import network_from_dict, network_to_dict
+from repro.graph.stats import network_macs
+from repro.models import (
+    alexnet,
+    mobilenet,
+    resnet18,
+    squeezedet,
+    squeezenet_v1_0,
+    squeezenet_v1_1,
+    squeezenext,
+    squeezeseg,
+    tiny_darknet,
+    vgg16,
+)
+
+MODEL_FACTORIES = {
+    "alexnet": alexnet,
+    "mobilenet": mobilenet,
+    "tiny_darknet": tiny_darknet,
+    "squeezenet_v1_0": squeezenet_v1_0,
+    "squeezenet_v1_1": squeezenet_v1_1,
+    "squeezenext": squeezenext,
+    "squeezenext_v5": lambda: squeezenext(variant=5),
+    "squeezedet": squeezedet,
+    "squeezeseg": squeezeseg,
+    "resnet18": resnet18,
+    "vgg16": vgg16,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_FACTORIES))
+def model(request):
+    return MODEL_FACTORIES[request.param]()
+
+
+class TestEveryModelEverySubsystem:
+    def test_hybrid_beats_or_ties_both_references(self, model):
+        reports = Squeezelerator(32).compare_with_references(model)
+        hybrid = reports["hybrid"].total_cycles
+        assert hybrid <= reports["WS"].total_cycles + 1e-6
+        assert hybrid <= reports["OS"].total_cycles + 1e-6
+
+    def test_energy_accounting_consistent(self, model):
+        report = Squeezelerator(32).run(model)
+        breakdown = report.energy_breakdown()
+        assert report.total_energy == pytest.approx(
+            sum(breakdown.values()))
+        assert all(v >= 0 for v in breakdown.values())
+
+    def test_all_policies_run(self, model):
+        for policy in DataflowPolicy:
+            config = squeezelerator(16).with_policy(policy)
+            report = AcceleratorSimulator(config).simulate(model)
+            assert report.total_cycles > 0
+
+    def test_schedule_compiles_and_validates(self, model):
+        program = compile_network(model, squeezelerator(32))
+        assert program.validate() == []
+        assert len(program.directives) == len(model.compute_nodes())
+
+    def test_roofline_covers_compute_layers(self, model):
+        points = roofline(model, squeezelerator(32))
+        assert len(points) == len(model.compute_nodes())
+        for point in points:
+            assert point.attained_macs_per_cycle > 0
+
+    def test_footprint_analysis(self, model):
+        from repro.vision import profile_memory
+        profile = profile_memory(model)
+        assert profile.peak_activation_bytes > 0
+        assert profile.macs == network_macs(model)
+
+    def test_json_round_trip(self, model):
+        restored = network_from_dict(network_to_dict(model))
+        assert network_macs(restored) == network_macs(model)
+
+    def test_utilization_sane_at_all_sizes(self, model):
+        for size in (8, 32):
+            report = Squeezelerator(size).run(model)
+            assert 0.0 < report.mean_utilization <= 1.0
