@@ -5,11 +5,15 @@ machinery (simulator throughput, numpy kernel speed, training step), so
 regressions in the tooling are visible.
 """
 
+import time
+
 import numpy as np
 
 from repro.accel import Squeezelerator
+from repro.core.sweep import SweepEngine
+from repro.core.tuner import tune_for_network
 from repro.graph import NetworkBuilder, TensorShape
-from repro.models import build_model, squeezenet_v1_0
+from repro.models import build_model, squeezenet_v1_0, squeezenext
 from repro.nn import GraphNetwork, SGD, Trainer, make_shapes_dataset
 from repro.nn.layers import Conv2D
 
@@ -20,6 +24,50 @@ def test_simulator_throughput_squeezenet(benchmark):
     network = squeezenet_v1_0()
     report = benchmark(accelerator.run, network)
     assert report.total_cycles > 0
+
+
+def test_tune_sweep_cache_speedup(benchmark):
+    """Memoized sweeps must beat from-scratch sweeps by >= 2x.
+
+    The acceptance workload: ``tune_for_network`` on 1.0-SqNxt-23 (a
+    2x2 array-size x RF-size sweep).  The cache dedupes the network's
+    repeated layer shapes within each point and shares WS entries
+    across the RF axis; the results must be bit-identical either way.
+    Both modes run on one worker so the ratio measures the cache, not
+    the scheduler.
+    """
+    network = squeezenext()
+
+    def cached():
+        return tune_for_network(network,
+                                engine=SweepEngine(max_workers=1))
+
+    def uncached():
+        return tune_for_network(
+            network, engine=SweepEngine(max_workers=1, use_cache=False))
+
+    def best_of(fn, repeats=7):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    cached(), uncached()  # warm-up
+    t_uncached = best_of(uncached)
+    t_cached = best_of(cached)
+
+    best_cached = benchmark(cached)
+    best_uncached = uncached()
+    assert best_cached.label == best_uncached.label
+    assert best_cached.report == best_uncached.report
+    assert best_cached.report.cache_stats is not None
+
+    speedup = t_uncached / t_cached
+    assert speedup >= 2.0, (
+        f"cache speedup {speedup:.2f}x (uncached {t_uncached * 1e3:.1f}ms, "
+        f"cached {t_cached * 1e3:.1f}ms) below the 2x floor")
 
 
 def test_model_zoo_build(benchmark):

@@ -28,6 +28,14 @@ from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.accel.reference import Event, ReferenceResult, ReferenceSimulator
 from repro.accel.report import AccessCounts, DataflowPerf, LayerReport, NetworkReport
 from repro.accel.schedule import LayerDirective, Program, compile_network
+from repro.accel.simcache import (
+    CacheStats,
+    SimulationCache,
+    buffer_signature,
+    config_fingerprint,
+    layer_cache_key,
+    workload_shape_key,
+)
 from repro.accel.simulator import AcceleratorSimulator, simulate
 from repro.accel.hybrid import DataflowDecision, Squeezelerator
 from repro.accel.multicore import MulticoreReport, core_scaling, simulate_multicore
@@ -44,6 +52,7 @@ __all__ = [
     "AcceleratorSimulator",
     "AccessCounts",
     "AreaBreakdown",
+    "CacheStats",
     "ConvWorkload",
     "DEFAULT_ENERGY_MODEL",
     "DataflowDecision",
@@ -63,9 +72,14 @@ __all__ = [
     "ReferenceSimulator",
     "RooflinePoint",
     "SelectionObjective",
+    "SimulationCache",
     "Squeezelerator",
     "WeightStationaryModel",
+    "buffer_signature",
     "compile_network",
+    "config_fingerprint",
+    "layer_cache_key",
+    "workload_shape_key",
     "core_scaling",
     "estimate_area",
     "memory_bound_fraction",

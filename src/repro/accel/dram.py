@@ -141,10 +141,16 @@ def layer_traffic(workload: ConvWorkload, dataflow: str,
     else:
         raise ValueError(f"unknown dataflow {dataflow!r}")
     if config.batch_size > 1:
-        # Weights stay resident (or re-stream once) for the whole batch;
-        # activations move per image.  Traffic is reported per image.
+        # Only the single resident fetch of the weights amortizes across
+        # the batch; re-streams forced by tiling (per-pixel-chunk under
+        # WS, per-spatial-block under OS) recur for every image, because
+        # each image's activations march through the same tile schedule.
+        # Activations always move per image.  Traffic is reported per
+        # image.
+        single_fetch = float(workload.weight_elems)
+        restreamed = max(0.0, traffic.weight_elems - single_fetch)
         traffic = DramTraffic(
-            weight_elems=traffic.weight_elems / config.batch_size,
+            weight_elems=single_fetch / config.batch_size + restreamed,
             input_elems=traffic.input_elems,
             output_elems=traffic.output_elems,
         )

@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.accel.config import AcceleratorConfig, DataflowPolicy, squeezelerator
 from repro.accel.energy import EnergyModel
 from repro.accel.report import NetworkReport
+from repro.accel.simcache import SimulationCache
 from repro.accel.simulator import AcceleratorSimulator
 from repro.accel.workload import network_workloads
 from repro.graph.network_spec import NetworkSpec
@@ -47,14 +48,17 @@ class Squeezelerator:
         rf_entries: int = 8,
         config: Optional[AcceleratorConfig] = None,
         energy_model: Optional[EnergyModel] = None,
+        cache: Optional[SimulationCache] = None,
     ) -> None:
         if config is None:
             config = squeezelerator(array_size, rf_entries)
         elif config.policy is not DataflowPolicy.HYBRID:
             raise ValueError("a Squeezelerator must use the HYBRID policy")
         self.config = config
-        self._simulator = AcceleratorSimulator(config, energy_model)
+        self._simulator = AcceleratorSimulator(config, energy_model,
+                                               cache=cache)
         self._energy_model = energy_model
+        self._cache = cache
 
     def run(self, network: NetworkSpec) -> NetworkReport:
         """Simulate batch-1 inference with per-layer dataflow selection."""
@@ -75,16 +79,34 @@ class Squeezelerator:
             )
         return result
 
-    def compare_with_references(self, network: NetworkSpec) -> Dict[str, NetworkReport]:
+    def compare_policies(self, network: NetworkSpec,
+                         engine=None) -> Dict[str, NetworkReport]:
         """Run the network on hybrid, pure-WS and pure-OS machines.
 
         All three share array size, buffers and DRAM parameters, exactly
-        like Table 2's comparison.
+        like Table 2's comparison.  The three policy points run through
+        one :class:`repro.core.sweep.SweepEngine`, so the hybrid run's
+        per-dataflow layer reports are cache-shared with the pure-policy
+        runs (policy never invalidates a cache entry).
         """
-        ws_config = self.config.with_policy(DataflowPolicy.WEIGHT_STATIONARY)
-        os_config = self.config.with_policy(DataflowPolicy.OUTPUT_STATIONARY)
-        return {
-            "hybrid": self.run(network),
-            "WS": AcceleratorSimulator(ws_config, self._energy_model).simulate(network),
-            "OS": AcceleratorSimulator(os_config, self._energy_model).simulate(network),
-        }
+        # Imported lazily: repro.core depends on repro.accel, not the
+        # other way around, except through this convenience routing.
+        from repro.core.sweep import SweepEngine, SweepJob
+
+        if engine is None:
+            engine = SweepEngine(cache=self._cache,
+                                 energy_model=self._energy_model)
+        jobs = [
+            SweepJob("hybrid", self.config, network),
+            SweepJob("WS",
+                     self.config.with_policy(DataflowPolicy.WEIGHT_STATIONARY),
+                     network),
+            SweepJob("OS",
+                     self.config.with_policy(DataflowPolicy.OUTPUT_STATIONARY),
+                     network),
+        ]
+        return {point.label: point.report for point in engine.run(jobs)}
+
+    def compare_with_references(self, network: NetworkSpec) -> Dict[str, NetworkReport]:
+        """Alias of :meth:`compare_policies` (the Table 2 comparison)."""
+        return self.compare_policies(network)

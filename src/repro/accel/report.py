@@ -10,9 +10,12 @@ reports plus totals).  These are plain values — formatting lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.graph.categories import LayerCategory
+
+if TYPE_CHECKING:  # import cycle: simcache stores LayerReports
+    from repro.accel.simcache import CacheStats
 
 
 @dataclass(frozen=True)
@@ -91,6 +94,10 @@ class NetworkReport:
     layers: List[LayerReport]
     frequency_hz: float
     num_pes: int
+    #: How the simulation cache behaved while producing this report
+    #: (None when simulated uncached).  Excluded from equality so cached
+    #: and uncached runs of the same network compare equal.
+    cache_stats: "Optional[CacheStats]" = field(default=None, compare=False)
 
     @property
     def total_cycles(self) -> float:

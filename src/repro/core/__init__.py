@@ -5,6 +5,8 @@
   (SqueezeNext v1..v5);
 * :mod:`repro.core.tuner` — accelerator parameter sweeps (RF size,
   array size, buffers, sparsity);
+* :mod:`repro.core.sweep` — the shared parallel sweep engine (cached,
+  deterministic-order config-point evaluation) every search runs on;
 * :mod:`repro.core.pareto` — accuracy/latency/energy frontier (Fig. 4);
 * :mod:`repro.core.codesign` — the three-movement co-design loop.
 """
@@ -35,8 +37,8 @@ from repro.core.selection import (
     category_preferences,
     dataflow_ratios,
 )
+from repro.core.sweep import SweepEngine, SweepJob, SweepPoint, default_objective
 from repro.core.tuner import (
-    SweepPoint,
     array_size_sweep,
     best_point,
     buffer_size_sweep,
@@ -67,6 +69,8 @@ __all__ = [
     "EvaluatedCandidate",
     "SearchResult",
     "StageProfile",
+    "SweepEngine",
+    "SweepJob",
     "SweepPoint",
     "VariantResult",
     "array_size_sweep",
@@ -75,6 +79,7 @@ __all__ = [
     "buffer_size_sweep",
     "category_preferences",
     "dataflow_ratios",
+    "default_objective",
     "default_search_space",
     "describe",
     "evaluate_design_points",

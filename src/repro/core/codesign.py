@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.accel.hybrid import Squeezelerator
-from repro.core.tuner import SweepPoint, array_size_sweep, rf_size_sweep
+from repro.core.sweep import SweepEngine
+from repro.core.tuner import array_size_sweep, best_point, rf_size_sweep
 from repro.core.variants import VariantResult, best_variant, evaluate_variants
 from repro.graph.network_spec import NetworkSpec
 
@@ -60,10 +61,14 @@ class CoDesignLoop:
     """Coarse-grain DNN/accelerator co-design driver."""
 
     def __init__(self, seed_network: NetworkSpec,
-                 array_sizes=(16, 32), rf_entries=(8, 16)) -> None:
+                 array_sizes=(16, 32), rf_entries=(8, 16),
+                 engine: Optional[SweepEngine] = None) -> None:
         self.seed_network = seed_network
         self.array_sizes = tuple(array_sizes)
         self.rf_entries = tuple(rf_entries)
+        # One engine for all three movements, so the re-tune sweep reuses
+        # every layer report the initial sweep already produced.
+        self.engine = engine or SweepEngine()
 
     def run(self) -> CoDesignResult:
         """Execute all three movements and return the history."""
@@ -71,8 +76,9 @@ class CoDesignLoop:
 
         # Movement 1: tailor the accelerator to the seed DNN.
         hw_points = array_size_sweep(self.seed_network,
-                                     sizes=self.array_sizes)
-        hw_best = min(hw_points, key=lambda p: p.cycles)
+                                     sizes=self.array_sizes,
+                                     engine=self.engine)
+        hw_best = best_point(hw_points)
         result.steps.append(CoDesignStep(
             name="accelerator-for-dnn",
             description=(f"array-size sweep on {self.seed_network.name} "
@@ -98,8 +104,9 @@ class CoDesignLoop:
         # Movement 3: re-tune the accelerator for the chosen DNN.
         rf_points = rf_size_sweep(chosen_variant.network,
                                   rf_entries=self.rf_entries,
-                                  array_size=hw_best.config.array_rows)
-        rf_best = self._prefer_smaller_on_tie(rf_points)
+                                  array_size=hw_best.config.array_rows,
+                                  engine=self.engine)
+        rf_best = best_point(rf_points)
         result.steps.append(CoDesignStep(
             name="retune-accelerator",
             description="register-file size sweep on the chosen variant",
@@ -117,12 +124,6 @@ class CoDesignLoop:
             top1_accuracy=chosen_variant.top1_accuracy,
         )
         return result
-
-    @staticmethod
-    def _prefer_smaller_on_tie(points: List[SweepPoint]) -> SweepPoint:
-        """Fastest point; ties go to the smaller register file (area)."""
-        return min(points, key=lambda p: (p.cycles,
-                                          p.config.rf_entries_per_pe))
 
 
 def run_paper_codesign() -> CoDesignResult:

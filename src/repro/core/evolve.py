@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.accel.config import AcceleratorConfig, squeezelerator
-from repro.accel.hybrid import Squeezelerator
+from repro.core.sweep import SweepEngine, SweepJob
 from repro.models.squeezenext import squeezenext
 
 
@@ -57,10 +57,20 @@ class EvolveResult:
         return self.initial.cycles / self.final.cycles
 
 
-def _simulate(accelerator: Squeezelerator,
-              stages: Tuple[int, ...], conv1_kernel: int) -> float:
-    network = squeezenext(stages=tuple(stages), conv1_kernel=conv1_kernel)
-    return accelerator.run(network).total_cycles
+def _simulate_batch(engine: SweepEngine, config: AcceleratorConfig,
+                    candidates) -> List[float]:
+    """Cycle counts for a batch of (stages, conv1_kernel, move) points.
+
+    One engine call per greedy iteration: the candidates differ by a
+    single block move or filter shrink, so nearly all of their layers
+    are already in the shared cache.
+    """
+    jobs = [
+        SweepJob(move, config,
+                 squeezenext(stages=tuple(stages), conv1_kernel=conv1))
+        for stages, conv1, move in candidates
+    ]
+    return [point.report.total_cycles for point in engine.run(jobs)]
 
 
 def _candidate_moves(stages: Tuple[int, ...],
@@ -94,6 +104,7 @@ def evolve_squeezenext(
     min_gain: float = 0.002,
     min_stage_blocks: int = 1,
     min_conv1_kernel: int = 3,
+    engine: Optional[SweepEngine] = None,
 ) -> EvolveResult:
     """Greedy latency descent over (stage distribution, conv1 kernel).
 
@@ -107,20 +118,22 @@ def evolve_squeezenext(
         raise ValueError("max_iterations must be >= 1")
     if min_stage_blocks < 1:
         raise ValueError("min_stage_blocks must be >= 1")
-    accelerator = Squeezelerator(config=config or squeezelerator(32))
+    config = config or squeezelerator(32)
+    engine = engine or SweepEngine()
     stages = tuple(start_stages)
     conv1 = start_conv1
-    cycles = _simulate(accelerator, stages, conv1)
+    (cycles,) = _simulate_batch(engine, config, [(stages, conv1, "start")])
     result = EvolveResult()
     result.steps.append(EvolveStep(0, stages, conv1, cycles, "start"))
 
     for iteration in range(1, max_iterations + 1):
+        candidates = list(_candidate_moves(stages, conv1, min_stage_blocks,
+                                           min_conv1_kernel))
         best = None
-        for cand_stages, cand_conv1, move in _candidate_moves(
-                stages, conv1, min_stage_blocks, min_conv1_kernel):
-            cand_cycles = _simulate(accelerator, cand_stages, cand_conv1)
+        for candidate, cand_cycles in zip(
+                candidates, _simulate_batch(engine, config, candidates)):
             if best is None or cand_cycles < best[0]:
-                best = (cand_cycles, cand_stages, cand_conv1, move)
+                best = (cand_cycles,) + candidate
         if best is None or best[0] >= cycles * (1 - min_gain):
             break
         cycles, stages, conv1 = best[0], best[1], best[2]

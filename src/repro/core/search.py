@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.accel.config import AcceleratorConfig, squeezelerator
-from repro.accel.hybrid import Squeezelerator
+from repro.core.sweep import SweepEngine, SweepJob
 from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
 from repro.models.squeezenet import fire_module
 from repro.nn.data import Dataset, make_shapes_dataset, train_test_split
@@ -134,34 +134,46 @@ def hardware_aware_search(
     epochs: int = 4,
     lr: float = 0.08,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> SearchResult:
-    """Train-and-simulate every candidate; return the evaluated set."""
+    """Train-and-simulate every candidate; return the evaluated set.
+
+    Training runs serially (it dominates, and the numpy substrate is
+    already BLAS-parallel); the simulations run as one batch on the
+    shared :class:`SweepEngine`, so candidates that repeat fire-module
+    shapes share cached layer reports.
+    """
     if epochs < 1:
         raise ValueError("epochs must be >= 1")
     candidates = list(candidates or default_search_space())
     if dataset is None:
         dataset = make_shapes_dataset(600, image_size=32, seed=seed)
     config = config or squeezelerator(32)
-    accelerator = Squeezelerator(config=config)
+    engine = engine or SweepEngine()
     train, test = train_test_split(dataset, test_fraction=0.25, seed=seed)
 
-    evaluated: List[EvaluatedCandidate] = []
+    trained: List[tuple] = []
     for index, spec in enumerate(candidates):
         network_spec = spec.build(image_size=dataset.images.shape[2],
                                   num_classes=dataset.num_classes)
-        engine = GraphNetwork(network_spec,
-                              rng=np.random.default_rng(seed + index),
-                              batch_norm=True)
-        optimizer = SGD(engine.parameters(), lr=lr, max_grad_norm=5.0)
-        Trainer(engine, optimizer, batch_size=32,
+        model = GraphNetwork(network_spec,
+                             rng=np.random.default_rng(seed + index),
+                             batch_norm=True)
+        optimizer = SGD(model.parameters(), lr=lr, max_grad_norm=5.0)
+        Trainer(model, optimizer, batch_size=32,
                 seed=seed + index).fit(train, epochs=epochs)
-        accuracy = evaluate(engine, test)
-        report = accelerator.run(network_spec)
-        evaluated.append(EvaluatedCandidate(
+        trained.append((spec, network_spec, evaluate(model, test)))
+
+    points = engine.run([SweepJob(spec.name, config, network)
+                         for spec, network, _ in trained])
+    evaluated = [
+        EvaluatedCandidate(
             spec=spec,
-            network=network_spec,
+            network=network,
             test_accuracy=accuracy,
-            latency_ms=report.inference_ms,
-            energy=report.total_energy,
-        ))
+            latency_ms=point.report.inference_ms,
+            energy=point.report.total_energy,
+        )
+        for (spec, network, accuracy), point in zip(trained, points)
+    ]
     return SearchResult(candidates=evaluated)

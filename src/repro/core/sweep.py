@@ -1,0 +1,160 @@
+"""Shared parallel sweep engine for the co-design loops.
+
+Every search in this repository — the tuner sweeps, the co-design loop,
+the greedy evolver, the hardware-aware NAS, the policy comparisons and
+the ablation benchmarks — has the same inner shape: evaluate a list of
+(machine config, network) points on the simulator and keep the results
+in the order the points were given.  :class:`SweepEngine` is that inner
+shape, done once:
+
+* points run concurrently through :mod:`concurrent.futures` (threads:
+  simulation is pure Python, so workers mostly interleave, but sweep
+  latency stays bounded by the slowest point rather than the sum);
+* result order is deterministic — always the input order, regardless of
+  scheduling;
+* all points share one :class:`~repro.accel.simcache.SimulationCache`,
+  so a sweep that changes one knob at a time re-simulates only the
+  layers that knob invalidates (e.g. a buffer-size sweep leaves most
+  small layers' reports cache-hot, and an RF sweep never invalidates a
+  WS entry).
+
+Cached and uncached engines produce bit-identical sweep results; build
+with ``use_cache=False`` to force from-scratch simulation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.energy import EnergyModel
+from repro.accel.report import NetworkReport
+from repro.accel.simcache import CacheStats, SimulationCache
+from repro.accel.simulator import AcceleratorSimulator
+from repro.accel.workload import network_workloads
+from repro.graph.network_spec import NetworkSpec
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One machine configuration and its simulated cost on a workload."""
+
+    label: str
+    config: AcceleratorConfig
+    report: NetworkReport
+
+    @property
+    def cycles(self) -> float:
+        return self.report.total_cycles
+
+    @property
+    def energy(self) -> float:
+        return self.report.total_energy
+
+    @property
+    def inference_ms(self) -> float:
+        return self.report.inference_ms
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One config point of a sweep: simulate ``network`` on ``config``."""
+
+    label: str
+    config: AcceleratorConfig
+    network: NetworkSpec
+
+
+def default_objective(point: SweepPoint) -> Tuple[float, int, int]:
+    """The canonical sweep objective: fastest, then smallest machine.
+
+    Ties break toward fewer PEs and then a smaller register file,
+    because the paper targets an SOC IP block where area matters.  Both
+    :func:`repro.core.tuner.best_point` and
+    :func:`repro.core.tuner.tune_for_network` rank with this key, so the
+    two entry points cannot disagree.
+    """
+    return (point.cycles, point.config.num_pes,
+            point.config.rf_entries_per_pe)
+
+
+def _default_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+class SweepEngine:
+    """Runs sweep points concurrently with a shared simulation cache."""
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[SimulationCache] = None,
+        use_cache: bool = True,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or _default_workers()
+        if cache is None and use_cache:
+            cache = SimulationCache()
+        self.cache = cache
+        self.energy_model = energy_model
+
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Counter snapshot of the shared cache (None when disabled)."""
+        return self.cache.stats() if self.cache is not None else None
+
+    def simulate(self, job: SweepJob,
+                 workloads: Optional[list] = None) -> SweepPoint:
+        """Evaluate one sweep point (sharing the engine's cache)."""
+        simulator = AcceleratorSimulator(
+            job.config, self.energy_model,
+            cache=self.cache, use_cache=self.cache is not None)
+        return SweepPoint(label=job.label, config=job.config,
+                          report=simulator.simulate(job.network, workloads))
+
+    def map_ordered(self, fn: Callable[[_T], _R],
+                    items: Iterable[_T]) -> List[_R]:
+        """Apply ``fn`` concurrently; results come back in input order."""
+        items = list(items)
+        if len(items) <= 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        workers = min(self.max_workers, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(fn, items))
+
+    def run(self, jobs: Sequence[SweepJob]) -> List[SweepPoint]:
+        """Evaluate all jobs; deterministic (input) result order."""
+        jobs = list(jobs)
+        # Extract each distinct network's workload list once up front —
+        # a sweep re-runs the same network on many configs, and the
+        # graph-to-workload flattening is config-independent.
+        workloads_by_network: dict = {}
+        for job in jobs:
+            if id(job.network) not in workloads_by_network:
+                workloads_by_network[id(job.network)] = (
+                    network_workloads(job.network))
+        return self.map_ordered(
+            lambda job: self.simulate(
+                job, workloads_by_network[id(job.network)]),
+            jobs)
+
+    def sweep(self, network: NetworkSpec,
+              configs: Sequence[AcceleratorConfig],
+              labels: Sequence[str]) -> List[SweepPoint]:
+        """Evaluate ``network`` on each config, labelled point by point."""
+        configs = list(configs)
+        labels = list(labels)
+        if len(configs) != len(labels):
+            raise ValueError(
+                f"configs and labels disagree: {len(configs)} configs "
+                f"vs {len(labels)} labels")
+        return self.run([SweepJob(label=label, config=config, network=network)
+                         for config, label in zip(configs, labels)])

@@ -5,77 +5,75 @@ SqueezeNet (PE array size, buffers), and after SqueezeNext is designed a
 final tune-up doubles the per-PE register file from 8 to 16 entries to
 improve local data reuse.  This module provides those sweeps as
 reusable searches over :class:`AcceleratorConfig` values.
+
+All sweeps route through :class:`repro.core.sweep.SweepEngine`: points
+run concurrently, share one simulation cache, and come back in a
+deterministic order.  Pass ``engine=`` to share a cache across several
+sweeps (as the co-design loop does), or ``use_cache=False`` to force
+from-scratch simulation.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.accel.config import AcceleratorConfig, squeezelerator
-from repro.accel.report import NetworkReport
-from repro.accel.simulator import AcceleratorSimulator
+from repro.core.sweep import SweepEngine, SweepPoint, default_objective
 from repro.graph.network_spec import NetworkSpec
 
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One machine configuration and its simulated cost on a workload."""
-
-    label: str
-    config: AcceleratorConfig
-    report: NetworkReport
-
-    @property
-    def cycles(self) -> float:
-        return self.report.total_cycles
-
-    @property
-    def energy(self) -> float:
-        return self.report.total_energy
-
-    @property
-    def inference_ms(self) -> float:
-        return self.report.inference_ms
+__all__ = [
+    "SweepPoint",
+    "array_size_sweep",
+    "best_point",
+    "buffer_size_sweep",
+    "rf_size_sweep",
+    "sparsity_sweep",
+    "tune_for_network",
+]
 
 
 def _sweep(network: NetworkSpec,
            configs: Sequence[AcceleratorConfig],
-           labels: Sequence[str]) -> List[SweepPoint]:
-    points = []
-    for config, label in zip(configs, labels):
-        report = AcceleratorSimulator(config).simulate(network)
-        points.append(SweepPoint(label=label, config=config, report=report))
-    return points
+           labels: Sequence[str],
+           engine: Optional[SweepEngine] = None,
+           use_cache: bool = True) -> List[SweepPoint]:
+    """Shared sweep helper; raises ValueError on a configs/labels
+    length mismatch instead of silently truncating."""
+    if engine is None:
+        engine = SweepEngine(use_cache=use_cache)
+    return engine.sweep(network, configs, labels)
 
 
 def rf_size_sweep(
     network: NetworkSpec,
     rf_entries: Sequence[int] = (4, 8, 16, 32),
     array_size: int = 32,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SweepPoint]:
     """The paper's final tune-up, generalized: sweep RF entries per PE."""
     configs = [squeezelerator(array_size, rf) for rf in rf_entries]
     labels = [f"rf={rf}" for rf in rf_entries]
-    return _sweep(network, configs, labels)
+    return _sweep(network, configs, labels, engine=engine)
 
 
 def array_size_sweep(
     network: NetworkSpec,
     sizes: Sequence[int] = (8, 16, 24, 32),
     rf_entries: int = 8,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SweepPoint]:
     """Sweep the PE array across the paper's stated range (8..32)."""
     configs = [squeezelerator(size, rf_entries) for size in sizes]
     labels = [f"{size}x{size}" for size in sizes]
-    return _sweep(network, configs, labels)
+    return _sweep(network, configs, labels, engine=engine)
 
 
 def sparsity_sweep(
     network: NetworkSpec,
     sparsities: Sequence[float] = (0.0, 0.2, 0.4, 0.6),
     array_size: int = 32,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SweepPoint]:
     """Sweep the modelled weight sparsity (the paper fixes 40%)."""
     configs = [
@@ -84,13 +82,14 @@ def sparsity_sweep(
         for sparsity in sparsities
     ]
     labels = [f"sparsity={sparsity:.0%}" for sparsity in sparsities]
-    return _sweep(network, configs, labels)
+    return _sweep(network, configs, labels, engine=engine)
 
 
 def buffer_size_sweep(
     network: NetworkSpec,
     buffer_kib: Sequence[int] = (32, 64, 128, 256),
     array_size: int = 32,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SweepPoint]:
     """Sweep the global buffer capacity around the paper's 128 KB."""
     configs = [
@@ -99,18 +98,24 @@ def buffer_size_sweep(
         for kib in buffer_kib
     ]
     labels = [f"{kib}KiB" for kib in buffer_kib]
-    return _sweep(network, configs, labels)
+    return _sweep(network, configs, labels, engine=engine)
 
 
 def best_point(
     points: Sequence[SweepPoint],
     objective: Optional[Callable[[SweepPoint], float]] = None,
 ) -> SweepPoint:
-    """Pick the sweep point minimizing an objective (default: cycles)."""
+    """Pick the sweep point minimizing an objective.
+
+    The default objective is :func:`repro.core.sweep.default_objective`:
+    fastest first, ties toward the smaller (cheaper) machine — the same
+    ranking :func:`tune_for_network` uses, so the two entry points
+    cannot disagree.
+    """
     if not points:
         raise ValueError("empty sweep")
     if objective is None:
-        objective = lambda p: p.cycles  # noqa: E731 - tiny default
+        objective = default_objective
     return min(points, key=objective)
 
 
@@ -118,17 +123,21 @@ def tune_for_network(
     network: NetworkSpec,
     array_sizes: Sequence[int] = (16, 32),
     rf_entries: Sequence[int] = (8, 16),
+    engine: Optional[SweepEngine] = None,
+    use_cache: bool = True,
 ) -> SweepPoint:
     """Joint array-size x RF-size search; returns the fastest machine.
 
     Ties break toward the smaller (cheaper) machine because the paper
-    targets an SOC IP block where area matters.
+    targets an SOC IP block where area matters (see
+    :func:`repro.core.sweep.default_objective`).
     """
-    points: List[SweepPoint] = []
+    configs: List[AcceleratorConfig] = []
+    labels: List[str] = []
     for size in sorted(array_sizes):
         for rf in sorted(rf_entries):
-            config = squeezelerator(size, rf)
-            report = AcceleratorSimulator(config).simulate(network)
-            points.append(SweepPoint(f"{size}x{size}/rf{rf}", config, report))
-    return min(points, key=lambda p: (p.cycles, p.config.num_pes,
-                                      p.config.rf_entries_per_pe))
+            configs.append(squeezelerator(size, rf))
+            labels.append(f"{size}x{size}/rf{rf}")
+    points = _sweep(network, configs, labels, engine=engine,
+                    use_cache=use_cache)
+    return best_point(points)

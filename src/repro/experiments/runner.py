@@ -127,14 +127,24 @@ def resolve(name: str) -> str:
 
 def run(names: Optional[List[str]] = None,
         array_size: Optional[int] = None,
-        rf_entries: int = 8) -> str:
+        rf_entries: int = 8,
+        jobs: int = 1) -> str:
     """Render the selected artifacts (all of them when empty).
 
     ``array_size=None`` lets each artifact use its own documented
     default machine (32x32 everywhere except Table 2's 16x16).
+    ``jobs > 1`` renders the artifacts concurrently through the shared
+    sweep engine; section order stays deterministic either way.
     """
     keys = [resolve(n) for n in names] if names else list(_ARTIFACTS)
-    sections = [_ARTIFACTS[key](array_size, rf_entries) for key in keys]
+    if jobs > 1 and len(keys) > 1:
+        from repro.core.sweep import SweepEngine
+
+        engine = SweepEngine(max_workers=jobs)
+        sections = engine.map_ordered(
+            lambda key: _ARTIFACTS[key](array_size, rf_entries), keys)
+    else:
+        sections = [_ARTIFACTS[key](array_size, rf_entries) for key in keys]
     return "\n\n".join(sections)
 
 
@@ -149,9 +159,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "artifact's documented machine)")
     parser.add_argument("--rf-entries", type=int, default=8,
                         help="register-file entries per PE (paper: 8/16)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="render artifacts concurrently (default: 1)")
     args = parser.parse_args(argv)
     try:
-        print(run(args.artifacts, args.array_size, args.rf_entries))
+        print(run(args.artifacts, args.array_size, args.rf_entries,
+                  jobs=args.jobs))
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2

@@ -105,6 +105,48 @@ class TestOsTraffic:
             layer_traffic(make_workload(), "XYZ", CONFIG)
 
 
+class TestBatchAmortization:
+    """Only the single resident weight fetch amortizes across a batch;
+    tiling re-streams recur for every image."""
+
+    def test_batch_64_over_buffer_layer(self):
+        # OS with oversized weights: 2x2 spatial blocks re-fetch the
+        # weights 4x per image.  At batch 64 the first fetch amortizes
+        # to 1/64 per image but the 3 re-fetches stay per-image, so the
+        # per-image cost must remain near 3 full fetches — not collapse
+        # to 4/64 of one (the old, wrong amortize-after-chunking model).
+        w = make_workload(in_channels=128, out_channels=1024,
+                          kernel_h=3, kernel_w=3,
+                          in_h=66, in_w=66, out_h=64, out_w=64)
+        single = w.weight_elems
+        assert layer_traffic(w, "OS", CONFIG).weight_elems == single * 4
+        batched = dataclasses.replace(CONFIG, batch_size=64)
+        traffic = layer_traffic(w, "OS", batched)
+        assert traffic.weight_elems == pytest.approx(single / 64 + 3 * single)
+        assert traffic.weight_elems > single  # re-streams never amortize
+        # Activations always move per image.
+        assert traffic.input_elems == layer_traffic(w, "OS", CONFIG).input_elems
+        assert traffic.output_elems == w.output_elems
+
+    def test_batch_amortizes_resident_fetch_fully(self):
+        # A small layer streams weights once; per-image cost is 1/batch.
+        w = make_workload()
+        batched = dataclasses.replace(CONFIG, batch_size=8)
+        traffic = layer_traffic(w, "WS", batched)
+        assert traffic.weight_elems == pytest.approx(w.weight_elems / 8)
+
+    def test_batch_monotone_decreasing_per_image(self):
+        w = make_workload(in_channels=128, out_channels=1024,
+                          kernel_h=3, kernel_w=3,
+                          in_h=66, in_w=66, out_h=64, out_w=64)
+        previous = float("inf")
+        for batch in (1, 2, 8, 64):
+            config = dataclasses.replace(CONFIG, batch_size=batch)
+            cost = layer_traffic(w, "OS", config).weight_elems
+            assert cost <= previous
+            previous = cost
+
+
 class TestCombine:
     def test_compute_bound(self):
         traffic = DramTraffic(0, 16, 0)  # 1 cycle of transfer

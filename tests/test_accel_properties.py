@@ -123,6 +123,50 @@ def test_layer_report_consistency(workload, config):
     assert report.macs == workload.macs
 
 
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads(), config=configs(),
+       batch=st.sampled_from([1, 2, 4, 16, 64]))
+def test_dram_traffic_non_negative_any_batch(workload, config, batch):
+    """Per-image traffic stays non-negative at every batch size, and the
+    batch amortizes at most the single resident weight fetch."""
+    config = dataclasses.replace(config, batch_size=batch)
+    batch1 = dataclasses.replace(config, batch_size=1)
+    for dataflow in ("WS", "OS"):
+        traffic = layer_traffic(workload, dataflow, config)
+        assert traffic.weight_elems >= 0
+        assert traffic.input_elems >= 0
+        assert traffic.output_elems >= 0
+        cold = layer_traffic(workload, dataflow, batch1)
+        restreamed = cold.weight_elems - workload.weight_elems
+        assert traffic.weight_elems >= restreamed - 1e-6
+        assert traffic.weight_elems <= cold.weight_elems + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_hybrid_no_worse_than_either_dataflow(workload, config):
+    """The HYBRID pick's total cycles never exceed min(WS, OS)."""
+    simulator = AcceleratorSimulator(config)
+    chosen = simulator.simulate_layer(workload)
+    options = simulator.dataflow_options(workload)
+    assert chosen.total_cycles <= options["WS"].total_cycles + 1e-9
+    if "OS" in options:
+        assert chosen.total_cycles <= options["OS"].total_cycles + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads(), config=configs())
+def test_layer_cache_equivalence(workload, config):
+    """Memoized layer reports are bit-identical to from-scratch ones."""
+    from repro.accel import SimulationCache
+
+    cold = AcceleratorSimulator(config, use_cache=False).simulate_layer(
+        workload)
+    warm = AcceleratorSimulator(config, cache=SimulationCache())
+    assert warm.simulate_layer(workload) == cold  # miss path
+    assert warm.simulate_layer(workload) == cold  # hit path
+
+
 @settings(max_examples=30, deadline=None)
 @given(workload=workloads())
 def test_os_sparsity_monotone_in_cycles(workload):

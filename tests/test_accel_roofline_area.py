@@ -5,7 +5,6 @@ import pytest
 
 from repro.accel import squeezelerator
 from repro.accel.area import (
-    AreaBreakdown,
     estimate_area,
     performance_per_area,
 )

@@ -1,0 +1,169 @@
+"""Unit tests for the layer-simulation memoization cache.
+
+The load-bearing property is bit-identical equivalence: turning the
+cache on (intra-network dedup, shared cross-config reuse, evicting
+caches) must never change a single field of any report.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import (
+    AcceleratorSimulator,
+    SimulationCache,
+    buffer_signature,
+    config_fingerprint,
+    layer_cache_key,
+    squeezelerator,
+    workload_shape_key,
+)
+from repro.accel.config import DataflowPolicy, SelectionObjective
+from repro.accel.energy import DEFAULT_ENERGY_MODEL
+from repro.accel.workload import ConvWorkload, network_workloads
+from repro.graph import LayerCategory
+from repro.models import build_all, squeezenext
+
+CONFIG = squeezelerator(32, 8)
+
+
+def make_workload(**kwargs):
+    defaults = dict(
+        name="layer", category=LayerCategory.SPATIAL,
+        in_channels=16, out_channels=16, kernel_h=1, kernel_w=1,
+        stride_h=1, stride_w=1, in_h=10, in_w=10, out_h=10, out_w=10,
+    )
+    defaults.update(kwargs)
+    return ConvWorkload(**defaults)
+
+
+class TestKeying:
+    def test_shape_key_ignores_name_and_category(self):
+        a = make_workload(name="a", category=LayerCategory.SPATIAL)
+        b = make_workload(name="b", category=LayerCategory.POINTWISE)
+        assert workload_shape_key(a) == workload_shape_key(b)
+
+    def test_shape_key_distinguishes_geometry(self):
+        assert (workload_shape_key(make_workload())
+                != workload_shape_key(make_workload(out_channels=32)))
+
+    def test_policy_and_objective_not_in_fingerprint(self):
+        """Entries are per-dataflow; selection never invalidates them."""
+        variants = [
+            CONFIG,
+            dataclasses.replace(CONFIG, name="renamed"),
+            dataclasses.replace(CONFIG,
+                                policy=DataflowPolicy.WEIGHT_STATIONARY),
+            dataclasses.replace(CONFIG, objective=SelectionObjective.ENERGY),
+        ]
+        for dataflow in ("WS", "OS"):
+            prints = {config_fingerprint(c, dataflow) for c in variants}
+            assert len(prints) == 1
+
+    def test_rf_sweep_never_invalidates_ws(self):
+        rf8, rf16 = squeezelerator(32, 8), squeezelerator(32, 16)
+        assert (config_fingerprint(rf8, "WS")
+                == config_fingerprint(rf16, "WS"))
+        assert (config_fingerprint(rf8, "OS")
+                != config_fingerprint(rf16, "OS"))
+
+    def test_fingerprint_rejects_uncacheable_dataflow(self):
+        with pytest.raises(ValueError, match="uncacheable"):
+            config_fingerprint(CONFIG, "RS")
+
+    def test_buffer_signature_stable_across_resident_sizes(self):
+        """A small layer's key survives a buffer sweep (all operands fit)."""
+        w = make_workload()
+        big = dataclasses.replace(CONFIG, global_buffer_bytes=256 * 1024)
+        for dataflow in ("WS", "OS"):
+            assert (buffer_signature(w, dataflow, CONFIG)
+                    == buffer_signature(w, dataflow, big))
+
+    def test_buffer_signature_splits_on_residency_change(self):
+        """An over-buffer layer is invalidated when chunking changes."""
+        w = make_workload(in_channels=512, out_channels=512,
+                          in_h=14, in_w=14, out_h=14, out_w=14)
+        tiny = dataclasses.replace(CONFIG, global_buffer_bytes=16 * 1024)
+        assert (buffer_signature(w, "WS", CONFIG)
+                != buffer_signature(w, "WS", tiny))
+
+    def test_layer_cache_key_is_hashable(self):
+        key = layer_cache_key(make_workload(), "OS", CONFIG,
+                              DEFAULT_ENERGY_MODEL)
+        assert hash(key) == hash(key)
+
+
+class TestEquivalence:
+    def test_zoo_cache_equivalence(self):
+        """Cached and uncached runs are bit-identical for every zoo net."""
+        for name, network in build_all().items():
+            cold = AcceleratorSimulator(CONFIG, use_cache=False)
+            warm = AcceleratorSimulator(CONFIG)
+            a = cold.simulate(network)
+            b = warm.simulate(network)
+            assert a == b, name
+            assert a.layers == b.layers, name
+            assert a.cache_stats is None
+            assert b.cache_stats is not None
+
+    def test_shared_cache_equivalence_and_hits(self):
+        """A shared cache turns the second identical run into all hits."""
+        network = squeezenext()
+        cache = SimulationCache()
+        first = AcceleratorSimulator(CONFIG, cache=cache).simulate(network)
+        second = AcceleratorSimulator(CONFIG, cache=cache).simulate(network)
+        assert first == second
+        assert second.cache_stats.misses == 0
+        assert second.cache_stats.hit_rate == 1.0
+        assert first.cache_stats.hits > 0  # intra-network shape dedup
+
+    def test_hits_rebind_layer_names(self):
+        """Shape-sharing layers get their own names back on a hit."""
+        network = squeezenext()
+        report = AcceleratorSimulator(CONFIG).simulate(network)
+        names = [layer.name for layer in report.layers]
+        assert len(names) == len(set(names))
+
+
+class TestSimulationCache:
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SimulationCache(max_entries=0)
+
+    def test_eviction_counts_and_preserves_results(self):
+        network = squeezenext()
+        tiny = SimulationCache(max_entries=4)
+        report = AcceleratorSimulator(CONFIG, cache=tiny).simulate(network)
+        assert len(tiny) <= 4
+        assert tiny.evictions > 0
+        assert report.cache_stats.evictions == tiny.evictions
+        baseline = AcceleratorSimulator(CONFIG, use_cache=False).simulate(
+            network)
+        assert report == baseline
+
+    def test_stats_accounting(self):
+        cache = SimulationCache()
+        w = make_workload()
+        simulator = AcceleratorSimulator(CONFIG, cache=cache)
+        simulator.simulate_layer(w)
+        simulator.simulate_layer(w)
+        stats = cache.stats()
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.misses == stats.entries == 2  # WS + OS
+        assert stats.hits == 2
+        assert stats.hit_rate == 0.5
+
+    def test_clear_keeps_counters(self):
+        cache = SimulationCache()
+        simulator = AcceleratorSimulator(CONFIG, cache=cache)
+        simulator.simulate_layer(make_workload())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses > 0
+
+    def test_workload_list_roundtrip(self):
+        """Explicitly passed workloads match the internally extracted ones."""
+        network = squeezenext()
+        simulator = AcceleratorSimulator(CONFIG)
+        assert (simulator.simulate(network, network_workloads(network))
+                == simulator.simulate(network))

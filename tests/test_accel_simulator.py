@@ -4,7 +4,6 @@ import pytest
 
 from repro.accel import (
     AcceleratorSimulator,
-    DataflowPolicy,
     Squeezelerator,
     network_workloads,
     reference_os,

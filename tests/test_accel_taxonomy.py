@@ -1,7 +1,5 @@
 """Tests for the RS/NLR dataflow models and the taxonomy study."""
 
-import dataclasses
-
 import pytest
 
 from repro.accel import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.search import (
     CandidateSpec,
-    SearchResult,
     default_search_space,
     hardware_aware_search,
 )

@@ -1,0 +1,115 @@
+"""Unit tests for the shared parallel sweep engine."""
+
+import pytest
+
+from repro.accel import NetworkReport, Squeezelerator, squeezelerator
+from repro.core.sweep import (
+    SweepEngine,
+    SweepPoint,
+    default_objective,
+)
+from repro.core.tuner import best_point, rf_size_sweep, tune_for_network
+from repro.models import squeezenet_v1_1, squeezenext
+
+
+def _point(label, config):
+    report = NetworkReport(network="n", machine=config.name, policy="HYBRID",
+                           layers=[], frequency_hz=config.frequency_hz,
+                           num_pes=config.num_pes)
+    return SweepPoint(label=label, config=config, report=report)
+
+
+class TestObjective:
+    def test_ties_break_toward_smaller_machine(self):
+        """Equal cycles -> fewer PEs wins; equal PEs -> smaller RF wins."""
+        small = _point("16", squeezelerator(16, 16))
+        big = _point("32", squeezelerator(32, 8))
+        assert best_point([big, small]) is small
+        rf8 = _point("rf8", squeezelerator(16, 8))
+        assert best_point([small, rf8]) is rf8
+        assert default_objective(rf8) < default_objective(small)
+
+
+class TestEngine:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            SweepEngine(max_workers=0)
+
+    def test_sweep_length_mismatch_raises(self):
+        engine = SweepEngine(max_workers=1)
+        with pytest.raises(ValueError, match="2 configs vs 1 labels"):
+            engine.sweep(squeezenet_v1_1(),
+                         [squeezelerator(16), squeezelerator(32)], ["only"])
+
+    def test_results_keep_input_order(self):
+        network = squeezenet_v1_1()
+        configs = [squeezelerator(size, rf)
+                   for size in (8, 16, 32) for rf in (8, 16)]
+        labels = [f"p{i}" for i in range(len(configs))]
+        points = SweepEngine(max_workers=4).sweep(network, configs, labels)
+        assert [p.label for p in points] == labels
+        assert [p.config for p in points] == configs
+
+    def test_parallel_matches_serial_and_uncached(self):
+        """Workers and caching are invisible in the results."""
+        network = squeezenet_v1_1()
+        configs = [squeezelerator(16, 8), squeezelerator(16, 16),
+                   squeezelerator(32, 8)]
+        labels = ["a", "b", "c"]
+        baseline = SweepEngine(max_workers=1, use_cache=False).sweep(
+            network, configs, labels)
+        for engine in (SweepEngine(max_workers=1),
+                       SweepEngine(max_workers=4)):
+            points = engine.sweep(network, configs, labels)
+            assert [p.report for p in points] == [p.report for p in baseline]
+
+    def test_cache_disabled_engine_reports_no_stats(self):
+        engine = SweepEngine(max_workers=1, use_cache=False)
+        assert engine.cache is None
+        assert engine.cache_stats is None
+        (point,) = engine.sweep(squeezenet_v1_1(), [squeezelerator(16)],
+                                ["p"])
+        assert point.report.cache_stats is None
+
+    def test_shared_cache_reused_across_points(self):
+        """An RF sweep leaves every WS entry cache-hot across points."""
+        engine = SweepEngine(max_workers=1)
+        rf_size_sweep(squeezenet_v1_1(), rf_entries=(8, 16, 32),
+                      engine=engine)
+        stats = engine.cache_stats
+        assert stats.hits > 0
+        assert stats.hit_rate > 0.5
+
+    def test_map_ordered_generic(self):
+        engine = SweepEngine(max_workers=4)
+        assert engine.map_ordered(lambda x: x * x, range(10)) == [
+            x * x for x in range(10)]
+
+
+class TestRoutedCallers:
+    def test_tune_for_network_engine_equivalence(self):
+        network = squeezenet_v1_1()
+        cached = tune_for_network(network, engine=SweepEngine(max_workers=2))
+        uncached = tune_for_network(
+            network, engine=SweepEngine(max_workers=1, use_cache=False))
+        assert cached.label == uncached.label
+        assert cached.report == uncached.report
+
+    def test_compare_policies_routes_through_engine(self):
+        engine = SweepEngine(max_workers=2)
+        results = Squeezelerator(16).compare_policies(squeezenet_v1_1(),
+                                                      engine=engine)
+        assert set(results) == {"hybrid", "WS", "OS"}
+        hybrid = results["hybrid"].total_cycles
+        assert hybrid <= results["WS"].total_cycles + 1e-6
+        assert hybrid <= results["OS"].total_cycles + 1e-6
+        assert engine.cache_stats.hits > 0
+
+
+class TestSweepBenchmarkShape:
+    def test_tune_for_network_squeezenext(self):
+        """The acceptance workload: 1.0-SqNxt-23 tuned through the engine."""
+        engine = SweepEngine(max_workers=2)
+        best = tune_for_network(squeezenext(), engine=engine)
+        assert best.report.cache_stats is not None
+        assert engine.cache_stats.hit_rate > 0.5

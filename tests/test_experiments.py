@@ -249,3 +249,7 @@ class TestRunner:
         output = run(["t1"])
         assert "Table 1" in output
         assert "Table 2" not in output
+
+    def test_run_parallel_matches_serial(self):
+        names = ["t1", "f2"]
+        assert run(names, jobs=2) == run(names, jobs=1)
