@@ -1,0 +1,141 @@
+"""Throughput benchmark of the vectorized inference runtime.
+
+Measures the paper zoo's forward-pass cost on three paths:
+
+* ``looped`` — the pre-vectorization eval path: per-group convolution
+  loop (``Conv2D.forward_reference``), unfused BatchNorm, and ReLU with
+  an explicitly materialized mask, replicating what the seed's forward
+  did at inference time.
+* ``eval`` — ``GraphNetwork.forward`` in eval mode: batched grouped
+  GEMM kernels, no backward caches, arena-recycled activations.
+* ``plan`` — ``GraphNetwork.inference_plan()``: conv+BN+ReLU fusion on
+  top of the batched kernels plus the liveness-driven buffer arena.
+
+Results are written to ``BENCH_nn_infer.json`` at the repository root.
+``NN_INFER_SMOKE=1`` shrinks the run to a tiny MobileNet with one
+repeat and skips the speedup floors — the CI smoke configuration.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph import layer_spec as spec
+from repro.models import MODEL_FACTORIES, mobilenet
+from repro.nn import GraphNetwork, layers
+
+SMOKE = os.environ.get("NN_INFER_SMOKE") == "1"
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_nn_infer.json"
+
+# Acceptance floors from the issue: plan vs the pre-PR looped path.
+SPEEDUP_FLOORS = {"1.0 MobileNet-224": 5.0, "SqueezeNext": 1.5}
+
+
+def looped_eval_forward(net: GraphNetwork, x: np.ndarray) -> np.ndarray:
+    """Eval forward the way the seed ran it (the benchmark baseline)."""
+    values = {}
+    for node in net._nodes:
+        if isinstance(node.spec, spec.Input):
+            values[node.name] = x
+            continue
+        if isinstance(node.spec, spec.Concat):
+            values[node.name] = np.concatenate(
+                [values[n] for n in node.inputs], axis=1)
+            continue
+        if isinstance(node.spec, spec.Add):
+            total = values[node.inputs[0]].copy()
+            for n in node.inputs[1:]:
+                total += values[n]
+            values[node.name] = total
+            continue
+        v = values[node.inputs[0]]
+        module = node.module
+        out = (module.forward_reference(v)
+               if isinstance(module, layers.Conv2D) else module(v))
+        if node.name in net._bn:
+            out = net._bn[node.name](out)
+        if isinstance(node.activation, layers.ReLU):
+            mask = out > 0.0  # the seed retained the mask even in eval
+            out = out * mask
+        elif node.activation is not None:
+            out = node.activation(out)
+        values[node.name] = out
+    return values[net._nodes[-1].name]
+
+
+def best_of(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def bench_models():
+    if SMOKE:
+        return [("1.0 MobileNet-64 (smoke)",
+                 lambda: mobilenet(resolution=64))]
+    return sorted(MODEL_FACTORIES.items())
+
+
+def test_inference_runtime_throughput():
+    repeats = 1 if SMOKE else 3
+    batch = 1
+    records = []
+    for name, factory in bench_models():
+        net = GraphNetwork(factory(), rng=np.random.default_rng(0),
+                           batch_norm=True)
+        stats_rng = np.random.default_rng(1)
+        for bn in net._bn.values():
+            bn.running_mean = stats_rng.normal(scale=0.3, size=bn.channels)
+            bn.running_var = stats_rng.uniform(0.5, 2.0, size=bn.channels)
+        net.eval()
+        shape = net.spec.input_shape
+        x = np.random.default_rng(2).normal(
+            size=(batch, shape.channels, shape.height, shape.width))
+        plan = net.inference_plan()
+
+        reference = looped_eval_forward(net, x)
+        np.testing.assert_allclose(net.forward(x), reference, atol=1e-6)
+        np.testing.assert_allclose(plan.run(x), reference, atol=1e-6)
+        max_diff = float(np.max(np.abs(plan.run(x) - reference)))
+
+        t_looped = best_of(lambda: looped_eval_forward(net, x), repeats)
+        t_eval = best_of(lambda: net.forward(x), repeats)
+        t_plan = best_of(lambda: plan.run(x), repeats)
+        record = {
+            "model": name,
+            "batch": batch,
+            "repeats": repeats,
+            "looped_ms": round(t_looped * 1e3, 3),
+            "eval_ms": round(t_eval * 1e3, 3),
+            "plan_ms": round(t_plan * 1e3, 3),
+            "speedup_eval_vs_looped": round(t_looped / t_eval, 2),
+            "speedup_plan_vs_looped": round(t_looped / t_plan, 2),
+            "fused_steps": plan.fused_step_count,
+            "peak_live_mib": round(plan.last_peak_live_bytes / 2**20, 2),
+            "max_abs_diff_vs_looped": max_diff,
+        }
+        records.append(record)
+        print(f"{name}: looped {t_looped * 1e3:.1f}ms -> "
+              f"plan {t_plan * 1e3:.1f}ms "
+              f"({record['speedup_plan_vs_looped']}x)")
+
+    RESULTS_PATH.write_text(json.dumps({
+        "benchmark": "nn_inference_runtime",
+        "smoke": SMOKE,
+        "results": records,
+    }, indent=2) + "\n")
+
+    if SMOKE:
+        return
+    by_name = {r["model"]: r for r in records}
+    for model, floor in SPEEDUP_FLOORS.items():
+        speedup = by_name[model]["speedup_plan_vs_looped"]
+        assert speedup >= floor, (
+            f"{model}: plan speedup {speedup:.2f}x below the "
+            f"{floor}x floor ({by_name[model]})")

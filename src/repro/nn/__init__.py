@@ -28,6 +28,14 @@ from repro.nn.layers import (
     Softmax,
     Upsample,
 )
+from repro.nn.infer import (
+    BufferArena,
+    FusedConv2D,
+    FusedDense,
+    InferencePlan,
+    build_inference_plan,
+    fold_batchnorm,
+)
 from repro.nn.loss import CrossEntropyLoss, MSELoss
 from repro.nn.metrics import (
     ClassificationReport,
@@ -35,7 +43,13 @@ from repro.nn.metrics import (
     confusion_matrix,
     top_k_accuracy,
 )
-from repro.nn.module import Identity, Module, Parameter
+from repro.nn.module import (
+    Identity,
+    Module,
+    Parameter,
+    is_grad_enabled,
+    no_grad,
+)
 from repro.nn.network import GraphNetwork
 from repro.nn.optim import SGD, Adam, CosineLR, StepLR
 from repro.nn.quant import (
@@ -58,6 +72,7 @@ from repro.nn.trainer import (
 __all__ = [
     "Adam",
     "AvgPool2D",
+    "BufferArena",
     "ClassificationReport",
     "BatchNorm2D",
     "Conv2D",
@@ -69,9 +84,12 @@ __all__ = [
     "Dropout",
     "EpochStats",
     "Flatten",
+    "FusedConv2D",
+    "FusedDense",
     "GlobalAvgPool",
     "GraphNetwork",
     "Identity",
+    "InferencePlan",
     "MSELoss",
     "MaxPool2D",
     "Module",
@@ -88,8 +106,12 @@ __all__ = [
     "Upsample",
     "additive_noise",
     "augment_dataset",
+    "build_inference_plan",
     "classification_report",
     "compose",
+    "fold_batchnorm",
+    "is_grad_enabled",
+    "no_grad",
     "confusion_matrix",
     "emulate_fixed_point",
     "evaluate",

@@ -14,12 +14,19 @@ from typing import Tuple
 import numpy as np
 
 
-def pad2d(x: np.ndarray, padding: Tuple[int, int]) -> np.ndarray:
-    """Zero-pad the two trailing (spatial) dimensions."""
+def pad2d(x: np.ndarray, padding: Tuple[int, int],
+          value: float = 0.0) -> np.ndarray:
+    """Pad the two trailing (spatial) dimensions with ``value``.
+
+    The default (zero) is correct for convolution and average pooling;
+    max pooling must pad with ``-inf`` so a padded window can never
+    prefer the pad over a negative activation.
+    """
     ph, pw = padding
     if ph == 0 and pw == 0:
         return x
-    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                  constant_values=value)
 
 
 def conv_output_plane(
@@ -40,11 +47,40 @@ def conv_output_plane(
     return out_h, out_w
 
 
+def sliding_windows(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Strided window *view* ``(N, C, kh, kw, out_h, out_w)``.
+
+    No data is copied beyond the padding itself (none for unpadded
+    inputs), so reductions over the window axes — e.g. the depthwise
+    convolution fast path — never materialize an im2col matrix.  The
+    view aliases overlapping windows; callers must treat it read-only.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h, out_w = conv_output_plane(h, w, kernel, stride, padding)
+    xp = pad2d(x, padding, value=pad_value)
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (
+        xp.strides[0], xp.strides[1],
+        xp.strides[2], xp.strides[3],
+        xp.strides[2] * sh, xp.strides[3] * sw,
+    )
+    return np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
+
+
 def im2col(
     x: np.ndarray,
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
+    pad_value: float = 0.0,
 ) -> np.ndarray:
     """Unfold sliding windows into a matrix.
 
@@ -52,18 +88,12 @@ def im2col(
     """
     n, c, h, w = x.shape
     kh, kw = kernel
-    sh, sw = stride
     out_h, out_w = conv_output_plane(h, w, kernel, stride, padding)
-    xp = pad2d(x, padding)
-    # Strided view: (N, C, kh, kw, out_h, out_w)
-    shape = (n, c, kh, kw, out_h, out_w)
-    strides = (
-        xp.strides[0], xp.strides[1],
-        xp.strides[2], xp.strides[3],
-        xp.strides[2] * sh, xp.strides[3] * sw,
-    )
-    windows = np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
-    return windows.reshape(n, c * kh * kw, out_h * out_w).copy()
+    windows = sliding_windows(x, kernel, stride, padding, pad_value=pad_value)
+    # ascontiguousarray performs the single unavoidable gather copy; the
+    # reshape afterwards is then a free view.
+    return np.ascontiguousarray(windows).reshape(n, c * kh * kw,
+                                                 out_h * out_w)
 
 
 def col2im(

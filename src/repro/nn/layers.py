@@ -11,7 +11,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn.functional import col2im, conv_output_plane, im2col, softmax
+from repro.nn.functional import (
+    col2im,
+    conv_output_plane,
+    im2col,
+    sliding_windows,
+    softmax,
+)
 from repro.nn.module import Module
 
 
@@ -64,6 +70,11 @@ class Conv2D(Module):
                      if bias else None)
         self._cache = None
 
+    @property
+    def is_depthwise(self) -> bool:
+        """One input channel per group (``groups == in_channels``)."""
+        return self.groups == self.in_channels
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         if c != self.in_channels:
@@ -74,8 +85,47 @@ class Conv2D(Module):
         kh, kw = self.kernel_size
         out_h, out_w = conv_output_plane(h, w, self.kernel_size,
                                          self.stride, self.padding)
-        out = np.empty((n, self.out_channels, out_h, out_w), dtype=x.dtype)
-        cols_per_group = []
+        if self.is_depthwise and g > 1 and not self.needs_grad:
+            # Depthwise fast path: reduce directly over a strided window
+            # view — no im2col matrix is ever materialized.
+            windows = sliding_windows(x, self.kernel_size, self.stride,
+                                      self.padding)
+            wdw = self.weight.value.reshape(g, cout_g, kh, kw)
+            out = np.einsum("ncijpq,cmij->ncmpq", windows, wdw)
+            out = out.reshape(n, self.out_channels, out_h, out_w)
+            self._cache = None
+        else:
+            # One im2col over the full tensor, one batched GEMM over all
+            # groups: cols (N, g, cin_g*kh*kw, P) x weights
+            # (g, cout_g, cin_g*kh*kw) -> (N, g, cout_g, P).
+            cols = im2col(x, self.kernel_size, self.stride, self.padding)
+            cols = cols.reshape(n, g, cin_g * kh * kw, out_h * out_w)
+            wmat = self.weight.value.reshape(g, cout_g, cin_g * kh * kw)
+            out = np.matmul(wmat[None], cols)
+            out = out.reshape(n, self.out_channels, out_h, out_w)
+            self._cache = (x.shape, cols) if self.needs_grad else None
+        if self.bias is not None:
+            out += self.bias.value.reshape(1, -1, 1, 1)
+        return out
+
+    def forward_reference(self, x: np.ndarray) -> np.ndarray:
+        """Per-group looped convolution (the pre-vectorization path).
+
+        Kept as the auditable reference implementation: equivalence
+        tests pin the batched kernels against it, and the throughput
+        benchmark measures the speedup over it.  Forward-only — it
+        caches nothing.
+        """
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+        kh, kw = self.kernel_size
+        out_h, out_w = conv_output_plane(h, w, self.kernel_size,
+                                         self.stride, self.padding)
+        out = np.empty((n, self.out_channels, out_h, out_w), dtype=np.float64)
         for gi in range(g):
             xg = x[:, gi * cin_g:(gi + 1) * cin_g]
             cols = im2col(xg, self.kernel_size, self.stride, self.padding)
@@ -85,41 +135,31 @@ class Conv2D(Module):
                 np.einsum("kp,npq->nkq", wmat, cols)
                 .reshape(n, cout_g, out_h, out_w)
             )
-            cols_per_group.append(cols)
         if self.bias is not None:
             out += self.bias.value.reshape(1, -1, 1, 1)
-        self._cache = (x.shape, cols_per_group)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        x_shape, cols_per_group = self._cache
-        n, _, h, w = x_shape
+        x_shape, cols = self._cache
+        n = x_shape[0]
         g = self.groups
         cin_g = self.in_channels // g
         cout_g = self.out_channels // g
         kh, kw = self.kernel_size
-        grad_in = np.empty(x_shape, dtype=grad_out.dtype)
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=(0, 2, 3))
-        for gi in range(g):
-            go = grad_out[:, gi * cout_g:(gi + 1) * cout_g]
-            go_mat = go.reshape(n, cout_g, -1)
-            cols = cols_per_group[gi]
-            # dW = sum_n  go_mat @ cols^T
-            dw = np.einsum("nkq,npq->kp", go_mat, cols)
-            self.weight.grad[gi * cout_g:(gi + 1) * cout_g] += (
-                dw.reshape(cout_g, cin_g, kh, kw)
-            )
-            wmat = self.weight.value[gi * cout_g:(gi + 1) * cout_g]
-            wmat = wmat.reshape(cout_g, cin_g * kh * kw)
-            dcols = np.einsum("kp,nkq->npq", wmat, go_mat)
-            grad_in[:, gi * cin_g:(gi + 1) * cin_g] = col2im(
-                dcols, (n, cin_g, h, w), self.kernel_size,
-                self.stride, self.padding,
-            )
-        return grad_in
+        go = grad_out.reshape(n, g, cout_g, -1)
+        # dW = sum_n go @ cols^T, batched over groups.
+        dw = np.matmul(go, cols.swapaxes(-1, -2)).sum(axis=0)
+        self.weight.grad += dw.reshape(self.out_channels, cin_g, kh, kw)
+        wmat = self.weight.value.reshape(g, cout_g, cin_g * kh * kw)
+        dcols = np.matmul(wmat.swapaxes(-1, -2)[None], go)
+        return col2im(
+            dcols.reshape(n, self.in_channels * kh * kw, -1), x_shape,
+            self.kernel_size, self.stride, self.padding,
+        )
 
 
 class Dense(Module):
@@ -150,7 +190,7 @@ class Dense(Module):
         if flat.shape[1] != self.in_features:
             raise ValueError(
                 f"expected {self.in_features} features, got {flat.shape[1]}")
-        self._cache = (x.shape, flat)
+        self._cache = (x.shape, flat) if self.needs_grad else None
         out = flat @ self.weight.value.T
         if self.bias is not None:
             out += self.bias.value
@@ -174,6 +214,9 @@ class ReLU(Module):
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.needs_grad:
+            self._mask = None
+            return np.maximum(x, 0.0)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -196,16 +239,18 @@ class MaxPool2D(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
+        # Pad with -inf, not zero: a zero pad would win the max over a
+        # window of negative activations and silently clip the output.
         cols = im2col(
             x.reshape(n * c, 1, h, w), self.kernel_size, self.stride,
-            self.padding,
+            self.padding, pad_value=-np.inf,
         )
         # cols: (N*C, kh*kw, out_pixels)
         arg = cols.argmax(axis=1)
         out_h, out_w = conv_output_plane(h, w, self.kernel_size,
                                          self.stride, self.padding)
         out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
-        self._cache = (x.shape, arg)
+        self._cache = (x.shape, arg) if self.needs_grad else None
         return out.reshape(n, c, out_h, out_w)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -239,7 +284,7 @@ class AvgPool2D(Module):
                       self.stride, self.padding)
         out_h, out_w = conv_output_plane(h, w, self.kernel_size,
                                          self.stride, self.padding)
-        self._input_shape = x.shape
+        self._input_shape = x.shape if self.needs_grad else None
         return cols.mean(axis=1).reshape(n, c, out_h, out_w)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -262,7 +307,7 @@ class GlobalAvgPool(Module):
         self._input_shape = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._input_shape = x.shape
+        self._input_shape = x.shape if self.needs_grad else None
         return x.mean(axis=(2, 3))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -281,7 +326,7 @@ class Flatten(Module):
         self._input_shape = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._input_shape = x.shape
+        self._input_shape = x.shape if self.needs_grad else None
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -317,7 +362,7 @@ class BatchNorm2D(Module):
             mean, var = self.running_mean, self.running_var
         std = np.sqrt(var + self.eps)
         x_hat = (x - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
-        self._cache = (x_hat, std)
+        self._cache = (x_hat, std) if self.needs_grad else None
         return (self.gamma.value.reshape(1, -1, 1, 1) * x_hat
                 + self.beta.value.reshape(1, -1, 1, 1))
 
@@ -355,8 +400,9 @@ class Dropout(Module):
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask if self.needs_grad else None
+        return x * mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -392,8 +438,9 @@ class Softmax(Module):
         self._out = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = softmax(x, axis=-1)
-        return self._out
+        out = softmax(x, axis=-1)
+        self._out = out if self.needs_grad else None
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:

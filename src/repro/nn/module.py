@@ -10,9 +10,38 @@ adjoint, which keeps the framework small and auditable).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
+
+# Process-wide gradient switch, toggled by :func:`no_grad`.  A single-
+# element list so the context manager mutates shared state without a
+# ``global`` statement in every frame.
+_GRAD_ENABLED = [True]
+
+
+def is_grad_enabled() -> bool:
+    """Whether modules should record state for a later backward pass."""
+    return _GRAD_ENABLED[0]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables backward-state caching.
+
+    Inside the context every module runs forward-only: convolution
+    im2col matrices, ReLU masks, pooling argmax indices and batch-norm
+    normalized activations are not retained, which is the inference
+    fast path's memory win.  Calling ``backward`` on a module whose
+    forward ran under ``no_grad`` raises ``RuntimeError``.
+    """
+    previous = _GRAD_ENABLED[0]
+    _GRAD_ENABLED[0] = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED[0] = previous
 
 
 class Parameter:
@@ -66,6 +95,15 @@ class Module:
 
     def eval(self) -> "Module":
         return self.train(False)
+
+    @property
+    def needs_grad(self) -> bool:
+        """True when forward must cache state for backward.
+
+        Inference skips the caches two ways: module-local ``eval()``
+        and the global :func:`no_grad` context.
+        """
+        return self.training and is_grad_enabled()
 
     # -- compute -----------------------------------------------------------
 

@@ -15,6 +15,13 @@ import numpy as np
 from repro.graph import layer_spec as spec
 from repro.graph.network_spec import LayerNode, NetworkSpec
 from repro.nn import layers
+from repro.nn.infer import (
+    BufferArena,
+    add_tensors,
+    concat_channels,
+    liveness_release_schedule,
+    release_dead,
+)
 from repro.nn.module import Identity, Module, Parameter
 
 
@@ -53,6 +60,13 @@ class GraphNetwork(Module):
         for node in network.nodes:
             self._nodes.append(self._lower(node, rng))
         self._activations: Dict[str, np.ndarray] = {}
+        # Memory planner state for eval-mode forward: per-step release
+        # lists from graph liveness, plus the buffer-recycling arena.
+        self._input_names = {n.name for n in self._nodes
+                             if isinstance(n.spec, spec.Input)}
+        self._release_after = liveness_release_schedule(
+            self._nodes, self._input_names)
+        self._arena = BufferArena()
 
     # -- lowering ------------------------------------------------------------
 
@@ -141,7 +155,15 @@ class GraphNetwork(Module):
     # -- execution ------------------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Run the network on a batch ``(N, C, H, W)``."""
+        """Run the network on a batch ``(N, C, H, W)``.
+
+        Training mode retains every node's activation (backward needs
+        them).  Eval mode runs the liveness-driven memory planner
+        instead: each activation is dropped at its last use and
+        exclusively-owned buffers are recycled through the arena, so
+        peak memory tracks the widest graph cut rather than the whole
+        network.
+        """
         if x.ndim != 4:
             raise ValueError(f"expected NCHW input, got shape {x.shape}")
         expected = self.spec.input_shape
@@ -149,18 +171,18 @@ class GraphNetwork(Module):
             raise ValueError(
                 f"input shape {x.shape[1:]} does not match network input "
                 f"{expected}")
+        training = self.training
+        arena = None if training else self._arena
         values: Dict[str, np.ndarray] = {}
-        for node in self._nodes:
+        for i, node in enumerate(self._nodes):
             if isinstance(node.spec, spec.Input):
                 values[node.name] = x
             elif isinstance(node.spec, spec.Concat):
-                values[node.name] = np.concatenate(
-                    [values[n] for n in node.inputs], axis=1)
+                values[node.name] = concat_channels(
+                    [values[n] for n in node.inputs], arena)
             elif isinstance(node.spec, spec.Add):
-                total = values[node.inputs[0]].copy()
-                for n in node.inputs[1:]:
-                    total += values[n]
-                values[node.name] = total
+                values[node.name] = add_tensors(
+                    [values[n] for n in node.inputs], arena)
             else:
                 out = node.module(values[node.inputs[0]])
                 if node.name in self._bn:
@@ -168,7 +190,9 @@ class GraphNetwork(Module):
                 if node.activation is not None:
                     out = node.activation(out)
                 values[node.name] = out
-        self._activations = values
+            if not training:
+                release_dead(values, self._release_after[i], self._arena)
+        self._activations = values if training else {}
         return values[self._nodes[-1].name]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -208,6 +232,18 @@ class GraphNetwork(Module):
         if input_grad is None:
             raise RuntimeError("gradient never reached the input node")
         return input_grad
+
+    def inference_plan(self, arena: Optional[BufferArena] = None):
+        """Compile the fused eval execution plan for this network.
+
+        Folds conv+BatchNorm+ReLU chains into single kernels and runs
+        them through the arena-backed memory planner (see
+        :mod:`repro.nn.infer`).  The plan snapshots current parameter
+        values — rebuild it after any weight mutation (training,
+        quantization, ``load_state_dict``).
+        """
+        from repro.nn.infer import build_inference_plan
+        return build_inference_plan(self, arena=arena or self._arena)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class predictions (argmax over the final output)."""

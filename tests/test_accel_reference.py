@@ -142,14 +142,15 @@ def test_os_property_agreement(workload):
     event = reference.simulate_os(workload).cycles
     # Event-level never beats the analytical prediction by much, and
     # never lags it beyond the known divergences: drain exposure and
-    # FIFO warmup, both bounded by a few block-preload times (large for
+    # FIFO warmup, both bounded by block-preload times (large for
     # stride-2 halos on tiny layers, where relative bounds alone are
-    # meaningless).
+    # meaningless).  The analytical model also re-charges a block's
+    # input halo on every output-channel pass while the event run
+    # keeps it resident, so the pessimism scales with the pass count.
     from repro.accel.dataflows.base import os_blocks
-    worst_preload = max(
-        -(-b.in_block_elems // CONFIG.preload_elems_per_cycle)
+    slack = 64 + max(
+        (b.passes + 2) * -(-b.in_block_elems // CONFIG.preload_elems_per_cycle)
         for b in os_blocks(workload, CONFIG))
-    slack = 3 * worst_preload + 64
     assert event >= analytical.compute_cycles * 0.98 - slack
     # The residual optimism class: tiny-channel stride-2 layers whose
     # halo blocks reduce the FIFO to depth 2, where warmup and drain
