@@ -52,6 +52,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
+from repro import obs
 from repro.accel.config import AcceleratorConfig
 from repro.accel.dram import (
     _RESIDENT_FRACTION,
@@ -177,6 +178,11 @@ class SimulationCache:
     (the :class:`~repro.core.sweep.SweepEngine` does all three).  With
     ``max_entries=None`` the cache is unbounded; otherwise least
     recently used entries are evicted and counted.
+
+    While a tracer is active (:mod:`repro.obs`) every hit, miss and
+    eviction also bumps the ``simcache.hits`` / ``simcache.misses`` /
+    ``simcache.evictions`` counters — each obs counter delta equals the
+    corresponding :meth:`stats` counter delta over the traced region.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
@@ -195,11 +201,13 @@ class SimulationCache:
             report = self._entries.get(key)
             if report is None:
                 self._misses += 1
+                obs.count("simcache.misses")
                 return None
             if self.max_entries is not None:
                 # Recency only matters when eviction can happen.
                 self._entries.move_to_end(key)
             self._hits += 1
+            obs.count("simcache.hits")
             return report
 
     def put(self, key: Hashable, report: LayerReport) -> None:
@@ -212,6 +220,7 @@ class SimulationCache:
                     and len(self._entries) > self.max_entries):
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                obs.count("simcache.evictions")
 
     def clear(self) -> None:
         """Drop all entries; the hit/miss/evict counters survive."""

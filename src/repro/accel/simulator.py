@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.accel.config import AcceleratorConfig, DataflowPolicy, SelectionObjective
 from repro.accel.dataflows.output_stationary import OutputStationaryModel
 from repro.accel.dataflows.weight_stationary import WeightStationaryModel
@@ -246,13 +247,32 @@ class AcceleratorSimulator:
             workloads = network_workloads(network)
         layers: List[LayerReport] = []
         hits = lookups = 0
-        for workload in workloads:
-            options, n_hits = self._options_counted(
-                workload, cache, self._needed_dataflows(workload))
-            layers.append(self._rebind(self._select(workload, options),
-                                       workload))
-            hits += n_hits
-            lookups += len(options)
+        with obs.span("accel.simulate", network=network.name,
+                      machine=self.config.name,
+                      policy=str(self.config.policy)) as net_span:
+            # Hoisted so the disabled path pays one bool test per layer
+            # instead of a kwargs-building no-op span call.
+            traced = obs.is_enabled()
+            for workload in workloads:
+                if traced:
+                    with obs.span("accel.layer", layer=workload.name) as sp:
+                        options, n_hits = self._options_counted(
+                            workload, cache, self._needed_dataflows(workload))
+                        selected = self._rebind(
+                            self._select(workload, options), workload)
+                        sp.annotate(dataflow=selected.dataflow,
+                                    cycles=selected.total_cycles,
+                                    cache_hits=n_hits)
+                else:
+                    options, n_hits = self._options_counted(
+                        workload, cache, self._needed_dataflows(workload))
+                    selected = self._rebind(self._select(workload, options),
+                                            workload)
+                layers.append(selected)
+                hits += n_hits
+                lookups += len(options)
+            net_span.annotate(layers=len(layers), cache_hits=hits,
+                              cache_lookups=lookups)
         stats = None
         if cache is not None:
             whole = cache.stats()

@@ -25,10 +25,12 @@ with ``use_cache=False`` to force from-scratch simulation.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
 from repro.accel.config import AcceleratorConfig
 from repro.accel.energy import EnergyModel
 from repro.accel.report import NetworkReport
@@ -131,7 +133,15 @@ class SweepEngine:
             return list(executor.map(fn, items))
 
     def run(self, jobs: Sequence[SweepJob]) -> List[SweepPoint]:
-        """Evaluate all jobs; deterministic (input) result order."""
+        """Evaluate all jobs; deterministic (input) result order.
+
+        While a tracer is active (:mod:`repro.obs`) every point gets a
+        ``sweep.point`` span carrying its queue wait (time between
+        submission and a worker picking the job up) so the trace shows
+        the queue-wait vs compute split per point; the cumulative split
+        lands on the ``sweep.queue_wait_us`` / ``sweep.compute_us``
+        counters.
+        """
         jobs = list(jobs)
         # Extract each distinct network's workload list once up front —
         # a sweep re-runs the same network on many configs, and the
@@ -141,10 +151,31 @@ class SweepEngine:
             if id(job.network) not in workloads_by_network:
                 workloads_by_network[id(job.network)] = (
                     network_workloads(job.network))
-        return self.map_ordered(
-            lambda job: self.simulate(
-                job, workloads_by_network[id(job.network)]),
-            jobs)
+        if not obs.is_enabled():
+            return self.map_ordered(
+                lambda job: self.simulate(
+                    job, workloads_by_network[id(job.network)]),
+                jobs)
+        submitted = time.perf_counter()
+
+        def evaluate(job: SweepJob) -> SweepPoint:
+            wait_us = (time.perf_counter() - submitted) * 1e6
+            with obs.span("sweep.point", label=job.label,
+                          network=job.network.name,
+                          machine=job.config.name,
+                          queue_wait_us=round(wait_us, 1)) as sp:
+                point = self.simulate(
+                    job, workloads_by_network[id(job.network)])
+                sp.annotate(cycles=point.cycles)
+            obs.count("sweep.points")
+            obs.count("sweep.queue_wait_us", wait_us)
+            obs.count("sweep.compute_us",
+                      (time.perf_counter() - submitted) * 1e6 - wait_us)
+            return point
+
+        with obs.span("sweep.run", jobs=len(jobs),
+                      workers=min(self.max_workers, max(1, len(jobs)))):
+            return self.map_ordered(evaluate, jobs)
 
     def sweep(self, network: NetworkSpec,
               configs: Sequence[AcceleratorConfig],

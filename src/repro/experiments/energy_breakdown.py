@@ -43,9 +43,10 @@ class EnergyRow:
         return self.shares["dram"]
 
 
-def run_energy_breakdown(array_size: int = 32) -> List[EnergyRow]:
+def run_energy_breakdown(array_size: int = 32,
+                         rf_entries: int = 8) -> List[EnergyRow]:
     """Hybrid-schedule energy split for every zoo network."""
-    accelerator = Squeezelerator(config=squeezelerator(array_size))
+    accelerator = Squeezelerator(config=squeezelerator(array_size, rf_entries))
     rows = []
     for name, network in build_all().items():
         report = accelerator.run(network)

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.accel.hybrid import Squeezelerator
+from repro.accel.config import squeezelerator
+from repro.core.sweep import SweepEngine, SweepJob
 from repro.models import alexnet, squeezenet_v1_0, squeezenext, top1_accuracy
 
 #: Paper numbers: (speedup, energy gain) of co-designed SqueezeNext.
@@ -41,14 +42,20 @@ def run_headline(array_size: int = 32) -> HeadlineResult:
     Baselines run on the pre-tune-up (RF 8) machine; the co-designed
     SqueezeNext v5 runs on the tuned (RF 16) machine — matching the
     paper's narrative where the RF doubling is part of the final system.
+    The three points route through the shared sweep engine, so the RF-8
+    and RF-16 machines share WS-side layer reports (an RF change never
+    invalidates a WS cache entry).
     """
-    baseline_machine = Squeezelerator(array_size, rf_entries=8)
-    tuned_machine = Squeezelerator(array_size, rf_entries=16)
-
-    squeezenet_report = baseline_machine.run(squeezenet_v1_0())
-    alexnet_report = baseline_machine.run(alexnet())
     v5 = squeezenext(variant=5)
-    v5_report = tuned_machine.run(v5)
+    engine = SweepEngine()
+    points = engine.run([
+        SweepJob("squeezenet-rf8", squeezelerator(array_size, 8),
+                 squeezenet_v1_0()),
+        SweepJob("alexnet-rf8", squeezelerator(array_size, 8), alexnet()),
+        SweepJob("sqnxt-v5-rf16", squeezelerator(array_size, 16), v5),
+    ])
+    squeezenet_report, alexnet_report, v5_report = (
+        p.report for p in points)
 
     return HeadlineResult(
         speed_vs_squeezenet=(squeezenet_report.total_cycles

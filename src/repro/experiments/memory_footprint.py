@@ -39,9 +39,10 @@ class FootprintRow:
     fits_128kb: bool
 
 
-def run_memory_footprint(array_size: int = 32) -> List[FootprintRow]:
+def run_memory_footprint(array_size: int = 32,
+                         rf_entries: int = 8) -> List[FootprintRow]:
     """Profile the three §2 task archetypes."""
-    accelerator = Squeezelerator(config=squeezelerator(array_size))
+    accelerator = Squeezelerator(config=squeezelerator(array_size, rf_entries))
     tasks = [
         ("classification", squeezenet_v1_1()),
         ("detection", squeezedet()),

@@ -64,9 +64,10 @@ class PerLayerProfile:
         return max(totals, key=totals.get)
 
 
-def run_per_layer(array_size: int = 32) -> List[PerLayerProfile]:
+def run_per_layer(array_size: int = 32,
+                  rf_entries: int = 8) -> List[PerLayerProfile]:
     """Profile every zoo network on hybrid / pure-WS / pure-OS machines."""
-    accelerator = Squeezelerator(config=squeezelerator(array_size))
+    accelerator = Squeezelerator(config=squeezelerator(array_size, rf_entries))
     ws = AcceleratorSimulator(
         accelerator.config.with_policy(DataflowPolicy.WEIGHT_STATIONARY))
     os_ = AcceleratorSimulator(

@@ -5,17 +5,36 @@ Installed as the ``repro-experiments`` console script:
     repro-experiments                      # everything
     repro-experiments table2 f1            # a subset, by id
     repro-experiments t2 --array-size 16   # a different machine
+    repro-experiments headline --trace trace.json --profile
 
 Artifact ids: t1, t2, f1, f2, f3, f4, claims, headline, taxonomy,
 footprint, perlayer, energy (long names like "table1" work too).
+
+Machine flags and artifacts
+---------------------------
+
+``--array-size`` / ``--rf-entries`` override the simulated machine, but
+not every artifact has a machine to override (Table 1 is pure model
+statistics) and the headline artifact *is* an RF 8-vs-16 comparison, so
+an external RF override would be meaningless.  The applicability matrix
+lives in :data:`ARTIFACT_FLAGS`; passing a flag an artifact cannot
+honour emits an explicit ``UserWarning`` ("--rf-entries ignored by
+artifact 'headline'") instead of silently dropping it.
+
+``--trace OUT.json`` records the run through :mod:`repro.obs` and
+writes a Chrome-trace JSON file (open in ``chrome://tracing`` or
+Perfetto); ``--profile`` prints the aggregated span/counter report to
+stderr.  Both can be combined with any artifact subset.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+import warnings
+from typing import Callable, Dict, FrozenSet, List, Optional
 
+from repro import obs
 from repro.accel.config import squeezelerator
 from repro.experiments import (
     energy_breakdown,
@@ -40,54 +59,60 @@ def _run_table1(array_size: int, rf_entries: int) -> str:
 def _run_table2(array_size: int, rf_entries: int) -> str:
     # Table 2's own default machine is 16x16 (see its module docstring).
     return table2.format_table2(
-        table2.run_table2(array_size or 16, rf_entries))
+        table2.run_table2(array_size or 16, rf_entries or 8))
 
 
 def _run_figure1(array_size: int, rf_entries: int) -> str:
     return figure1.format_figure1(figure1.run_figure1(array_size or 32,
-                                                      rf_entries))
+                                                      rf_entries or 8))
 
 
 def _run_figure2(array_size: int, rf_entries: int) -> str:
     return figure2.render_block_diagram(
-        squeezelerator(array_size or 32, rf_entries))
+        squeezelerator(array_size or 32, rf_entries or 8))
 
 
 def _run_figure3(array_size: int, rf_entries: int) -> str:
     return figure3.format_figure3(figure3.run_figure3(array_size or 32,
-                                                      rf_entries))
+                                                      rf_entries or 8))
 
 
 def _run_figure4(array_size: int, rf_entries: int) -> str:
     return figure4.format_figure4(figure4.run_figure4(array_size or 32,
-                                                      rf_entries))
+                                                      rf_entries or 8))
 
 
 def _run_claims(array_size: int, rf_entries: int) -> str:
     return text_claims.format_text_claims(
-        text_claims.run_text_claims(array_size or 32))
+        text_claims.run_text_claims(array_size or 32, rf_entries or 8))
 
 
 def _run_headline(array_size: int, rf_entries: int) -> str:
+    # The headline artifact is itself the RF 8 -> 16 tune-up, so an
+    # external --rf-entries override has nothing to apply to.
     return headline.format_headline(headline.run_headline(array_size or 32))
 
 
 def _run_taxonomy(array_size: int, rf_entries: int) -> str:
-    return taxonomy.format_taxonomy(taxonomy.run_taxonomy(array_size or 32))
+    return taxonomy.format_taxonomy(
+        taxonomy.run_taxonomy(array_size or 32, rf_entries or 8))
 
 
 def _run_footprint(array_size: int, rf_entries: int) -> str:
     return memory_footprint.format_memory_footprint(
-        memory_footprint.run_memory_footprint(array_size or 32))
+        memory_footprint.run_memory_footprint(array_size or 32,
+                                              rf_entries or 8))
 
 
 def _run_per_layer(array_size: int, rf_entries: int) -> str:
-    return per_layer.format_per_layer(per_layer.run_per_layer(array_size or 32))
+    return per_layer.format_per_layer(
+        per_layer.run_per_layer(array_size or 32, rf_entries or 8))
 
 
 def _run_energy(array_size: int, rf_entries: int) -> str:
     return energy_breakdown.format_energy_breakdown(
-        energy_breakdown.run_energy_breakdown(array_size or 32))
+        energy_breakdown.run_energy_breakdown(array_size or 32,
+                                              rf_entries or 8))
 
 
 _ARTIFACTS: Dict[str, Callable[[int, int], str]] = {
@@ -103,6 +128,26 @@ _ARTIFACTS: Dict[str, Callable[[int, int], str]] = {
     "footprint": _run_footprint,
     "perlayer": _run_per_layer,
     "energy": _run_energy,
+}
+
+_BOTH = frozenset({"array_size", "rf_entries"})
+
+#: Which machine flags each artifact honours (the applicability matrix;
+#: documented in docs/api.md).  Anything outside the set draws an
+#: explicit "ignored" warning when the user passes it.
+ARTIFACT_FLAGS: Dict[str, FrozenSet[str]] = {
+    "t1": frozenset(),               # pure model statistics, no machine
+    "t2": _BOTH,
+    "f1": _BOTH,
+    "f2": _BOTH,
+    "f3": _BOTH,
+    "f4": _BOTH,
+    "claims": _BOTH,
+    "headline": frozenset({"array_size"}),  # RF sweep IS the artifact
+    "taxonomy": _BOTH,
+    "footprint": _BOTH,
+    "perlayer": _BOTH,
+    "energy": _BOTH,
 }
 
 _ALIASES = {
@@ -125,26 +170,46 @@ def resolve(name: str) -> str:
     return key
 
 
+def _warn_ignored_flags(keys: List[str], array_size: Optional[int],
+                        rf_entries: Optional[int]) -> None:
+    """One explicit warning per (explicitly passed flag, deaf artifact)."""
+    passed = {flag for flag, value in (("array_size", array_size),
+                                       ("rf_entries", rf_entries))
+              if value is not None}
+    for key in keys:
+        for flag in sorted(passed - ARTIFACT_FLAGS[key]):
+            warnings.warn(
+                f"--{flag.replace('_', '-')} ignored by artifact {key!r}",
+                UserWarning, stacklevel=3)
+
+
 def run(names: Optional[List[str]] = None,
         array_size: Optional[int] = None,
-        rf_entries: int = 8,
+        rf_entries: Optional[int] = None,
         jobs: int = 1) -> str:
     """Render the selected artifacts (all of them when empty).
 
-    ``array_size=None`` lets each artifact use its own documented
-    default machine (32x32 everywhere except Table 2's 16x16).
+    ``array_size=None`` / ``rf_entries=None`` let each artifact use its
+    own documented default machine (32x32 / RF-8 everywhere except
+    Table 2's 16x16).  Explicitly passed flags that an artifact cannot
+    honour draw a ``UserWarning`` (see :data:`ARTIFACT_FLAGS`).
     ``jobs > 1`` renders the artifacts concurrently through the shared
     sweep engine; section order stays deterministic either way.
     """
     keys = [resolve(n) for n in names] if names else list(_ARTIFACTS)
+    _warn_ignored_flags(keys, array_size, rf_entries)
+
+    def render(key: str) -> str:
+        with obs.span("runner.artifact", artifact=key):
+            return _ARTIFACTS[key](array_size, rf_entries)
+
     if jobs > 1 and len(keys) > 1:
         from repro.core.sweep import SweepEngine
 
         engine = SweepEngine(max_workers=jobs)
-        sections = engine.map_ordered(
-            lambda key: _ARTIFACTS[key](array_size, rf_entries), keys)
+        sections = engine.map_ordered(render, keys)
     else:
-        sections = [_ARTIFACTS[key](array_size, rf_entries) for key in keys]
+        sections = [render(key) for key in keys]
     return "\n\n".join(sections)
 
 
@@ -157,17 +222,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--array-size", type=int, default=None,
                         help="PE array dimension (default: each "
                              "artifact's documented machine)")
-    parser.add_argument("--rf-entries", type=int, default=8,
-                        help="register-file entries per PE (paper: 8/16)")
+    parser.add_argument("--rf-entries", type=int, default=None,
+                        help="register-file entries per PE (default: "
+                             "each artifact's documented machine; "
+                             "paper: 8/16)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="render artifacts concurrently (default: 1)")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record a Chrome-trace JSON of the run "
+                             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the span/counter profile to stderr")
     args = parser.parse_args(argv)
+    tracer = obs.enable() if (args.trace or args.profile) else None
     try:
         print(run(args.artifacts, args.array_size, args.rf_entries,
                   jobs=args.jobs))
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            obs.disable()
+            if args.trace:
+                obs.export_chrome_trace(tracer, args.trace)
+                print(f"trace written to {args.trace} "
+                      f"({len(tracer.spans)} spans)", file=sys.stderr)
+            if args.profile:
+                print(obs.profile_report(tracer), file=sys.stderr)
     return 0
 
 

@@ -51,9 +51,10 @@ class TaxonomyRow:
         return min(self.energy, key=self.energy.get)
 
 
-def run_taxonomy(array_size: int = 32) -> List[TaxonomyRow]:
+def run_taxonomy(array_size: int = 32,
+                 rf_entries: int = 8) -> List[TaxonomyRow]:
     """Evaluate every zoo network under WS / OS / RS / NLR."""
-    simulator = AcceleratorSimulator(squeezelerator(array_size))
+    simulator = AcceleratorSimulator(squeezelerator(array_size, rf_entries))
     rows: List[TaxonomyRow] = []
     for name, network in build_all().items():
         cycles = {flow: 0.0 for flow in DATAFLOW_MODELS}

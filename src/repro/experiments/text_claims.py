@@ -47,9 +47,10 @@ class ClaimBand:
     winner_agreement: float
 
 
-def run_text_claims(array_size: int = 32) -> List[ClaimBand]:
+def run_text_claims(array_size: int = 32,
+                    rf_entries: int = 8) -> List[ClaimBand]:
     """Measure the three §4.1.1 bands over all zoo networks."""
-    config = squeezelerator(array_size)
+    config = squeezelerator(array_size, rf_entries)
     ratios: List[DataflowRatio] = []
     for network in build_all().values():
         ratios.extend(dataflow_ratios(network, config))

@@ -53,6 +53,7 @@ from repro.nn.module import (
 from repro.nn.network import GraphNetwork
 from repro.nn.optim import SGD, Adam, CosineLR, StepLR
 from repro.nn.quant import (
+    symmetric_quantize,
     QuantizationSpec,
     TensorQuantization,
     quantization_sweep,
@@ -120,6 +121,7 @@ __all__ = [
     "quantization_sweep",
     "quantize_network",
     "quantize_tensor",
+    "symmetric_quantize",
     "random_horizontal_flip",
     "save_checkpoint",
     "random_translate",

@@ -13,7 +13,7 @@ Figure 3/4 accuracy axes need qualitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -80,14 +80,24 @@ class Dataset:
     def num_classes(self) -> int:
         return int(self.labels.max()) + 1
 
-    def batches(self, batch_size: int,
-                rng: np.random.Generator = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-        """Iterate minibatches, shuffled when an RNG is provided."""
+    def batches(
+        self, batch_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate shuffled minibatches.
+
+        With ``rng=None`` a fresh seeded generator is used, so the
+        batch order is shuffled but *deterministic* — identical on
+        every call.  Pass your own generator (the trainer does) to get
+        a different shuffle per epoch while staying reproducible
+        end-to-end.
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if rng is None:
+            rng = np.random.default_rng(0)
         order = np.arange(len(self))
-        if rng is not None:
-            rng.shuffle(order)
+        rng.shuffle(order)
         for start in range(0, len(self), batch_size):
             index = order[start:start + batch_size]
             yield self.images[index], self.labels[index]

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.graph import layer_spec as spec
 from repro.nn.network import GraphNetwork
+from repro.nn.quant import symmetric_quantize
 
 
 @dataclass
@@ -42,13 +43,13 @@ class DatapathReport:
 
 
 def _quantize(x: np.ndarray, bits: int) -> Tuple[np.ndarray, float]:
-    """Symmetric quantization to signed integers; returns (q, scale)."""
-    qmax = 2 ** (bits - 1) - 1
-    max_abs = float(np.abs(x).max())
-    if max_abs == 0.0:
-        return np.zeros(x.shape, dtype=np.int64), 1.0
-    scale = max_abs / qmax
-    return np.clip(np.round(x / scale), -qmax, qmax).astype(np.int64), scale
+    """Symmetric quantization to signed integers; returns (q, scale).
+
+    Delegates to :func:`repro.nn.quant.symmetric_quantize` — one shared
+    convention (all-zero tensor -> zeros with scale 1.0) for both the
+    fake-quantization path and this integer emulation.
+    """
+    return symmetric_quantize(x, bits)
 
 
 def _bits_needed(value: int) -> int:

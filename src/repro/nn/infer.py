@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.graph import layer_spec as spec
 from repro.nn import layers
 from repro.nn.functional import conv_output_plane, sliding_windows
@@ -57,8 +58,10 @@ class BufferArena:
         bucket = self._free.get(key)
         if bucket:
             self.hits += 1
+            obs.count("arena.hits")
             return bucket.pop()
         self.misses += 1
+        obs.count("arena.misses")
         return np.empty(key[0], dtype=key[1])
 
     def release(self, array: np.ndarray) -> bool:
@@ -68,6 +71,7 @@ class BufferArena:
         key = (array.shape, array.dtype)
         self._free.setdefault(key, []).append(array)
         self.releases += 1
+        obs.count("arena.releases")
         return True
 
     @property
@@ -330,24 +334,29 @@ class InferencePlan:
     def run(self, x: np.ndarray) -> np.ndarray:
         values: Dict[str, np.ndarray] = {}
         peak = 0
-        with no_grad():
+        with obs.span("infer.plan", steps=len(self.steps),
+                      batch=int(x.shape[0])) as plan_span, no_grad():
             for i, step in enumerate(self.steps):
-                if step.kind == "input":
-                    values[step.name] = x
-                elif step.kind == "concat":
-                    values[step.name] = concat_channels(
-                        [values[n] for n in step.inputs], self.arena)
-                elif step.kind == "add":
-                    values[step.name] = add_tensors(
-                        [values[n] for n in step.inputs], self.arena)
-                elif step.kind in ("fused_conv", "fused_dense"):
-                    values[step.name] = step.op(values[step.inputs[0]],
-                                                self.arena)
-                else:
-                    values[step.name] = step.op(values[step.inputs[0]])
-                peak = max(peak, sum(v.nbytes for v in values.values()))
-                release_dead(values, self._releases[i], self.arena)
+                with obs.span("infer.step", step=step.name,
+                              kind=step.fused or step.kind):
+                    if step.kind == "input":
+                        values[step.name] = x
+                    elif step.kind == "concat":
+                        values[step.name] = concat_channels(
+                            [values[n] for n in step.inputs], self.arena)
+                    elif step.kind == "add":
+                        values[step.name] = add_tensors(
+                            [values[n] for n in step.inputs], self.arena)
+                    elif step.kind in ("fused_conv", "fused_dense"):
+                        values[step.name] = step.op(values[step.inputs[0]],
+                                                    self.arena)
+                    else:
+                        values[step.name] = step.op(values[step.inputs[0]])
+                    peak = max(peak, sum(v.nbytes for v in values.values()))
+                    release_dead(values, self._releases[i], self.arena)
+            plan_span.annotate(peak_live_bytes=peak)
         self.last_peak_live_bytes = peak
+        obs.gauge("infer.peak_live_bytes", peak)
         return values[self.steps[-1].name]
 
     __call__ = run

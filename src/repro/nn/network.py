@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.graph import layer_spec as spec
 from repro.graph.network_spec import LayerNode, NetworkSpec
 from repro.nn import layers
@@ -174,24 +175,28 @@ class GraphNetwork(Module):
         training = self.training
         arena = None if training else self._arena
         values: Dict[str, np.ndarray] = {}
-        for i, node in enumerate(self._nodes):
-            if isinstance(node.spec, spec.Input):
-                values[node.name] = x
-            elif isinstance(node.spec, spec.Concat):
-                values[node.name] = concat_channels(
-                    [values[n] for n in node.inputs], arena)
-            elif isinstance(node.spec, spec.Add):
-                values[node.name] = add_tensors(
-                    [values[n] for n in node.inputs], arena)
-            else:
-                out = node.module(values[node.inputs[0]])
-                if node.name in self._bn:
-                    out = self._bn[node.name](out)
-                if node.activation is not None:
-                    out = node.activation(out)
-                values[node.name] = out
-            if not training:
-                release_dead(values, self._release_after[i], self._arena)
+        with obs.span("nn.forward", network=self.spec.name,
+                      batch=int(x.shape[0]), training=training):
+            for i, node in enumerate(self._nodes):
+                with obs.span("nn.node", node=node.name):
+                    if isinstance(node.spec, spec.Input):
+                        values[node.name] = x
+                    elif isinstance(node.spec, spec.Concat):
+                        values[node.name] = concat_channels(
+                            [values[n] for n in node.inputs], arena)
+                    elif isinstance(node.spec, spec.Add):
+                        values[node.name] = add_tensors(
+                            [values[n] for n in node.inputs], arena)
+                    else:
+                        out = node.module(values[node.inputs[0]])
+                        if node.name in self._bn:
+                            out = self._bn[node.name](out)
+                        if node.activation is not None:
+                            out = node.activation(out)
+                        values[node.name] = out
+                    if not training:
+                        release_dead(values, self._release_after[i],
+                                     self._arena)
         self._activations = values if training else {}
         return values[self._nodes[-1].name]
 

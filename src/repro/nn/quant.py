@@ -17,11 +17,33 @@ measure the accuracy cost of 16-bit (negligible) vs 8-bit (small) vs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.nn.network import GraphNetwork
+
+
+def symmetric_quantize(x: np.ndarray, bits: int) -> Tuple[np.ndarray, float]:
+    """The one symmetric-quantization primitive; returns ``(q, scale)``.
+
+    ``q`` is an int64 array of clipped, rounded quantization levels and
+    ``scale`` the per-tensor step, so ``q * scale`` is the dequantized
+    (fake-quantized) tensor.  Both this module and the integer-datapath
+    emulation (:mod:`repro.nn.fixed_point`) build on it, so the two
+    cannot drift.
+
+    Convention for the degenerate all-zero tensor: ``q`` is all zeros
+    and ``scale`` is 1.0 — a usable (non-zero) scale whose dequantized
+    product is still exactly the input.
+    """
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = float(np.abs(x).max())
+    if max_abs == 0.0:
+        return np.zeros(x.shape, dtype=np.int64), 1.0
+    scale = max_abs / qmax
+    q = np.clip(np.round(x / scale), -qmax, qmax).astype(np.int64)
+    return q, scale
 
 
 @dataclass(frozen=True)
@@ -51,12 +73,8 @@ class TensorQuantization:
 
 def quantize_tensor(x: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
     """Symmetric fake-quantization of one tensor (returns float values)."""
-    max_abs = float(np.abs(x).max())
-    if max_abs == 0.0:
-        return x.copy()
-    scale = max_abs / spec.qmax
-    q = np.clip(np.round(x / scale), -spec.qmax, spec.qmax)
-    return q * scale
+    q, scale = symmetric_quantize(x, spec.bits)
+    return q.astype(np.float64) * scale
 
 
 def quantize_network(network: GraphNetwork,
@@ -64,14 +82,15 @@ def quantize_network(network: GraphNetwork,
     """Quantize every parameter of a network in place.
 
     Returns a per-tensor report (scale and introduced error) so callers
-    can audit which layers are quantization-sensitive.
+    can audit which layers are quantization-sensitive.  All-zero
+    tensors report scale 1.0 (the :func:`symmetric_quantize`
+    convention).
     """
     reports: List[TensorQuantization] = []
     for param in network.parameters():
         original = param.value.copy()
-        param.value = quantize_tensor(param.value, spec)
-        max_abs = float(np.abs(original).max())
-        scale = max_abs / spec.qmax if max_abs else 0.0
+        q, scale = symmetric_quantize(original, spec.bits)
+        param.value = q.astype(np.float64) * scale
         reports.append(TensorQuantization(
             name=param.name,
             scale=scale,

@@ -1,0 +1,182 @@
+"""Trace exporters: Chrome-trace JSON and a plain-text profile report.
+
+Chrome trace format (the "JSON Array"/"JSON Object" format understood
+by ``chrome://tracing`` and Perfetto): each finished span becomes one
+complete event (``"ph": "X"``) with microsecond ``ts``/``dur``, the
+recording thread as ``tid``, and the span metadata under ``args``.
+Counters are emitted as terminal ``"ph": "C"`` events so they show up
+as named counter tracks, and the full counter/gauge tables ride along
+in ``otherData`` for programmatic consumers.
+
+The text report aggregates spans by name — calls, total, self, mean,
+max — sorted by total time, followed by the counter and gauge tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.trace import Tracer
+
+_TRACE_PROCESS_NAME = "repro"
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """The tracer's signal as a list of Chrome-trace event dicts."""
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": _TRACE_PROCESS_NAME},
+    }]
+    end_us = 0.0
+    for span in tracer.spans:
+        end_us = max(end_us, span.end_us)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": round(span.start_us, 3),
+            "dur": round(span.duration_us, 3),
+            "pid": 0,
+            "tid": span.thread_id,
+            "args": dict(span.meta),
+        })
+    for name, value in sorted(tracer.counters.items()):
+        events.append({
+            "name": name, "cat": "counter", "ph": "C",
+            "ts": round(end_us, 3), "pid": 0,
+            "args": {"value": value},
+        })
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The JSON-Object-format trace document (Perfetto-loadable)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": tracer.counters,
+            "gauges": tracer.gauges,
+            "dropped_spans": tracer.dropped_spans,
+        },
+    }
+
+
+def export_chrome_trace(tracer: Tracer, path: str) -> dict:
+    """Write the Chrome-trace JSON document to ``path``; returns it."""
+    document = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return document
+
+
+def validate_chrome_trace(document: object) -> List[dict]:
+    """Check a parsed trace is structurally Chrome-trace; return events.
+
+    Accepts both accepted shapes — a bare event array or an object with
+    ``traceEvents`` — and verifies every event carries the mandatory
+    ``name``/``ph``/``ts`` fields (metadata events excepted for ``ts``).
+    Raises ``ValueError`` on anything a trace viewer would reject.
+    """
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("object-format trace must carry 'traceEvents'")
+    elif isinstance(document, list):
+        events = document
+    else:
+        raise ValueError(f"not a Chrome trace document: {type(document)}")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"event {i} has no name")
+        phase = event.get("ph")
+        if phase not in ("X", "B", "E", "C", "M", "I", "b", "e"):
+            raise ValueError(f"event {i} has unknown phase {phase!r}")
+        if phase != "M" and not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"event {i} has no timestamp")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise ValueError(f"complete event {i} has no duration")
+    return events
+
+
+# -- text profile ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    calls: int
+    total_us: float
+    self_us: float
+    max_us: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.calls if self.calls else 0.0
+
+
+def summarize_spans(tracer: Tracer) -> List[SpanSummary]:
+    """Per-name aggregates, sorted by total time descending."""
+    totals: Dict[str, List[float]] = {}
+    for span in tracer.spans:
+        agg = totals.setdefault(span.name, [0, 0.0, 0.0, 0.0])
+        agg[0] += 1
+        agg[1] += span.duration_us
+        agg[2] += span.self_us
+        agg[3] = max(agg[3], span.duration_us)
+    summaries = [SpanSummary(name, int(c), t, s, m)
+                 for name, (c, t, s, m) in totals.items()]
+    summaries.sort(key=lambda s: (-s.total_us, s.name))
+    return summaries
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def profile_report(tracer: Tracer, top: Optional[int] = 20) -> str:
+    """Human-readable profile: top spans by total time, then counters."""
+    lines = ["== span profile (by total time) =="]
+    summaries = summarize_spans(tracer)
+    shown = summaries if top is None else summaries[:top]
+    if not shown:
+        lines.append("(no spans recorded)")
+    else:
+        lines.append(f"{'span':<28} {'calls':>7} {'total':>10} "
+                     f"{'self':>10} {'mean':>10} {'max':>10}")
+        for s in shown:
+            lines.append(
+                f"{s.name:<28} {s.calls:>7} {_fmt_us(s.total_us):>10} "
+                f"{_fmt_us(s.self_us):>10} {_fmt_us(s.mean_us):>10} "
+                f"{_fmt_us(s.max_us):>10}")
+        if top is not None and len(summaries) > top:
+            lines.append(f"... {len(summaries) - top} more span name(s)")
+    counters = tracer.counters
+    if counters:
+        lines.append("")
+        lines.append("== counters ==")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"{name:<{width}}  {counters[name]:g}")
+    gauges = tracer.gauges
+    if gauges:
+        lines.append("")
+        lines.append("== gauges ==")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"{name:<{width}}  {gauges[name]:g}")
+    if tracer.dropped_spans:
+        lines.append("")
+        lines.append(f"!! {tracer.dropped_spans} span(s) dropped "
+                     f"(max_spans={tracer.max_spans})")
+    return "\n".join(lines)

@@ -167,3 +167,71 @@ class TestSimulationCache:
         simulator = AcceleratorSimulator(CONFIG)
         assert (simulator.simulate(network, network_workloads(network))
                 == simulator.simulate(network))
+
+
+class TestLruSemantics:
+    """LRU ordering details: get refreshes recency, puts evict oldest."""
+
+    def _filled(self, capacity, n):
+        from repro.accel.report import LayerReport
+        from repro.graph import LayerCategory
+
+        cache = SimulationCache(max_entries=capacity)
+        report = LayerReport(
+            name="r", category=LayerCategory.SPATIAL, dataflow="WS",
+            macs=1, compute_cycles=1.0, dram_cycles=1.0, total_cycles=1.0,
+            energy=1.0, energy_breakdown={})
+        for i in range(n):
+            cache.put(f"k{i}", report)
+        return cache, report
+
+    def test_get_refreshes_recency(self):
+        """A got entry survives the next eviction; the un-got one dies."""
+        cache, report = self._filled(capacity=2, n=2)     # holds k0, k1
+        assert cache.get("k0") is not None                # k0 now newest
+        cache.put("k2", report)                           # evicts k1
+        assert cache.get("k0") is not None
+        assert cache.get("k1") is None
+        assert cache.evictions == 1
+
+    def test_put_refresh_does_not_evict(self):
+        """Re-putting an existing key never evicts anything."""
+        cache, report = self._filled(capacity=2, n=2)
+        cache.put("k1", report)
+        cache.put("k0", report)
+        assert cache.evictions == 0 and len(cache) == 2
+
+    def test_eviction_order_is_lru(self):
+        cache, report = self._filled(capacity=3, n=3)     # k0 k1 k2
+        cache.put("k3", report)                           # evicts k0
+        cache.put("k4", report)                           # evicts k1
+        assert cache.get("k0") is None and cache.get("k1") is None
+        assert all(cache.get(f"k{i}") is not None for i in (2, 3, 4))
+
+    def test_counters_under_capacity_pressure(self):
+        """evictions/entries stay consistent while the cache churns."""
+        cache, report = self._filled(capacity=4, n=10)
+        stats = cache.stats()
+        assert stats.entries == len(cache) == 4
+        assert stats.evictions == cache.evictions == 6
+        cache.put("k9", report)  # refresh of a survivor: no eviction
+        assert cache.stats().evictions == 6
+
+    def test_obs_counters_match_cache_stats_exactly(self):
+        """Traced hit/miss/evict counters equal the stats() deltas."""
+        from repro import obs
+
+        network = squeezenext()
+        cache = SimulationCache(max_entries=16)
+        before = cache.stats()
+        with obs.tracing() as tracer:
+            AcceleratorSimulator(CONFIG, cache=cache).simulate(network)
+            AcceleratorSimulator(CONFIG, cache=cache).simulate(network)
+        after = cache.stats()
+        counters = tracer.counters
+        assert counters["simcache.hits"] == after.hits - before.hits
+        assert counters["simcache.misses"] == after.misses - before.misses
+        assert (counters["simcache.evictions"]
+                == after.evictions - before.evictions)
+        assert counters["simcache.hits"] > 0
+        assert counters["simcache.evictions"] > 0  # capacity 16 must churn

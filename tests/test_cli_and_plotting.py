@@ -1,9 +1,12 @@
 """Smoke tests for CLI entry points and the ASCII plotting helper."""
 
+import json
+import warnings
+
 import pytest
 
 from repro.experiments.plotting import ScatterPoint, scatter_plot
-from repro.experiments.runner import main
+from repro.experiments.runner import ARTIFACT_FLAGS, main, run
 
 
 class TestScatterPlot:
@@ -57,6 +60,67 @@ class TestRunnerCli:
     def test_main_unknown_artifact(self, capsys):
         assert main(["table9"]) == 2
         assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestRunnerMachineFlags:
+    """The artifact-vs-flag applicability matrix and its warnings."""
+
+    def test_table1_warns_for_both_flags(self):
+        with pytest.warns(UserWarning) as caught:
+            run(["t1"], array_size=16, rf_entries=16)
+        messages = {str(w.message) for w in caught}
+        assert "--array-size ignored by artifact 't1'" in messages
+        assert "--rf-entries ignored by artifact 't1'" in messages
+
+    def test_headline_warns_for_rf_only(self):
+        with pytest.warns(UserWarning,
+                          match="--rf-entries ignored by artifact 'headline'"):
+            out = run(["headline"], array_size=16, rf_entries=16)
+        assert "Headline" in out
+
+    def test_no_warning_when_flags_are_honoured(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = run(["f2"], array_size=8, rf_entries=16)
+        assert "8 x 8" in out
+
+    def test_no_warning_when_flags_not_passed(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run(["t1"])
+
+    def test_rf_entries_threads_into_machine_artifacts(self):
+        """Artifacts that build a machine actually honour --rf-entries."""
+        from repro.experiments.taxonomy import run_taxonomy
+
+        rf8 = run_taxonomy(16, 8)
+        rf16 = run_taxonomy(16, 16)
+        assert rf8 != rf16  # OS cycles respond to the RF size
+
+    def test_matrix_covers_every_artifact(self):
+        from repro.experiments.runner import _ARTIFACTS
+
+        assert set(ARTIFACT_FLAGS) == set(_ARTIFACTS)
+
+
+class TestRunnerTracing:
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, capsys):
+        from repro import obs
+
+        path = tmp_path / "trace.json"
+        assert main(["f2", "--trace", str(path)]) == 0
+        assert not obs.is_enabled()  # tracer uninstalled after the run
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        events = obs.validate_chrome_trace(document)
+        names = {e["name"] for e in events}
+        assert "runner.artifact" in names
+        assert "trace written" in capsys.readouterr().err
+
+    def test_profile_flag_prints_report(self, capsys):
+        assert main(["f2", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "span profile" in err and "runner.artifact" in err
 
 
 class TestExperimentMains:

@@ -13,9 +13,11 @@ from repro.nn import (
     quantization_sweep,
     quantize_network,
     quantize_tensor,
+    symmetric_quantize,
     train_test_split,
 )
 from repro.nn.data import SHAPE_CLASSES, Dataset
+from repro.nn.fixed_point import _quantize as fixed_point_quantize
 
 
 class TestShapesDataset:
@@ -65,6 +67,26 @@ class TestShapesDataset:
             [l for _, l in dataset.batches(16, np.random.default_rng(1))])
         assert not np.array_equal(plain, shuffled)
         assert sorted(plain) == sorted(shuffled)
+
+    def test_batches_default_rng_is_deterministic(self):
+        """Regression: the None-rng path shuffles, identically every call."""
+        dataset = make_shapes_dataset(64, image_size=16, seed=0)
+        first = [labels for _, labels in dataset.batches(16)]
+        second = [labels for _, labels in dataset.batches(16)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+        # It is a shuffle (not the raw storage order), and a complete one.
+        flat = np.concatenate(first)
+        assert not np.array_equal(flat, dataset.labels)
+        np.testing.assert_array_equal(np.sort(flat), np.sort(dataset.labels))
+
+    def test_batches_explicit_rng_advances_between_epochs(self):
+        """A caller-owned generator yields a fresh order per epoch."""
+        dataset = make_shapes_dataset(64, image_size=16, seed=0)
+        rng = np.random.default_rng(3)
+        epoch1 = np.concatenate([l for _, l in dataset.batches(16, rng)])
+        epoch2 = np.concatenate([l for _, l in dataset.batches(16, rng)])
+        assert not np.array_equal(epoch1, epoch2)
 
     def test_split_disjoint_and_complete(self):
         dataset = make_shapes_dataset(50, image_size=16)
@@ -154,3 +176,62 @@ class TestQuantization:
         assert set(results) == {16, 8, 4}
         for name, value in net.state_dict().items():
             np.testing.assert_array_equal(value, saved[name])
+
+
+class TestQuantizerConsistency:
+    """quant.py and fixed_point.py share one quantization convention.
+
+    Regression for the divergent zero-tensor conventions: both callers
+    now route through ``symmetric_quantize`` (all-zero tensor -> zero
+    levels with scale 1.0) and must agree bit-for-bit on every input.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(bits=st.integers(min_value=2, max_value=16),
+           seed=st.integers(min_value=0, max_value=500),
+           scale_pow=st.integers(min_value=-6, max_value=6))
+    def test_callers_agree_bit_for_bit(self, bits, seed, scale_pow):
+        x = (np.random.default_rng(seed).normal(size=(16,))
+             * 10.0 ** scale_pow)
+        q, scale = symmetric_quantize(x, bits)
+        fq, fscale = fixed_point_quantize(x, bits)
+        np.testing.assert_array_equal(q, fq)
+        assert scale == fscale
+        np.testing.assert_array_equal(
+            quantize_tensor(x, QuantizationSpec(bits)),
+            q.astype(np.float64) * scale)
+
+    @settings(max_examples=20, deadline=None)
+    @given(bits=st.integers(min_value=2, max_value=16))
+    def test_zero_tensor_convention(self, bits):
+        """All-zero input: zero levels, scale exactly 1.0, in both."""
+        x = np.zeros((4, 4))
+        q, scale = symmetric_quantize(x, bits)
+        fq, fscale = fixed_point_quantize(x, bits)
+        assert scale == fscale == 1.0
+        np.testing.assert_array_equal(q, np.zeros((4, 4), dtype=np.int64))
+        np.testing.assert_array_equal(fq, q)
+        np.testing.assert_array_equal(
+            quantize_tensor(x, QuantizationSpec(bits)), x)
+
+    def test_levels_are_integers_within_range(self):
+        x = np.random.default_rng(9).normal(size=(64,))
+        for bits in (2, 4, 8, 16):
+            q, scale = symmetric_quantize(x, bits)
+            qmax = 2 ** (bits - 1) - 1
+            assert q.dtype == np.int64
+            assert np.abs(q).max() <= qmax
+            assert scale > 0.0
+
+    def test_network_report_uses_shared_scale_convention(self):
+        """Zero parameters report scale 1.0 (not the old 0.0)."""
+        b = NetworkBuilder("z", TensorShape(1, 4, 4))
+        b.conv("c", 2, kernel_size=1)
+        b.global_avg_pool("g")
+        b.dense("d", 2, activation="identity")
+        net = GraphNetwork(b.build(), rng=np.random.default_rng(0))
+        for param in net.parameters():
+            param.value = np.zeros_like(param.value)
+        reports = quantize_network(net, QuantizationSpec(8))
+        assert reports and all(r.scale == 1.0 for r in reports)
+        assert all(r.max_abs_error == 0.0 for r in reports)

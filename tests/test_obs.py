@@ -1,0 +1,284 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the tracer core (span nesting, self-time, thread-awareness,
+counters/gauges, span cap), the module-level enable/disable fast path,
+the Chrome-trace / text exporters, and the instrumentation wired into
+the simulator, sweep engine and inference runtime.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.accel import AcceleratorSimulator, SimulationCache, squeezelerator
+from repro.core.sweep import SweepEngine, SweepJob
+from repro.graph import NetworkBuilder, TensorShape
+from repro.models import squeezenext
+from repro.nn import GraphNetwork
+
+CONFIG = squeezelerator(16, 8)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test must leave the process-wide tracer disabled."""
+    assert not obs.is_enabled()
+    yield
+    obs.disable()
+
+
+class TestTracerCore:
+    def test_span_records_duration_and_meta(self):
+        tracer = obs.Tracer()
+        with tracer.span("work", kind="unit") as sp:
+            sp.annotate(result=42)
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.meta == {"kind": "unit", "result": 42}
+        assert record.duration_us >= 0.0
+        assert record.depth == 0
+
+    def test_nesting_depth_and_self_time(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.duration_us >= inner.duration_us
+        # Self time excludes the direct child's whole duration.
+        assert outer.self_us <= outer.duration_us - inner.duration_us + 1.0
+
+    def test_threads_get_independent_stacks(self):
+        tracer = obs.Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker():
+            with tracer.span("thread-root"):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = [s for s in tracer.spans if s.name == "thread-root"]
+        assert len(roots) == 2
+        # Both overlapped in time, yet each is a root on its own thread.
+        assert all(s.depth == 0 for s in roots)
+        assert len({s.thread_id for s in roots}) == 2
+
+    def test_counters_and_gauges(self):
+        tracer = obs.Tracer()
+        tracer.count("c")
+        tracer.count("c", 2.5)
+        tracer.gauge("g", 10)
+        tracer.gauge("g", 7)
+        assert tracer.counters == {"c": 3.5}
+        assert tracer.gauges == {"g": 7}
+
+    def test_max_spans_cap_drops_and_counts(self):
+        tracer = obs.Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans == 3
+
+    def test_max_spans_validation(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            obs.Tracer(max_spans=0)
+
+    def test_clear(self):
+        tracer = obs.Tracer()
+        with tracer.span("s"):
+            tracer.count("c")
+        tracer.clear()
+        assert tracer.spans == [] and tracer.counters == {}
+
+
+class TestModuleFacade:
+    def test_disabled_span_is_shared_noop(self):
+        handle = obs.span("anything", k=1)
+        assert handle is obs.span("other")
+        with handle as sp:
+            assert sp.annotate(x=2) is sp
+
+    def test_disabled_count_gauge_are_noops(self):
+        obs.count("c")
+        obs.gauge("g", 1)  # must not raise, must not record anywhere
+
+    def test_enable_disable_roundtrip(self):
+        tracer = obs.enable()
+        assert obs.is_enabled() and obs.active() is tracer
+        with obs.span("s"):
+            obs.count("c")
+        returned = obs.disable()
+        assert returned is tracer and not obs.is_enabled()
+        assert [s.name for s in tracer.spans] == ["s"]
+        assert tracer.counters == {"c": 1}
+
+    def test_tracing_context_restores_previous_state(self):
+        outer = obs.enable()
+        with obs.tracing() as inner:
+            assert obs.active() is inner and inner is not outer
+        assert obs.active() is outer
+        obs.disable()
+
+    def test_tracing_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.tracing():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+
+class TestExport:
+    def _traced(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer", k="v"):
+            with tracer.span("inner"):
+                pass
+        tracer.count("hits", 3)
+        tracer.gauge("peak", 17)
+        return tracer
+
+    def test_chrome_trace_structure(self):
+        document = obs.chrome_trace(self._traced())
+        events = obs.validate_chrome_trace(document)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        counter = [e for e in events if e["ph"] == "C"]
+        assert counter[0]["name"] == "hits"
+        assert counter[0]["args"]["value"] == 3
+        assert document["otherData"]["gauges"] == {"peak": 17}
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        obs.export_chrome_trace(self._traced(), str(path))
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert obs.validate_chrome_trace(document)
+
+    def test_validate_accepts_bare_array(self):
+        events = obs.chrome_trace_events(self._traced())
+        assert obs.validate_chrome_trace(events) == events
+
+    @pytest.mark.parametrize("bad", [
+        "not a trace",
+        {"noTraceEvents": []},
+        [{"ph": "X", "ts": 0.0, "dur": 1.0}],          # no name
+        [{"name": "x", "ph": "?", "ts": 0.0}],          # bad phase
+        [{"name": "x", "ph": "X", "ts": 0.0}],          # no duration
+    ])
+    def test_validate_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            obs.validate_chrome_trace(bad)
+
+    def test_profile_report_contents(self):
+        report = obs.profile_report(self._traced())
+        assert "outer" in report and "inner" in report
+        assert "hits" in report and "peak" in report
+        assert "calls" in report
+
+    def test_profile_report_empty_tracer(self):
+        assert "no spans" in obs.profile_report(obs.Tracer())
+
+    def test_summaries_sorted_by_total(self):
+        summaries = obs.summarize_spans(self._traced())
+        assert summaries[0].name == "outer"
+        assert summaries[0].total_us >= summaries[1].total_us
+        assert all(s.calls == 1 for s in summaries)
+
+
+class TestInstrumentation:
+    def test_simulator_emits_layer_spans(self):
+        network = squeezenext()
+        with obs.tracing() as tracer:
+            AcceleratorSimulator(CONFIG).simulate(network)
+        by_name = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert len(by_name["accel.simulate"]) == 1
+        from repro.accel.workload import network_workloads
+
+        layer_spans = by_name["accel.layer"]
+        assert len(layer_spans) == len(network_workloads(network))
+        for span in layer_spans[:5]:
+            assert span.meta["dataflow"] in ("WS", "OS")
+            assert span.meta["cycles"] > 0
+
+    def test_simulator_untraced_report_identical(self):
+        network = squeezenext()
+        plain = AcceleratorSimulator(CONFIG).simulate(network)
+        with obs.tracing():
+            traced = AcceleratorSimulator(CONFIG).simulate(network)
+        assert plain == traced
+
+    def test_simcache_counters_emitted(self):
+        cache = SimulationCache()
+        network = squeezenext()
+        with obs.tracing() as tracer:
+            AcceleratorSimulator(CONFIG, cache=cache).simulate(network)
+        counters = tracer.counters
+        assert counters["simcache.hits"] == cache.hits
+        assert counters["simcache.misses"] == cache.misses
+
+    def test_sweep_engine_point_spans_and_wait_split(self):
+        network = squeezenext()
+        engine = SweepEngine(max_workers=2)
+        jobs = [SweepJob(f"p{i}", CONFIG, network) for i in range(3)]
+        with obs.tracing() as tracer:
+            points = engine.run(jobs)
+        assert [p.label for p in points] == ["p0", "p1", "p2"]
+        point_spans = [s for s in tracer.spans if s.name == "sweep.point"]
+        assert {s.meta["label"] for s in point_spans} == {"p0", "p1", "p2"}
+        assert all(s.meta["queue_wait_us"] >= 0 for s in point_spans)
+        counters = tracer.counters
+        assert counters["sweep.points"] == 3
+        assert counters["sweep.queue_wait_us"] >= 0
+        assert counters["sweep.compute_us"] > 0
+        assert any(s.name == "sweep.run" for s in tracer.spans)
+
+    def test_sweep_results_identical_with_tracing(self):
+        network = squeezenext()
+        jobs = [SweepJob("p", CONFIG, network)]
+        plain = SweepEngine(max_workers=1).run(jobs)
+        with obs.tracing():
+            traced = SweepEngine(max_workers=1).run(jobs)
+        assert plain[0].report == traced[0].report
+
+    def _tiny_network(self):
+        b = NetworkBuilder("tiny", TensorShape(3, 8, 8))
+        b.conv("c1", 4, kernel_size=3, padding=1)
+        b.global_avg_pool("gap")
+        b.dense("fc", 2, activation="identity")
+        return GraphNetwork(b.build(), rng=np.random.default_rng(0))
+
+    def test_inference_plan_spans_and_arena_counters(self):
+        net = self._tiny_network().eval()
+        plan = net.inference_plan()
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        plan.run(x)  # warm the arena so the traced run can see hits
+        with obs.tracing() as tracer:
+            out = plan.run(x)
+        names = [s.name for s in tracer.spans]
+        assert names.count("infer.plan") == 1
+        assert names.count("infer.step") == len(plan.steps)
+        plan_span = next(s for s in tracer.spans if s.name == "infer.plan")
+        assert plan_span.meta["peak_live_bytes"] > 0
+        assert tracer.counters.get("arena.hits", 0) > 0
+        assert tracer.gauges["infer.peak_live_bytes"] > 0
+        np.testing.assert_allclose(out, plan.run(x))
+
+    def test_graph_forward_spans(self):
+        net = self._tiny_network().eval()
+        x = np.random.default_rng(2).normal(size=(1, 3, 8, 8))
+        with obs.tracing() as tracer:
+            net.forward(x)
+        names = [s.name for s in tracer.spans]
+        assert names.count("nn.forward") == 1
+        assert names.count("nn.node") == len(net._nodes)
