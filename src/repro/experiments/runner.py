@@ -24,7 +24,14 @@ artifact 'headline'") instead of silently dropping it.
 ``--trace OUT.json`` records the run through :mod:`repro.obs` and
 writes a Chrome-trace JSON file (open in ``chrome://tracing`` or
 Perfetto); ``--profile`` prints the aggregated span/counter report to
-stderr.  Both can be combined with any artifact subset.
+stderr (per-span p50/p99 come from the same
+:class:`~repro.obs.LatencyHistogram` the serving runtime uses).  Both
+can be combined with any artifact subset.
+
+This script regenerates the paper's *offline* artifacts; its sibling
+``repro-serve`` (:mod:`repro.serve.cli`) measures the *online* story —
+throughput and tail latency of a model behind the dynamic-batching
+serving runtime, optionally paced to the simulated Squeezelerator.
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ from repro.nn.layers import (
     Upsample,
 )
 from repro.nn.infer import (
+    ArenaRegistry,
     BufferArena,
     FusedConv2D,
     FusedDense,
@@ -73,6 +74,7 @@ from repro.nn.trainer import (
 __all__ = [
     "Adam",
     "AvgPool2D",
+    "ArenaRegistry",
     "BufferArena",
     "ClassificationReport",
     "BatchNorm2D",

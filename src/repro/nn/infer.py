@@ -23,8 +23,10 @@ after mutating weights (training steps, quantization).
 
 from __future__ import annotations
 
+import copy
+import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -45,6 +47,14 @@ class BufferArena:
     shape/dtype when one is available, otherwise allocates.  Released
     buffers must be exclusively owned — the liveness machinery in
     :func:`release_dead` guarantees that before calling ``release``.
+
+    An arena is deliberately **unlocked** (it sits on the per-layer hot
+    path) and therefore single-threaded: its free lists *and* its
+    hit/miss/release counters are plain unshared state.  Concurrent
+    executors each hold their own replica — :class:`ArenaRegistry`
+    hands one per thread, :meth:`InferencePlan.clone` gives one per
+    plan replica — and read-time aggregation goes through
+    :meth:`merge_stats`.
     """
 
     def __init__(self) -> None:
@@ -88,6 +98,54 @@ class BufferArena:
             "releases": self.releases,
             "held_bytes": self.held_bytes,
         }
+
+    @staticmethod
+    def merge_stats(stats: Iterable[Mapping[str, int]]) -> Dict[str, int]:
+        """Sum per-replica :meth:`stats` dicts into one aggregate."""
+        total = {"hits": 0, "misses": 0, "releases": 0, "held_bytes": 0}
+        for snapshot in stats:
+            for key in total:
+                total[key] += int(snapshot.get(key, 0))
+        return total
+
+
+class ArenaRegistry:
+    """Per-thread :class:`BufferArena` replicas with aggregated stats.
+
+    ``get()`` returns the calling thread's private arena (creating it
+    on first use), so an unlocked arena never crosses threads; the
+    registry keeps a list of every replica it handed out for
+    whole-object queries (``stats``, ``held_bytes``, ``clear``).
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._replicas: List[BufferArena] = []
+
+    def get(self) -> BufferArena:
+        arena = getattr(self._local, "arena", None)
+        if arena is None:
+            arena = BufferArena()
+            with self._lock:
+                self._replicas.append(arena)
+            self._local.arena = arena
+        return arena
+
+    def replicas(self) -> List[BufferArena]:
+        with self._lock:
+            return list(self._replicas)
+
+    def stats(self) -> Dict[str, int]:
+        return BufferArena.merge_stats(a.stats() for a in self.replicas())
+
+    @property
+    def held_bytes(self) -> int:
+        return sum(a.held_bytes for a in self.replicas())
+
+    def clear(self) -> None:
+        for arena in self.replicas():
+            arena.clear()
 
 
 def liveness_release_schedule(
@@ -278,7 +336,14 @@ class FusedDense:
                 f"expected {self.in_features} features, got {flat.shape[1]}")
         dtype = np.result_type(flat.dtype, self._weight.dtype)
         out = arena.acquire((flat.shape[0], self.out_features), dtype)
-        np.matmul(flat, self._weight.T, out=out)
+        # Row-at-a-time so each sample's product has the same shape no
+        # matter what batch it rode in on: BLAS routes (B, K) @ (K, N)
+        # and (K,) @ (K, N) through different kernels whose rounding
+        # differs, which would break the serving guarantee that a
+        # batched response is bit-identical to a batch-1 run.
+        weight_t = self._weight.T
+        for row in range(flat.shape[0]):
+            np.matmul(flat[row], weight_t, out=out[row])
         if self._bias is not None:
             out += self._bias
         if self.relu:
@@ -312,6 +377,13 @@ class InferencePlan:
     ``run`` executes the steps in graph order under ``no_grad``,
     releasing every activation at its last use and recycling buffers
     through the shared :class:`BufferArena`.
+
+    **Threading contract:** one plan serves one thread at a time — the
+    arena is unlocked and ``last_peak_live_bytes`` is per-run state.
+    Concurrent executors (the :mod:`repro.serve` worker pool) call
+    :meth:`clone` once per thread; clones share the immutable fused
+    weights, so the memory cost is one arena's activations per thread,
+    not a second copy of the model.
     """
 
     def __init__(self, steps: List[PlanStep], input_names: Set[str],
@@ -330,6 +402,22 @@ class InferencePlan:
     @property
     def fused_step_count(self) -> int:
         return sum(1 for s in self.steps if s.fused)
+
+    def clone(self) -> "InferencePlan":
+        """A replica safe to run on another thread.
+
+        Fused conv/dense ops are shared (they only read their weight
+        snapshots), unfused module fallbacks are copied (they flip
+        ``training`` around each call), and the clone gets a fresh
+        private :class:`BufferArena` with its own counters.
+        """
+        steps = [
+            PlanStep(s.name, s.kind, s.inputs,
+                     s.op.clone() if isinstance(s.op, _ModuleStep) else s.op,
+                     s.fused)
+            for s in self.steps
+        ]
+        return InferencePlan(steps, set(self.input_names), BufferArena())
 
     def run(self, x: np.ndarray) -> np.ndarray:
         values: Dict[str, np.ndarray] = {}
@@ -411,6 +499,18 @@ class _ModuleStep:
     def __init__(self, module: Module, activation: Optional[Module]) -> None:
         self.module = module
         self.activation = activation
+
+    def clone(self) -> "_ModuleStep":
+        """Replica with privately owned modules (parameters shared).
+
+        A shallow module copy gives the clone its own ``training`` flag
+        and forward-cache slots while aliasing the parameter arrays, so
+        per-thread plan replicas never toggle each other's mode.
+        """
+        return _ModuleStep(
+            copy.copy(self.module),
+            copy.copy(self.activation) if self.activation is not None
+            else None)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         modules = [m for m in (self.module, self.activation) if m is not None]

@@ -11,19 +11,31 @@ adjoint, which keeps the framework small and auditable).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-# Process-wide gradient switch, toggled by :func:`no_grad`.  A single-
-# element list so the context manager mutates shared state without a
-# ``global`` statement in every frame.
-_GRAD_ENABLED = [True]
+
+class _GradState(threading.local):
+    """Per-thread gradient switch, toggled by :func:`no_grad`.
+
+    Thread-local (not process-wide) so a serving worker running an
+    inference plan under ``no_grad`` cannot flip gradient caching off —
+    or, worse, back *on* mid-forward — for a training loop in another
+    thread.  Each thread starts with gradients enabled.
+    """
+
+    enabled = True
+
+
+_GRAD_STATE = _GradState()
 
 
 def is_grad_enabled() -> bool:
-    """Whether modules should record state for a later backward pass."""
-    return _GRAD_ENABLED[0]
+    """Whether modules should record state for a later backward pass
+    (on the calling thread)."""
+    return _GRAD_STATE.enabled
 
 
 @contextlib.contextmanager
@@ -34,14 +46,16 @@ def no_grad():
     im2col matrices, ReLU masks, pooling argmax indices and batch-norm
     normalized activations are not retained, which is the inference
     fast path's memory win.  Calling ``backward`` on a module whose
-    forward ran under ``no_grad`` raises ``RuntimeError``.
+    forward ran under ``no_grad`` raises ``RuntimeError``.  The switch
+    is per-thread: entering ``no_grad`` on one thread leaves concurrent
+    training threads untouched.
     """
-    previous = _GRAD_ENABLED[0]
-    _GRAD_ENABLED[0] = False
+    previous = _GRAD_STATE.enabled
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED[0] = previous
+        _GRAD_STATE.enabled = previous
 
 
 class Parameter:

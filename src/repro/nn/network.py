@@ -17,6 +17,7 @@ from repro.graph import layer_spec as spec
 from repro.graph.network_spec import LayerNode, NetworkSpec
 from repro.nn import layers
 from repro.nn.infer import (
+    ArenaRegistry,
     BufferArena,
     add_tensors,
     concat_channels,
@@ -62,12 +63,14 @@ class GraphNetwork(Module):
             self._nodes.append(self._lower(node, rng))
         self._activations: Dict[str, np.ndarray] = {}
         # Memory planner state for eval-mode forward: per-step release
-        # lists from graph liveness, plus the buffer-recycling arena.
+        # lists from graph liveness, plus the buffer-recycling arenas.
+        # Arenas are unlocked, so the registry hands each thread its
+        # own replica — eval-mode forward is reentrant across threads.
         self._input_names = {n.name for n in self._nodes
                              if isinstance(n.spec, spec.Input)}
         self._release_after = liveness_release_schedule(
             self._nodes, self._input_names)
-        self._arena = BufferArena()
+        self._arenas = ArenaRegistry()
 
     # -- lowering ------------------------------------------------------------
 
@@ -175,6 +178,7 @@ class GraphNetwork(Module):
         training = self.training
         arena = None if training else self._arena
         values: Dict[str, np.ndarray] = {}
+        release_arena = arena
         with obs.span("nn.forward", network=self.spec.name,
                       batch=int(x.shape[0]), training=training):
             for i, node in enumerate(self._nodes):
@@ -196,8 +200,14 @@ class GraphNetwork(Module):
                         values[node.name] = out
                     if not training:
                         release_dead(values, self._release_after[i],
-                                     self._arena)
-        self._activations = values if training else {}
+                                     release_arena)
+        if training:
+            self._activations = values
+        elif self._activations:
+            # Free retained training activations, but never clobber a
+            # concurrent thread's state: eval forwards only ever write
+            # the (idempotent) empty dict.
+            self._activations = {}
         return values[self._nodes[-1].name]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -238,6 +248,16 @@ class GraphNetwork(Module):
             raise RuntimeError("gradient never reached the input node")
         return input_grad
 
+    @property
+    def _arena(self) -> BufferArena:
+        """The calling thread's eval-forward arena replica."""
+        return self._arenas.get()
+
+    def arena_stats(self) -> Dict[str, int]:
+        """Aggregated hit/miss/release counters across every thread's
+        arena replica (see :class:`~repro.nn.infer.ArenaRegistry`)."""
+        return self._arenas.stats()
+
     def inference_plan(self, arena: Optional[BufferArena] = None):
         """Compile the fused eval execution plan for this network.
 
@@ -245,7 +265,9 @@ class GraphNetwork(Module):
         them through the arena-backed memory planner (see
         :mod:`repro.nn.infer`).  The plan snapshots current parameter
         values — rebuild it after any weight mutation (training,
-        quantization, ``load_state_dict``).
+        quantization, ``load_state_dict``).  The returned plan is
+        single-threaded (it inherits the calling thread's arena);
+        concurrent executors take :meth:`InferencePlan.clone` replicas.
         """
         from repro.nn.infer import build_inference_plan
         return build_inference_plan(self, arena=arena or self._arena)

@@ -48,9 +48,11 @@ from repro.obs.export import (
     summarize_spans,
     validate_chrome_trace,
 )
+from repro.obs.hist import LatencyHistogram
 from repro.obs.trace import Span, SpanRecord, Tracer
 
 __all__ = [
+    "LatencyHistogram",
     "Span",
     "SpanRecord",
     "SpanSummary",

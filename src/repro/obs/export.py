@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.hist import LatencyHistogram
 from repro.obs.trace import Tracer
 
 _TRACE_PROCESS_NAME = "repro"
@@ -115,6 +116,9 @@ class SpanSummary:
     total_us: float
     self_us: float
     max_us: float
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    p99_us: float = 0.0
 
     @property
     def mean_us(self) -> float:
@@ -122,16 +126,28 @@ class SpanSummary:
 
 
 def summarize_spans(tracer: Tracer) -> List[SpanSummary]:
-    """Per-name aggregates, sorted by total time descending."""
+    """Per-name aggregates, sorted by total time descending.
+
+    Duration percentiles come from a :class:`LatencyHistogram` per span
+    name — the same fixed log-spaced buckets the serving layer's
+    :class:`~repro.serve.ServerStats` uses for request latency.
+    """
     totals: Dict[str, List[float]] = {}
+    hists: Dict[str, LatencyHistogram] = {}
     for span in tracer.spans:
         agg = totals.setdefault(span.name, [0, 0.0, 0.0, 0.0])
         agg[0] += 1
         agg[1] += span.duration_us
         agg[2] += span.self_us
         agg[3] = max(agg[3], span.duration_us)
-    summaries = [SpanSummary(name, int(c), t, s, m)
-                 for name, (c, t, s, m) in totals.items()]
+        hist = hists.get(span.name)
+        if hist is None:
+            hist = hists[span.name] = LatencyHistogram()
+        hist.record(span.duration_us)
+    summaries = []
+    for name, (c, t, s, m) in totals.items():
+        p50, p95, p99 = hists[name].percentiles()
+        summaries.append(SpanSummary(name, int(c), t, s, m, p50, p95, p99))
     summaries.sort(key=lambda s: (-s.total_us, s.name))
     return summaries
 
@@ -153,11 +169,13 @@ def profile_report(tracer: Tracer, top: Optional[int] = 20) -> str:
         lines.append("(no spans recorded)")
     else:
         lines.append(f"{'span':<28} {'calls':>7} {'total':>10} "
-                     f"{'self':>10} {'mean':>10} {'max':>10}")
+                     f"{'self':>10} {'mean':>10} {'p50':>10} "
+                     f"{'p99':>10} {'max':>10}")
         for s in shown:
             lines.append(
                 f"{s.name:<28} {s.calls:>7} {_fmt_us(s.total_us):>10} "
                 f"{_fmt_us(s.self_us):>10} {_fmt_us(s.mean_us):>10} "
+                f"{_fmt_us(s.p50_us):>10} {_fmt_us(s.p99_us):>10} "
                 f"{_fmt_us(s.max_us):>10}")
         if top is not None and len(summaries) > top:
             lines.append(f"... {len(summaries) - top} more span name(s)")

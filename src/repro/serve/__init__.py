@@ -1,0 +1,55 @@
+"""Inference serving runtime: dynamic batching, worker pool, admission
+control.
+
+The deployment layer the paper's §2 story points at: individual
+embedded-vision queries arrive one image at a time, and this package
+turns them into batched :class:`~repro.nn.infer.InferencePlan`
+executions behind a bounded queue::
+
+    from repro import serve
+    from repro.nn import GraphNetwork
+    from repro.models import squeezenext
+
+    net = GraphNetwork(squeezenext(), batch_norm=True).eval()
+    config = serve.ServerConfig(workers=4, max_batch_size=16,
+                                max_wait_ms=2.0, queue_depth=128)
+    with serve.Server.for_network(net, config) as server:
+        future = server.submit(image)           # (C, H, W)
+        logits = future.result()
+        report = serve.LoadGenerator(server, images).run_open(
+            rps=200, duration_s=5)
+        print(server.stats().latency_ms["p99"], report.achieved_rps)
+
+Guarantees: a full queue rejects with :class:`QueueFull` (memory is
+bounded), queued requests past their deadline fail with
+:class:`DeadlineExceeded` instead of occupying a batch slot,
+``shutdown()`` drains and joins without dropping any accepted request,
+and every response is bit-identical to running the plan on that single
+image directly.  ``repro-serve`` (:mod:`repro.serve.cli`) packages the
+whole loop as a console script.
+"""
+
+from repro.serve.loadgen import LoadGenerator, LoadReport
+from repro.serve.request import (
+    DeadlineExceeded,
+    PendingResponse,
+    QueueFull,
+    ServeError,
+    ServerClosed,
+)
+from repro.serve.server import Server, ServerConfig, ServerStats
+from repro.serve.simtime import accelerator_service_time
+
+__all__ = [
+    "DeadlineExceeded",
+    "LoadGenerator",
+    "LoadReport",
+    "PendingResponse",
+    "QueueFull",
+    "ServeError",
+    "Server",
+    "ServerClosed",
+    "ServerConfig",
+    "ServerStats",
+    "accelerator_service_time",
+]

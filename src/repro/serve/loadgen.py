@@ -1,0 +1,240 @@
+"""Closed- and open-loop load generation against a :class:`Server`.
+
+Two standard benchmarking harnesses:
+
+* **Closed loop** — ``clients`` threads, each submitting its next
+  request only after the previous one completed.  Offered load adapts
+  to the server (classic throughput measurement; queueing never
+  explodes).
+* **Open loop** — requests are submitted on a fixed schedule
+  (``rps``), regardless of completions.  This is the honest tail-
+  latency experiment: when offered load exceeds capacity the bounded
+  queue fills and admission control sheds with
+  :class:`~repro.serve.QueueFull`, which the report counts instead of
+  hiding.
+
+Both record end-to-end latency per completed request into a
+:class:`~repro.obs.LatencyHistogram` replica per thread (merged in the
+report) and return a JSON-ready :class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.obs.hist import LatencyHistogram
+from repro.serve.request import (
+    DeadlineExceeded,
+    PendingResponse,
+    QueueFull,
+)
+from repro.serve.server import Server
+
+__all__ = ["LoadGenerator", "LoadReport"]
+
+_US = 1e6
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str                      # "closed" | "open"
+    duration_s: float
+    offered_rps: Optional[float]   # None for closed loop
+    clients: Optional[int]         # None for open loop
+    sent: int
+    completed: int
+    rejected: int
+    expired: int
+    failed: int
+    latency_ms: Dict[str, float]
+    achieved_rps: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "duration_s": round(self.duration_s, 3),
+            "offered_rps": self.offered_rps,
+            "clients": self.clients,
+            "sent": self.sent,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failed": self.failed,
+            "latency_ms": {k: round(v, 3)
+                           for k, v in self.latency_ms.items()},
+            "achieved_rps": round(self.achieved_rps, 2),
+        }
+
+
+class _ThreadTally:
+    """Per-thread unlocked counters + histogram, merged at report time."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.completed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.failed = 0
+        self.latency = LatencyHistogram()
+
+    def absorb_result(self, response: PendingResponse) -> None:
+        try:
+            response.result()
+        except DeadlineExceeded:
+            self.expired += 1
+            return
+        except Exception:
+            self.failed += 1
+            return
+        self.completed += 1
+        self.latency.record(response.latency_s * _US)
+
+
+InputSource = Union[np.ndarray, Sequence[np.ndarray],
+                    Callable[[int], np.ndarray]]
+
+
+class LoadGenerator:
+    """Drives a started :class:`Server` with synthetic request traffic.
+
+    ``inputs`` is either a pre-built batch (``(N, C, H, W)`` array or a
+    sequence of ``(C, H, W)`` images, cycled round-robin) or a callable
+    ``index -> image`` for caller-controlled payloads.
+    """
+
+    def __init__(self, server: Server, inputs: InputSource) -> None:
+        self.server = server
+        if callable(inputs):
+            self._input_fn = inputs
+        else:
+            pool = [np.asarray(x) for x in inputs]
+            if not pool:
+                raise ValueError("need at least one input image")
+            self._input_fn = lambda i: pool[i % len(pool)]
+
+    # -- closed loop -------------------------------------------------------
+
+    def run_closed(self, clients: int = 4,
+                   duration_s: Optional[float] = None,
+                   requests: Optional[int] = None,
+                   deadline_ms: Optional[float] = None) -> LoadReport:
+        """``clients`` synchronous callers, each one request in flight.
+
+        Stops after ``duration_s`` seconds or once ``requests`` total
+        requests have been *sent*, whichever comes first (at least one
+        bound is required).
+        """
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        if duration_s is None and requests is None:
+            raise ValueError("need duration_s and/or requests")
+        tallies = [_ThreadTally() for _ in range(clients)]
+        ticket = {"next": 0}
+        ticket_lock = threading.Lock()
+        started = time.perf_counter()
+        stop_at = started + duration_s if duration_s is not None else None
+
+        def client(tally: _ThreadTally) -> None:
+            while True:
+                now = time.perf_counter()
+                if stop_at is not None and now >= stop_at:
+                    return
+                with ticket_lock:
+                    index = ticket["next"]
+                    if requests is not None and index >= requests:
+                        return
+                    ticket["next"] = index + 1
+                tally.sent += 1
+                try:
+                    response = self.server.submit(
+                        self._input_fn(index), deadline_ms=deadline_ms)
+                except QueueFull:
+                    tally.rejected += 1
+                    continue
+                tally.absorb_result(response)
+
+        threads = [threading.Thread(target=client, args=(tally,),
+                                    name=f"loadgen-closed-{i}", daemon=True)
+                   for i, tally in enumerate(tallies)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        return self._report("closed", elapsed, None, clients, tallies)
+
+    # -- open loop ---------------------------------------------------------
+
+    def run_open(self, rps: float, duration_s: float,
+                 deadline_ms: Optional[float] = None) -> LoadReport:
+        """Fixed-rate submission for ``duration_s`` seconds.
+
+        The submitter never waits for completions; in-flight responses
+        are collected after the submission window closes, so rejected
+        work shows up as ``rejected`` instead of slowing the schedule.
+        """
+        if rps <= 0:
+            raise ValueError("rps must be positive")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        tally = _ThreadTally()
+        inflight: List[PendingResponse] = []
+        interval = 1.0 / rps
+        started = time.perf_counter()
+        total = max(1, int(round(rps * duration_s)))
+        for index in range(total):
+            target = started + index * interval
+            pause = target - time.perf_counter()
+            if pause > 0:
+                time.sleep(pause)
+            tally.sent += 1
+            try:
+                inflight.append(self.server.submit(
+                    self._input_fn(index), deadline_ms=deadline_ms))
+            except QueueFull:
+                tally.rejected += 1
+        for response in inflight:
+            tally.absorb_result(response)
+        elapsed = time.perf_counter() - started
+        return self._report("open", elapsed, rps, None, [tally])
+
+    # -- reporting ---------------------------------------------------------
+
+    @staticmethod
+    def _report(mode: str, elapsed: float, rps: Optional[float],
+                clients: Optional[int],
+                tallies: Sequence[_ThreadTally]) -> LoadReport:
+        latency = LatencyHistogram()
+        sent = completed = rejected = expired = failed = 0
+        for tally in tallies:
+            sent += tally.sent
+            completed += tally.completed
+            rejected += tally.rejected
+            expired += tally.expired
+            failed += tally.failed
+            latency.merge(tally.latency)
+        summary = latency.summary()
+        latency_ms = {key: summary[key] / 1e3
+                      for key in ("mean", "min", "max", "p50", "p95", "p99")}
+        latency_ms["count"] = summary["count"]
+        elapsed = max(elapsed, 1e-9)
+        return LoadReport(
+            mode=mode,
+            duration_s=elapsed,
+            offered_rps=rps,
+            clients=clients,
+            sent=sent,
+            completed=completed,
+            rejected=rejected,
+            expired=expired,
+            failed=failed,
+            latency_ms=latency_ms,
+            achieved_rps=completed / elapsed,
+        )

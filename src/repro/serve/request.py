@@ -1,0 +1,112 @@
+"""Request-side primitives of the serving runtime.
+
+A submitted inference request is represented by a :class:`PendingResponse`
+— a minimal single-assignment future.  The server thread that executes
+the request completes it exactly once, either with the output tensor or
+with an exception (:class:`DeadlineExceeded`, :class:`ServerClosed`,
+or whatever the execution raised); the submitting thread blocks in
+:meth:`PendingResponse.result`.
+
+The contract the serving layer guarantees — and the shutdown tests
+enforce — is that **every accepted request is completed**: a request
+may fail loudly, but it is never silently dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DeadlineExceeded",
+    "PendingResponse",
+    "QueueFull",
+    "ServeError",
+    "ServerClosed",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer error."""
+
+
+class QueueFull(ServeError):
+    """Admission control rejected the request: the bounded queue is at
+    capacity.  Raised synchronously by ``submit`` — the request was
+    never accepted, so backing off and retrying is safe."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired while it waited in the queue."""
+
+
+class ServerClosed(ServeError):
+    """The server is not accepting work (not started, shutting down,
+    or the request was cancelled by a non-draining shutdown)."""
+
+
+class PendingResponse:
+    """Single-assignment future for one submitted request.
+
+    Created by :meth:`repro.serve.Server.submit`; completed exactly
+    once by a worker (or by shutdown/expiry bookkeeping).  ``result``
+    blocks until then and either returns the output array or raises
+    the recorded error.
+    """
+
+    __slots__ = ("_event", "_value", "_error", "submitted_at",
+                 "completed_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+        self.completed_at: Optional[float] = None
+
+    # -- consumer side -----------------------------------------------------
+
+    def done(self) -> bool:
+        """Whether the request has been completed (value or error)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block for the output; raises the request's error if it failed.
+
+        Raises ``TimeoutError`` if the request is still in flight after
+        ``timeout`` seconds (the request itself stays pending).
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still in flight")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        """Block for completion; the error if it failed, else None."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still in flight")
+        return self._error
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-completion wall time; None while in flight."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    # -- producer side (server internals) ----------------------------------
+
+    def _complete(self, value: np.ndarray) -> None:
+        self._value = value
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()

@@ -1,0 +1,505 @@
+"""The serving runtime: bounded queue, dynamic batcher, worker pool.
+
+:class:`Server` turns individual embedded-vision queries into batched
+:class:`~repro.nn.infer.InferencePlan` executions:
+
+* **Admission control** — a bounded stdlib queue.  When it is full,
+  ``submit`` raises :class:`~repro.serve.QueueFull` *synchronously*
+  instead of growing memory; callers shed or retry.  Per-request
+  deadlines expire work that waited too long in the queue (the request
+  fails with :class:`~repro.serve.DeadlineExceeded` at dequeue time —
+  it is never executed, and never silently dropped).
+* **Dynamic batching** — a worker that dequeues a request keeps
+  coalescing until it holds ``max_batch_size`` requests or
+  ``max_wait_ms`` has passed since the first one, then stacks the
+  inputs and runs the plan once.  Under load, batches fill instantly
+  and the wait never triggers; at low load a request pays at most
+  ``max_wait_ms`` extra latency.
+* **Worker pool** — each worker owns a private
+  :meth:`~repro.nn.infer.InferencePlan.clone` (the plan's arena is
+  unlocked and its module fallbacks flip ``training``, so replicas are
+  a correctness requirement) plus its own unlocked latency histogram
+  and counters; :meth:`Server.stats` merges the replicas into one
+  :class:`ServerStats` snapshot.
+* **Graceful shutdown** — ``shutdown()`` stops admissions, then (by
+  default) drains: queued requests are still executed, workers finish
+  their in-flight batches and are joined.  ``drain=False`` cancels
+  queued requests with :class:`~repro.serve.ServerClosed` instead.
+  Either way every accepted request is completed.
+
+An optional ``service_time`` model (see
+:func:`repro.serve.accelerator_service_time`) paces each batch to the
+cycle count the simulated Squeezelerator would need, turning the
+server into a what-would-the-accelerator-sustain testbench.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.nn.infer import BufferArena, InferencePlan
+from repro.obs.hist import LatencyHistogram
+from repro.serve.request import (
+    DeadlineExceeded,
+    PendingResponse,
+    QueueFull,
+    ServerClosed,
+)
+
+__all__ = ["Server", "ServerConfig", "ServerStats"]
+
+#: Latency histograms record microseconds; the default layout resolves
+#: 1µs .. 100s, which covers everything a numpy forward pass can do.
+_US = 1e6
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`Server`.
+
+    ``max_wait_ms`` bounds how long the *first* request of a batch
+    waits for company; ``queue_depth`` bounds admission (the memory
+    ceiling is ``queue_depth + workers * max_batch_size`` requests);
+    ``default_deadline_ms`` applies to requests submitted without an
+    explicit deadline (``None`` = no deadline).  ``service_time`` maps
+    a batch size to the seconds the batch *should* take — workers sleep
+    out the difference after computing, pacing the server to a modelled
+    accelerator.
+    """
+
+    workers: int = 2
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    queue_depth: int = 64
+    default_deadline_ms: Optional[float] = None
+    service_time: Optional[Callable[[int], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if (self.default_deadline_ms is not None
+                and self.default_deadline_ms <= 0):
+            raise ValueError("default_deadline_ms must be positive")
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A point-in-time snapshot of one server's behaviour.
+
+    Counters cover the server's whole lifetime; ``latency`` percentiles
+    are end-to-end (submit to completion) over *completed* requests,
+    merged from the per-worker histogram replicas.
+    """
+
+    accepted: int
+    rejected_queue_full: int
+    expired: int
+    cancelled: int
+    completed: int
+    failed: int
+    queue_depth: int
+    batches: int
+    batch_size_hist: Dict[int, int]
+    latency_ms: Dict[str, float]
+    arena: Dict[str, int]
+    elapsed_s: float
+    throughput_rps: float
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (benchmarks persist this)."""
+        return {
+            "accepted": self.accepted,
+            "rejected_queue_full": self.rejected_queue_full,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_depth": self.queue_depth,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "batch_size_hist": {str(k): v for k, v in
+                                sorted(self.batch_size_hist.items())},
+            "latency_ms": {k: round(v, 3) for k, v in
+                           self.latency_ms.items()},
+            "arena": dict(self.arena),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+        }
+
+
+class _WorkItem:
+    """One queued request: payload, future, and its deadline."""
+
+    __slots__ = ("x", "response", "deadline_at")
+
+    def __init__(self, x: np.ndarray, response: PendingResponse,
+                 deadline_at: Optional[float]) -> None:
+        self.x = x
+        self.response = response
+        self.deadline_at = deadline_at
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now > self.deadline_at
+
+
+_SENTINEL = None  # queue poison pill; one per worker at shutdown
+
+
+class _Worker:
+    """One pool member: a plan replica plus unlocked local telemetry.
+
+    The lock only serializes the worker against ``Server.stats()``
+    snapshots — the hot path never contends (stats calls are rare).
+    """
+
+    def __init__(self, index: int, plan: InferencePlan) -> None:
+        self.index = index
+        self.plan = plan
+        self.thread: Optional[threading.Thread] = None
+        self.lock = threading.Lock()
+        self.completed = 0
+        self.failed = 0
+        self.expired = 0
+        self.batches = 0
+        self.batch_size_hist: Dict[int, int] = {}
+        self.latency = LatencyHistogram()
+
+
+class Server:
+    """Dynamic-batching inference server over an :class:`InferencePlan`.
+
+    Use as a context manager (``with Server(plan) as srv:``) or call
+    :meth:`start` / :meth:`shutdown` explicitly.  Requests are single
+    images shaped ``(C, H, W)``; responses are that request's slice of
+    the batched plan output — bit-identical to running the plan on the
+    single-image batch directly.
+    """
+
+    def __init__(self, plan: InferencePlan,
+                 config: Optional[ServerConfig] = None,
+                 input_shape: Optional[Tuple[int, int, int]] = None,
+                 name: str = "server") -> None:
+        self.config = config or ServerConfig()
+        self.name = name
+        self.input_shape = tuple(input_shape) if input_shape else None
+        self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(
+            maxsize=self.config.queue_depth)
+        self._workers = [_Worker(i, plan.clone())
+                         for i in range(self.config.workers)]
+        # Guards the lifecycle flags and the submit-side counters; also
+        # serializes submits against shutdown so no request can slip
+        # into the queue behind the poison pills.
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._joined = False
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+        self._accepted = 0
+        self._rejected_queue_full = 0
+        self._cancelled = 0
+
+    @classmethod
+    def for_network(cls, net, config: Optional[ServerConfig] = None,
+                    name: Optional[str] = None) -> "Server":
+        """Build a server from a :class:`~repro.nn.GraphNetwork`.
+
+        Compiles the fused inference plan and remembers the spec's
+        input shape for submit-time validation.
+        """
+        shape = net.spec.input_shape
+        return cls(net.inference_plan(),
+                   config=config,
+                   input_shape=(shape.channels, shape.height, shape.width),
+                   name=name or net.spec.name)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Server":
+        """Spawn the worker pool; idempotent until shutdown."""
+        with self._lock:
+            if self._closed:
+                raise ServerClosed(f"server {self.name!r} already shut down")
+            if self._started:
+                return self
+            self._started = True
+            self._started_at = time.perf_counter()
+        for worker in self._workers:
+            thread = threading.Thread(
+                target=self._worker_loop, args=(worker,),
+                name=f"{self.name}-worker-{worker.index}", daemon=True)
+            worker.thread = thread
+            thread.start()
+        return self
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the server; never drops an accepted request.
+
+        ``drain=True`` (default) executes everything already queued
+        before stopping; ``drain=False`` cancels queued requests with
+        :class:`ServerClosed` (their futures raise — loudly, not
+        silently).  Workers always finish their in-flight batch and
+        are joined.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                drain_items: List[_WorkItem] = []
+                already = True
+            else:
+                self._closed = True
+                already = False
+                drain_items = []
+                if not drain:
+                    while True:
+                        try:
+                            item = self._queue.get_nowait()
+                        except queue.Empty:
+                            break
+                        if item is not _SENTINEL:
+                            drain_items.append(item)
+                self._cancelled += len(drain_items)
+        for item in drain_items:
+            item.response._fail(ServerClosed(
+                f"server {self.name!r} shut down before execution"))
+            obs.count("serve.cancelled")
+        if already or not self._started:
+            with self._lock:
+                self._joined = True
+                if self._stopped_at is None:
+                    self._stopped_at = time.perf_counter()
+            return
+        # Poison pills ride behind every already-accepted request, so
+        # drain mode processes the whole queue before any worker exits.
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            if worker.thread is not None:
+                worker.thread.join(timeout)
+            if worker.thread is None or not worker.thread.is_alive():
+                # Release recycled activation buffers (counters survive
+                # for post-mortem stats; only the memory goes).
+                worker.plan.arena.clear()
+        with self._lock:
+            self._joined = True
+            self._stopped_at = time.perf_counter()
+        # Defensive: the queue must be empty now.  Anything left (a
+        # worker died, a join timed out) is failed, not dropped.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL:
+                item.response._fail(ServerClosed(
+                    f"server {self.name!r} stopped with request unserved"))
+                with self._lock:
+                    self._cancelled += 1
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, x: np.ndarray,
+               deadline_ms: Optional[float] = None) -> PendingResponse:
+        """Enqueue one ``(C, H, W)`` image; returns its future.
+
+        Raises :class:`QueueFull` when the bounded queue is at
+        capacity and :class:`ServerClosed` when the server is not
+        accepting work.  ``deadline_ms`` (or the config default)
+        starts counting now; if the request is still queued when it
+        lapses, its future fails with :class:`DeadlineExceeded`.
+        """
+        x = np.asarray(x)
+        if x.ndim != 3:
+            raise ValueError(
+                f"requests are single images (C, H, W); got shape {x.shape}")
+        if self.input_shape is not None and x.shape != self.input_shape:
+            raise ValueError(
+                f"request shape {x.shape} does not match model input "
+                f"{self.input_shape}")
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        response = PendingResponse()
+        deadline_at = (response.submitted_at + deadline_ms / 1e3
+                       if deadline_ms is not None else None)
+        item = _WorkItem(x, response, deadline_at)
+        with self._lock:
+            if not self._started or self._closed:
+                raise ServerClosed(f"server {self.name!r} is not accepting "
+                                   f"requests")
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self._rejected_queue_full += 1
+                obs.count("serve.rejected.queue_full")
+                raise QueueFull(
+                    f"server {self.name!r} queue at capacity "
+                    f"({self.config.queue_depth})") from None
+            self._accepted += 1
+        obs.count("serve.accepted")
+        return response
+
+    def infer(self, x: np.ndarray, deadline_ms: Optional[float] = None,
+              timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous convenience wrapper: submit and wait."""
+        return self.submit(x, deadline_ms=deadline_ms).result(timeout)
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _expire(self, worker: _Worker, item: _WorkItem) -> None:
+        item.response._fail(DeadlineExceeded(
+            f"deadline expired after "
+            f"{(time.perf_counter() - item.response.submitted_at) * 1e3:.1f}"
+            f"ms in queue"))
+        with worker.lock:
+            worker.expired += 1
+        obs.count("serve.expired")
+
+    def _collect_batch(self, worker: _Worker,
+                       first: _WorkItem) -> Tuple[List[_WorkItem], bool]:
+        """Coalesce up to max_batch_size items or max_wait_ms of waiting.
+
+        Returns the batch and whether a poison pill was consumed (the
+        worker must exit after executing the batch).
+        """
+        batch = [first]
+        stop = False
+        wait_until = time.perf_counter() + self.config.max_wait_ms / 1e3
+        while len(batch) < self.config.max_batch_size:
+            remaining = wait_until - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                stop = True
+                break
+            if item.expired(time.perf_counter()):
+                self._expire(worker, item)
+                continue
+            batch.append(item)
+        return batch, stop
+
+    def _execute(self, worker: _Worker, batch: List[_WorkItem]) -> None:
+        size = len(batch)
+        started = time.perf_counter()
+        try:
+            with obs.span("serve.batch", worker=worker.index, size=size):
+                xs = np.stack([item.x for item in batch])
+                out = worker.plan.run(xs)
+        except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            for item in batch:
+                item.response._fail(error)
+            with worker.lock:
+                worker.failed += size
+                worker.batches += 1
+            obs.count("serve.failed", size)
+            return
+        if self.config.service_time is not None:
+            target = self.config.service_time(size)
+            pause = target - (time.perf_counter() - started)
+            if pause > 0:
+                time.sleep(pause)
+        now = time.perf_counter()
+        with worker.lock:
+            worker.batches += 1
+            worker.completed += size
+            worker.batch_size_hist[size] = (
+                worker.batch_size_hist.get(size, 0) + 1)
+            for item in batch:
+                worker.latency.record(
+                    (now - item.response.submitted_at) * _US)
+        # Hand each caller its own copy so responses never alias the
+        # batch buffer (or each other) once the arena recycles.
+        for i, item in enumerate(batch):
+            item.response._complete(out[i].copy())
+        obs.count("serve.completed", size)
+
+    def _worker_loop(self, worker: _Worker) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            if item.expired(time.perf_counter()):
+                self._expire(worker, item)
+                continue
+            batch, stop = self._collect_batch(worker, item)
+            self._execute(worker, batch)
+            if stop:
+                return
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """Merge server counters and per-worker replicas into a snapshot."""
+        latency = LatencyHistogram()
+        batches = completed = failed = expired = 0
+        batch_size_hist: Dict[int, int] = {}
+        for worker in self._workers:
+            with worker.lock:
+                batches += worker.batches
+                completed += worker.completed
+                failed += worker.failed
+                expired += worker.expired
+                for size, count in worker.batch_size_hist.items():
+                    batch_size_hist[size] = (
+                        batch_size_hist.get(size, 0) + count)
+                latency.merge(worker.latency)
+        with self._lock:
+            accepted = self._accepted
+            rejected = self._rejected_queue_full
+            cancelled = self._cancelled
+            started_at = self._started_at
+            stopped_at = self._stopped_at
+        end = stopped_at if stopped_at is not None else time.perf_counter()
+        elapsed = max(end - started_at, 1e-9) if started_at else 0.0
+        summary = latency.summary()
+        latency_ms = {key: summary[key] / 1e3
+                      for key in ("mean", "min", "max", "p50", "p95", "p99")}
+        latency_ms["count"] = summary["count"]
+        arena = BufferArena.merge_stats(
+            worker.plan.arena.stats() for worker in self._workers)
+        obs.gauge("serve.queue_depth", self._queue.qsize())
+        return ServerStats(
+            accepted=accepted,
+            rejected_queue_full=rejected,
+            expired=expired,
+            cancelled=cancelled,
+            completed=completed,
+            failed=failed,
+            queue_depth=self._queue.qsize(),
+            batches=batches,
+            batch_size_hist=batch_size_hist,
+            latency_ms=latency_ms,
+            arena=arena,
+            elapsed_s=elapsed,
+            throughput_rps=completed / elapsed if elapsed else 0.0,
+        )

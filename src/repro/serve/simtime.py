@@ -1,0 +1,62 @@
+"""Simulator-backed service times: pace the server like the accelerator.
+
+The numpy substrate executes batches however fast the host CPU happens
+to be; the interesting deployment question is *what the Squeezelerator
+would sustain*.  :func:`accelerator_service_time` closes that gap: it
+runs the analytical simulator once, converts the network's batch-1
+cycle count to seconds at the machine's clock, and returns a
+``batch_size -> seconds`` model that :class:`~repro.serve.ServerConfig`
+plugs in as ``service_time``.  Workers then sleep out the difference
+between the host's compute time and the modelled accelerator time, so
+measured throughput and tail latency are the accelerator's, not the
+host's.
+
+The Squeezelerator is a batch-1 engine — images of one batch stream
+through sequentially, so a batch of B costs ``B x`` the per-image
+cycles (no batching economy beyond the weight-fetch amortization the
+DRAM model already applies at batch 1).  Dynamic batching still pays
+off operationally (fewer queue/dispatch turnarounds), but the knee of
+the throughput curve moves to where the modelled hardware saturates.
+
+``time_scale`` compresses modelled time (``0.1`` = tenfold fast-
+forward) so long sweeps can run quickly while preserving ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.accel.config import AcceleratorConfig, squeezelerator
+from repro.accel.simulator import simulate
+from repro.graph.network_spec import NetworkSpec
+
+__all__ = ["accelerator_service_time"]
+
+
+def accelerator_service_time(
+    network: NetworkSpec,
+    config: Optional[AcceleratorConfig] = None,
+    array_size: int = 32,
+    rf_entries: int = 8,
+    time_scale: float = 1.0,
+) -> Callable[[int], float]:
+    """A ``batch_size -> seconds`` model from one simulator run.
+
+    ``config`` overrides the machine entirely; otherwise a
+    ``squeezelerator(array_size, rf_entries)`` is simulated.  The
+    returned callable carries the per-image latency as
+    ``per_image_s`` and the underlying report as ``report`` for
+    display/bookkeeping.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    machine = config or squeezelerator(array_size, rf_entries)
+    report = simulate(network, machine)
+    per_image_s = report.inference_ms / 1e3 * time_scale
+
+    def service_time(batch_size: int) -> float:
+        return per_image_s * batch_size
+
+    service_time.per_image_s = per_image_s
+    service_time.report = report
+    return service_time

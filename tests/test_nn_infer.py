@@ -386,3 +386,101 @@ class TestZooEquivalence:
         plan = net.inference_plan()
         np.testing.assert_allclose(plan.run(x), reference, atol=1e-6)
         assert net._activations == {}
+
+
+class TestEvalReentrancy:
+    """The serving runtime's correctness requirement: eval-mode forward
+    and plan execution must be reentrant, with bit-identical outputs
+    when one model is hammered from many threads at once."""
+
+    THREADS = 8
+    ROUNDS = 10
+
+    def _net(self):
+        net = GraphNetwork(branchy_spec(), rng=np.random.default_rng(1),
+                           batch_norm=True)
+        _randomize_running_stats(net)
+        return net.eval()
+
+    def _hammer(self, worker):
+        import threading
+        errors = []
+        threads = [threading.Thread(target=worker, args=(tid, errors))
+                   for tid in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[0]
+
+    def test_plan_clones_bit_identical_across_8_threads(self):
+        net = self._net()
+        plan = net.inference_plan()
+        xs = [np.random.default_rng(s).normal(size=(2, 3, 12, 12))
+              for s in range(4)]
+        expected = [plan.run(x).copy() for x in xs]
+
+        def worker(tid, errors):
+            try:
+                mine = plan.clone()
+                for round_index in range(self.ROUNDS):
+                    pick = (tid + round_index) % len(xs)
+                    out = mine.run(xs[pick])
+                    np.testing.assert_array_equal(out, expected[pick])
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        self._hammer(worker)
+
+    def test_eval_forward_bit_identical_across_8_threads(self):
+        net = self._net()
+        xs = [np.random.default_rng(s).normal(size=(2, 3, 12, 12))
+              for s in range(4)]
+        expected = [net.forward(x).copy() for x in xs]
+
+        def worker(tid, errors):
+            try:
+                for round_index in range(self.ROUNDS):
+                    pick = (tid + round_index) % len(xs)
+                    out = net.forward(xs[pick])
+                    np.testing.assert_array_equal(out, expected[pick])
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        self._hammer(worker)
+        # Each thread got its own arena replica; stats aggregate them.
+        stats = net.arena_stats()
+        assert stats["hits"] > 0
+        assert len(net._arenas.replicas()) >= self.THREADS
+
+    def test_no_grad_state_is_thread_local(self):
+        import threading
+        assert is_grad_enabled()
+        seen = {}
+
+        def peek():
+            seen["inner"] = is_grad_enabled()
+
+        with no_grad():
+            assert not is_grad_enabled()
+            t = threading.Thread(target=peek)
+            t.start()
+            t.join()
+        # A fresh thread starts with grad enabled even while another
+        # thread sits inside no_grad().
+        assert seen["inner"] is True
+        assert is_grad_enabled()
+
+    def test_plan_clone_shares_weights_but_not_arena(self):
+        net = self._net()
+        plan = net.inference_plan()
+        twin = plan.clone()
+        assert twin.arena is not plan.arena
+        fused = {s.name: s.op for s in plan.steps
+                 if s.kind in ("fused_conv", "fused_dense")}
+        twin_fused = {s.name: s.op for s in twin.steps
+                      if s.kind in ("fused_conv", "fused_dense")}
+        assert fused and fused == twin_fused  # same op objects (weights)
+        x = RNG.normal(size=(2, 3, 12, 12))
+        np.testing.assert_array_equal(plan.run(x), twin.run(x))
+        assert twin.arena.misses > 0  # the clone used its own arena

@@ -282,3 +282,82 @@ class TestInstrumentation:
         names = [s.name for s in tracer.spans]
         assert names.count("nn.forward") == 1
         assert names.count("nn.node") == len(net._nodes)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_close_to_numpy(self):
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(mean=8.0, sigma=1.0, size=20_000)
+        hist = obs.LatencyHistogram()
+        for value in samples:
+            hist.record(value)
+        for q in (50, 95, 99):
+            exact = float(np.percentile(samples, q))
+            approx = hist.percentile(q)
+            assert abs(approx - exact) / exact < 0.05, (q, approx, exact)
+
+    def test_exact_count_min_max_mean(self):
+        hist = obs.LatencyHistogram()
+        for value in (10.0, 20.0, 30.0):
+            hist.record(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 10.0
+        assert summary["max"] == 30.0
+        assert summary["mean"] == pytest.approx(20.0)
+
+    def test_constant_stream_collapses(self):
+        hist = obs.LatencyHistogram()
+        for _ in range(100):
+            hist.record(42.0)
+        assert hist.percentile(50) == pytest.approx(42.0, rel=0.05)
+        assert hist.percentile(99) == pytest.approx(42.0, rel=0.05)
+
+    def test_empty_histogram(self):
+        hist = obs.LatencyHistogram()
+        assert hist.count == 0
+        assert hist.percentile(99) == 0.0
+        assert hist.summary()["p50"] == 0.0
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        hist = obs.LatencyHistogram(low=1.0, high=100.0,
+                                    buckets_per_decade=4)
+        hist.record(5.0)
+        hist.record(1e6)  # far past the top edge
+        assert hist.percentile(99) <= 1e6
+        assert hist.max == 1e6
+
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(1.0, 1e5, size=2_000)
+        whole = obs.LatencyHistogram()
+        left, right = obs.LatencyHistogram(), obs.LatencyHistogram()
+        for i, value in enumerate(samples):
+            whole.record(value)
+            (left if i % 2 else right).record(value)
+        left.merge(right)
+        merged, single = left.summary(), whole.summary()
+        assert merged["mean"] == pytest.approx(single["mean"])
+        for key in ("count", "min", "max", "p50", "p95", "p99"):
+            assert merged[key] == single[key], key
+
+    def test_merge_rejects_layout_mismatch(self):
+        a = obs.LatencyHistogram(buckets_per_decade=8)
+        b = obs.LatencyHistogram(buckets_per_decade=16)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_record_rejects_nonpositive(self):
+        hist = obs.LatencyHistogram()
+        hist.record(0.0)   # ignored, not crashed
+        hist.record(-5.0)  # ignored
+        assert hist.count == 0
+
+    def test_profile_report_has_percentile_columns(self):
+        with obs.tracing() as tracer:
+            for _ in range(5):
+                with obs.span("work"):
+                    pass
+        report = obs.profile_report(tracer)
+        assert "p50" in report
+        assert "p99" in report
