@@ -102,6 +102,54 @@ class LatencyHistogram:
         self.max = max(self.max, other.max)
         return self
 
+    # -- cross-process state -----------------------------------------------
+
+    def state_len(self) -> int:
+        """Length of the flat float64 state vector (:meth:`write_state`)."""
+        return len(self._counts) + 4
+
+    def write_state(self, out) -> None:
+        """Serialize into a flat float64 buffer (a shared-memory slice).
+
+        Layout: the bucket counts followed by ``count``, ``total``,
+        ``min``, ``max``.  Counts are exact in float64 up to 2**53
+        observations; ``min``/``max`` use ±inf when empty, which
+        round-trips.  The worker processes of the serving runtime write
+        their replica state this way and the parent folds it back with
+        :meth:`merge_state` — the cross-process analogue of
+        :meth:`merge`.
+        """
+        if len(out) != self.state_len():
+            raise ValueError(
+                f"state buffer holds {len(out)} values, layout needs "
+                f"{self.state_len()}")
+        n = len(self._counts)
+        out[:n] = self._counts
+        out[n] = float(self.count)
+        out[n + 1] = self.total
+        out[n + 2] = self.min
+        out[n + 3] = self.max
+
+    def merge_state(self, state) -> "LatencyHistogram":
+        """Fold a :meth:`write_state` vector into this histogram.
+
+        The layout check mirrors :meth:`merge`: a state vector of the
+        wrong length (different bucket layout on the other side) is
+        rejected instead of silently mis-binned.
+        """
+        if len(state) != self.state_len():
+            raise ValueError(
+                f"cannot merge state of length {len(state)} into layout "
+                f"needing {self.state_len()}")
+        n = len(self._counts)
+        for i in range(n):
+            self._counts[i] += int(state[i])
+        self.count += int(state[n])
+        self.total += float(state[n + 1])
+        self.min = min(self.min, float(state[n + 2]))
+        self.max = max(self.max, float(state[n + 3]))
+        return self
+
     # -- queries -----------------------------------------------------------
 
     @property

@@ -27,6 +27,13 @@ bounded), queued requests past their deadline fail with
 and every response is bit-identical to running the plan on that single
 image directly.  ``repro-serve`` (:mod:`repro.serve.cli`) packages the
 whole loop as a console script.
+
+Two worker-pool backends sit behind ``ServerConfig.worker_mode``:
+``"thread"`` (default) and ``"process"``, which publishes the fused
+weights once over :mod:`multiprocessing.shared_memory` and runs
+GIL-free worker processes (:mod:`repro.serve.procpool`).  A worker
+process dying mid-batch fails exactly its own requests with
+:class:`WorkerCrashed`; the rest of the pool keeps serving.
 """
 
 from repro.serve.loadgen import LoadGenerator, LoadReport
@@ -36,6 +43,7 @@ from repro.serve.request import (
     QueueFull,
     ServeError,
     ServerClosed,
+    WorkerCrashed,
 )
 from repro.serve.server import Server, ServerConfig, ServerStats
 from repro.serve.simtime import accelerator_service_time
@@ -51,5 +59,6 @@ __all__ = [
     "ServerClosed",
     "ServerConfig",
     "ServerStats",
+    "WorkerCrashed",
     "accelerator_service_time",
 ]

@@ -7,12 +7,15 @@ report and server statistics::
     repro-serve --model sqnxt_23_v5 --rps 200 --duration 5
     repro-serve --model squeezenet_v1_1 --clients 8 --requests 64
     repro-serve --model sqnxt_23 --rps 100 --sim --time-scale 0.1
+    repro-serve --model sqnxt_23_v5 --worker-mode process --workers 4
 
-``--rps`` selects the open-loop generator (fixed offered load, honest
-tail latencies, ``QueueFull`` shedding under overload); without it a
-closed loop with ``--clients`` synchronous callers runs.  ``--sim``
-paces every batch to the simulated Squeezelerator's cycle count
-(see :mod:`repro.serve.simtime`).
+``--rps`` selects the open-loop generator (Poisson arrivals by
+default — seeded, bursty, the honest tail-latency experiment; pass
+``--arrivals uniform`` for fixed gaps); without it a closed loop with
+``--clients`` synchronous callers runs.  ``--sim`` paces every batch
+to the simulated Squeezelerator's cycle count (see
+:mod:`repro.serve.simtime`).  ``--worker-mode process`` runs the
+GIL-free multiprocessing pool with shared-memory weights.
 
 Models are addressed by slug (``sqnxt_23_v5``, ``mobilenet``,
 ``squeezenet_v1_0``...) or by their canonical zoo row name.
@@ -114,6 +117,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "requests (combines with --duration)")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker pool size (default: 2)")
+    parser.add_argument("--worker-mode", choices=("thread", "process"),
+                        default="thread",
+                        help="pool backend: thread (default; "
+                             "bit-identical, right for --sim pacing) "
+                             "or process (GIL-free host scaling via "
+                             "shared-memory weights)")
+    parser.add_argument("--arrivals", choices=("uniform", "poisson"),
+                        default="poisson",
+                        help="open-loop schedule: seeded Poisson "
+                             "bursts (default) or fixed 1/rps gaps")
+    parser.add_argument("--arena-trim-bytes", type=int, default=None,
+                        help="cap each worker arena's free-list high "
+                             "water (bytes; default: unbounded)")
     parser.add_argument("--max-batch-size", type=int, default=8,
                         help="dynamic batch ceiling (default: 8)")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -166,6 +182,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         queue_depth=args.queue_depth,
         default_deadline_ms=args.deadline_ms,
         service_time=service_time,
+        worker_mode=args.worker_mode,
+        arena_trim_bytes=args.arena_trim_bytes,
     )
     shape = model_spec.input_shape
     inputs = rng.normal(
@@ -174,7 +192,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     with Server.for_network(net, config) as server:
         generator = LoadGenerator(server, inputs)
         if args.rps is not None:
-            load = generator.run_open(args.rps, args.duration)
+            load = generator.run_open(args.rps, args.duration,
+                                      arrivals=args.arrivals,
+                                      seed=args.seed)
         else:
             load = generator.run_closed(
                 clients=args.clients, duration_s=args.duration,

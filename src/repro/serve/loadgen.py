@@ -138,12 +138,14 @@ class LoadGenerator:
         tallies = [_ThreadTally() for _ in range(clients)]
         ticket = {"next": 0}
         ticket_lock = threading.Lock()
-        started = time.perf_counter()
+        # monotonic(), matching the server's request timestamps (and
+        # valid across worker processes); perf_counter is not.
+        started = time.monotonic()
         stop_at = started + duration_s if duration_s is not None else None
 
         def client(tally: _ThreadTally) -> None:
             while True:
-                now = time.perf_counter()
+                now = time.monotonic()
                 if stop_at is not None and now >= stop_at:
                     return
                 with ticket_lock:
@@ -167,14 +169,24 @@ class LoadGenerator:
             thread.start()
         for thread in threads:
             thread.join()
-        elapsed = time.perf_counter() - started
+        elapsed = time.monotonic() - started
         return self._report("closed", elapsed, None, clients, tallies)
 
     # -- open loop ---------------------------------------------------------
 
     def run_open(self, rps: float, duration_s: float,
-                 deadline_ms: Optional[float] = None) -> LoadReport:
-        """Fixed-rate submission for ``duration_s`` seconds.
+                 deadline_ms: Optional[float] = None,
+                 arrivals: str = "uniform",
+                 seed: int = 0) -> LoadReport:
+        """Scheduled submission for ``duration_s`` seconds.
+
+        ``arrivals`` selects the schedule: ``"uniform"`` submits at
+        fixed ``1/rps`` gaps (deterministic, the historical behaviour);
+        ``"poisson"`` draws seeded exponential inter-arrival gaps, the
+        memoryless arrival process real request traffic approximates —
+        its bursts are what actually stress the bounded queue, so tail
+        latencies measured under it are the honest ones.  ``seed``
+        makes either schedule reproducible (uniform ignores it).
 
         The submitter never waits for completions; in-flight responses
         are collected after the submission window closes, so rejected
@@ -184,14 +196,29 @@ class LoadGenerator:
             raise ValueError("rps must be positive")
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        if arrivals not in ("uniform", "poisson"):
+            raise ValueError(f"arrivals must be 'uniform' or 'poisson', "
+                             f"got {arrivals!r}")
+        if arrivals == "poisson":
+            rng = np.random.default_rng(seed)
+            offsets: List[float] = []
+            at = 0.0
+            while True:
+                at += float(rng.exponential(1.0 / rps))
+                if at >= duration_s:
+                    break
+                offsets.append(at)
+            if not offsets:
+                offsets = [0.0]
+        else:
+            interval = 1.0 / rps
+            total = max(1, int(round(rps * duration_s)))
+            offsets = [index * interval for index in range(total)]
         tally = _ThreadTally()
         inflight: List[PendingResponse] = []
-        interval = 1.0 / rps
-        started = time.perf_counter()
-        total = max(1, int(round(rps * duration_s)))
-        for index in range(total):
-            target = started + index * interval
-            pause = target - time.perf_counter()
+        started = time.monotonic()
+        for index, offset in enumerate(offsets):
+            pause = started + offset - time.monotonic()
             if pause > 0:
                 time.sleep(pause)
             tally.sent += 1
@@ -202,7 +229,7 @@ class LoadGenerator:
                 tally.rejected += 1
         for response in inflight:
             tally.absorb_result(response)
-        elapsed = time.perf_counter() - started
+        elapsed = time.monotonic() - started
         return self._report("open", elapsed, rps, None, [tally])
 
     # -- reporting ---------------------------------------------------------

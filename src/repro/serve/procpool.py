@@ -1,0 +1,436 @@
+"""Multiprocessing worker pool: GIL-free batch execution over shared memory.
+
+The process-mode backend of :class:`repro.serve.Server`.  Topology:
+
+* **Weights** — the parent exports the fused plan once
+  (:func:`repro.nn.infer.export_plan`) and packs the arrays into a
+  single shared-memory segment; each worker maps the block read-only
+  and rebuilds its plan around zero-copy views
+  (:func:`~repro.nn.infer.plan_from_template`) with a private
+  :class:`~repro.nn.infer.BufferArena`.  N workers cost one copy of
+  the model plus N arenas — same bill as thread mode, without the GIL.
+* **Requests** — one small :class:`~repro.serve.shm.ShmRing` per worker
+  (single producer, single consumer).  The parent's dispatcher stacks
+  a batch, writes it into the next worker's ring (header + monotonic
+  deadline/submit stamps + raw float64 payload — no pickling) and
+  round-robins.  Per-worker rings also mean the parent always knows
+  which worker holds which batch, so a killed worker fails exactly its
+  own batches.
+* **Responses** — one shared ring, every worker producing, the parent's
+  collector consuming.  Slots carry per-request status words (delivered
+  / expired-in-worker) plus the raw batched output.
+* **Stats** — a per-worker slice of one stats segment: counters, arena
+  stats, batch-size histogram and a full
+  :class:`~repro.obs.LatencyHistogram` state vector, overwritten after
+  each batch under a per-worker lock and folded into
+  :class:`~repro.serve.ServerStats` via the layout-checked
+  ``merge_state``.
+
+Timestamps crossing the boundary are ``time.monotonic()`` — documented
+system-wide on Linux/Windows/macOS (3.10+) — so a deadline stamped in
+the parent expires correctly inside a worker.  The default start method
+prefers ``fork``; under ``spawn`` every config field (notably
+``service_time``) must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import secrets
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.infer import BufferArena, InferencePlan, PlanTemplate, \
+    export_plan, plan_from_template
+from repro.obs.hist import LatencyHistogram
+from repro.serve.shm import ArraySpec, RingHandle, ShmRing, SHM_PREFIX, \
+    attach_segment, create_segment, destroy_segment, map_arrays, pack_arrays
+
+__all__ = ["ProcessWorkerPool", "Response"]
+
+MSG_BATCH = 0
+MSG_STOP = 1
+RESP_OK = 0
+RESP_ERROR = 1
+STATUS_DELIVERED = 0
+STATUS_EXPIRED = 1
+
+_ERROR_MAX = 16384
+_REQ_HEADER = 3   # kind, batch_id, size (int64)
+_RESP_HEADER = 5  # kind, batch_id, worker, size, extra (int64)
+
+#: Stats-slice scalar indices (followed by batch hist + latency state).
+_N_COUNTERS = 9
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decoded worker response."""
+
+    batch_id: int
+    worker: int
+    statuses: np.ndarray            # int64, STATUS_* per request
+    output: Optional[np.ndarray]    # (size, *output_shape) float64, or None
+    error: Optional[str]
+
+
+@dataclass(frozen=True)
+class _WorkerSetup:
+    """Picklable per-worker bootstrap payload (Process args)."""
+
+    index: int
+    weights_name: str
+    manifest: Tuple[ArraySpec, ...]
+    template: PlanTemplate
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+    max_batch: int
+    service_time: Optional[Callable[[int], float]]
+    arena_trim_bytes: Optional[int]
+    stats_name: str
+    stats_offset: int               # in float64 elements
+    stats_len: int
+
+
+def _choose_context(start_method: Optional[str]):
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    return multiprocessing.get_context(start_method)
+
+
+def _stats_slice_len(max_batch: int) -> int:
+    return _N_COUNTERS + max_batch + LatencyHistogram().state_len()
+
+
+# -- worker process ----------------------------------------------------------
+
+
+class _WorkerState:
+    """Worker-local tallies mirrored into the shared stats slice."""
+
+    def __init__(self, max_batch: int) -> None:
+        self.completed = 0
+        self.failed = 0
+        self.expired = 0
+        self.batches = 0
+        self.batch_hist = np.zeros(max_batch, dtype=np.float64)
+        self.latency = LatencyHistogram()
+
+    def publish(self, view: np.ndarray, arena: BufferArena) -> None:
+        stats = arena.stats()
+        view[0] = self.completed
+        view[1] = self.failed
+        view[2] = self.expired
+        view[3] = self.batches
+        view[4] = stats["hits"]
+        view[5] = stats["misses"]
+        view[6] = stats["releases"]
+        view[7] = stats["trims"]
+        view[8] = stats["held_bytes"]
+        n = len(self.batch_hist)
+        view[_N_COUNTERS:_N_COUNTERS + n] = self.batch_hist
+        self.latency.write_state(view[_N_COUNTERS + n:])
+
+
+def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
+                 resp_handle: RingHandle, stats_lock, stop_event) -> None:
+    weights = attach_segment(setup.weights_name)
+    arrays = map_arrays(weights, setup.manifest)
+    plan = plan_from_template(setup.template, arrays)
+    requests = ShmRing.attach(req_handle)
+    responses = ShmRing.attach(resp_handle)
+    stats_seg = attach_segment(setup.stats_name)
+    stats_view = np.ndarray((setup.stats_len,), dtype=np.float64,
+                            buffer=stats_seg.buf,
+                            offset=setup.stats_offset * 8)
+    state = _WorkerState(setup.max_batch)
+    in_elems = int(np.prod(setup.input_shape))
+    abort = stop_event.is_set
+    try:
+        while True:
+            message = requests.get(timeout=0.25, abort=abort)
+            if message is None:
+                if stop_event.is_set():
+                    break
+                continue
+            kind, batch_id, size = (
+                int(v) for v in np.frombuffer(message, "<i8",
+                                              count=_REQ_HEADER))
+            if kind == MSG_STOP:
+                break
+            offset = _REQ_HEADER * 8
+            deadlines = np.frombuffer(message, "<f8", count=size,
+                                      offset=offset)
+            offset += 8 * size
+            submits = np.frombuffer(message, "<f8", count=size,
+                                    offset=offset)
+            offset += 8 * size
+            xs = np.frombuffer(message, "<f8", count=size * in_elems,
+                               offset=offset).reshape(
+                                   (size,) + tuple(setup.input_shape))
+            # The parent stamped these deadlines; monotonic() is the
+            # same system-wide clock here, so late ring pickup expires.
+            now = time.monotonic()
+            statuses = np.zeros(size, dtype=np.int64)
+            expired = ~np.isnan(deadlines) & (deadlines < now)
+            statuses[expired] = STATUS_EXPIRED
+            alive = size - int(expired.sum())
+            out = None
+            error_text = None
+            if alive:
+                began = time.monotonic()
+                try:
+                    out = plan.run(xs)
+                    if setup.service_time is not None:
+                        pause = (setup.service_time(size)
+                                 - (time.monotonic() - began))
+                        if pause > 0:
+                            time.sleep(pause)
+                except BaseException:  # noqa: BLE001 - forwarded to callers
+                    error_text = traceback.format_exc(limit=20)
+            done = time.monotonic()
+            state.expired += size - alive
+            if error_text is not None:
+                data = error_text.encode("utf-8", "replace")[:_ERROR_MAX]
+                header = np.array([RESP_ERROR, batch_id, setup.index, size,
+                                   len(data)], dtype="<i8")
+                chunks: List[object] = [header, statuses, data]
+                state.failed += alive
+                state.batches += 1
+            else:
+                header = np.array([RESP_OK, batch_id, setup.index, size,
+                                   1 if out is not None else 0],
+                                  dtype="<i8")
+                chunks = [header, statuses]
+                if out is not None:
+                    chunks.append(np.ascontiguousarray(out,
+                                                       dtype=np.float64))
+                state.completed += alive
+                if alive:
+                    state.batches += 1
+                    state.batch_hist[alive - 1] += 1
+                    for stamp in submits[~expired]:
+                        state.latency.record((done - stamp) * 1e6)
+            if setup.arena_trim_bytes is not None:
+                plan.arena.trim(setup.arena_trim_bytes)
+            # Publish stats *before* the response becomes visible, so a
+            # stats() read triggered by a resolved future already sees
+            # this batch counted.
+            with stats_lock:
+                state.publish(stats_view, plan.arena)
+            responses.put(chunks, abort=abort)
+    finally:
+        with stats_lock:
+            state.publish(stats_view, plan.arena)
+        # Drop every view into the mappings before unmapping them.
+        del plan, arrays
+        stats_view = None
+        requests.close()
+        responses.close()
+        destroy_segment(stats_seg, unlink=False)
+        destroy_segment(weights, unlink=False)
+
+
+# -- parent-side pool --------------------------------------------------------
+
+
+class ProcessWorkerPool:
+    """Parent handle on the worker processes and their shared memory.
+
+    Owns every segment (weights, rings, stats) — :meth:`cleanup`
+    unlinks them all, so ``/dev/shm`` is clean after shutdown even if
+    workers were killed mid-batch.  Lifecycle: ``start`` → any number
+    of ``dispatch``/``recv`` → ``send_stop`` per worker →
+    ``join`` → ``cleanup``.
+    """
+
+    def __init__(self, plan: InferencePlan, workers: int,
+                 input_shape: Tuple[int, ...],
+                 output_shape: Tuple[int, ...], max_batch: int,
+                 service_time: Optional[Callable[[int], float]] = None,
+                 arena_trim_bytes: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        self.workers = workers
+        self.input_shape = tuple(input_shape)
+        self.output_shape = tuple(output_shape)
+        self.max_batch = max_batch
+        self._ctx = _choose_context(start_method)
+        self._base = f"{SHM_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        self._plan = plan
+        self._service_time = service_time
+        self._arena_trim_bytes = arena_trim_bytes
+        self.processes: List[object] = []
+        self._req_rings: List[ShmRing] = []
+        self._resp_ring: Optional[ShmRing] = None
+        self._weights_seg = None
+        self._stats_seg = None
+        self._stats_view: Optional[np.ndarray] = None
+        self._stats_locks: List[object] = []
+        self.stop_event = self._ctx.Event()
+        self._out_elems = int(np.prod(self.output_shape))
+        self._in_elems = int(np.prod(self.input_shape))
+        self._cleaned = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ProcessWorkerPool":
+        arrays, template = export_plan(self._plan)
+        self._weights_seg, manifest = pack_arrays(f"{self._base}_w", arrays)
+        req_bytes = (_REQ_HEADER * 8 + self.max_batch * 16
+                     + self.max_batch * self._in_elems * 8)
+        resp_bytes = (_RESP_HEADER * 8 + self.max_batch * 8
+                      + max(self.max_batch * self._out_elems * 8,
+                            _ERROR_MAX))
+        for i in range(self.workers):
+            self._req_rings.append(ShmRing.create(
+                self._ctx, slots=2, slot_bytes=req_bytes,
+                name=f"{self._base}_q{i}"))
+        self._resp_ring = ShmRing.create(
+            self._ctx, slots=2 * self.workers + 2, slot_bytes=resp_bytes,
+            name=f"{self._base}_r")
+        slice_len = _stats_slice_len(self.max_batch)
+        self._stats_seg = create_segment(f"{self._base}_s",
+                                         self.workers * slice_len * 8)
+        self._stats_view = np.ndarray((self.workers, slice_len),
+                                      dtype=np.float64,
+                                      buffer=self._stats_seg.buf)
+        self._stats_view[:] = 0.0
+        empty = LatencyHistogram()
+        for i in range(self.workers):
+            # Seed each latency state as a valid empty histogram (min
+            # must start at +inf, not 0) so early stats() merges are
+            # correct before a worker's first publish.
+            empty.write_state(
+                self._stats_view[i, _N_COUNTERS + self.max_batch:])
+        for i in range(self.workers):
+            self._stats_locks.append(self._ctx.Lock())
+            setup = _WorkerSetup(
+                index=i,
+                weights_name=f"{self._base}_w",
+                manifest=tuple(manifest),
+                template=template,
+                input_shape=self.input_shape,
+                output_shape=self.output_shape,
+                max_batch=self.max_batch,
+                service_time=self._service_time,
+                arena_trim_bytes=self._arena_trim_bytes,
+                stats_name=f"{self._base}_s",
+                stats_offset=i * slice_len,
+                stats_len=slice_len,
+            )
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(setup, self._req_rings[i].handle,
+                      self._resp_ring.handle, self._stats_locks[i],
+                      self.stop_event),
+                name=f"{self._base}-worker-{i}", daemon=True)
+            process.start()
+            self.processes.append(process)
+        return self
+
+    def alive(self) -> List[bool]:
+        return [p.is_alive() for p in self.processes]
+
+    # -- traffic -----------------------------------------------------------
+
+    def dispatch(self, worker: int, batch_id: int, xs: np.ndarray,
+                 deadlines: Sequence[float], submits: Sequence[float],
+                 timeout: Optional[float] = None,
+                 abort: Optional[Callable[[], bool]] = None) -> bool:
+        """Write one stacked batch into a worker's request ring."""
+        size = len(xs)
+        header = np.array([MSG_BATCH, batch_id, size], dtype="<i8")
+        return self._req_rings[worker].put(
+            [header,
+             np.asarray(deadlines, dtype="<f8"),
+             np.asarray(submits, dtype="<f8"),
+             np.ascontiguousarray(xs, dtype=np.float64)],
+            timeout=timeout, abort=abort)
+
+    def send_stop(self, worker: int,
+                  timeout: Optional[float] = 2.0) -> bool:
+        header = np.array([MSG_STOP, 0, 0], dtype="<i8")
+        return self._req_rings[worker].put([header], timeout=timeout)
+
+    def recv(self, timeout: Optional[float] = None,
+             abort: Optional[Callable[[], bool]] = None
+             ) -> Optional[Response]:
+        message = self._resp_ring.get(timeout=timeout, abort=abort)
+        if message is None:
+            return None
+        kind, batch_id, worker, size, extra = (
+            int(v) for v in np.frombuffer(message, "<i8",
+                                          count=_RESP_HEADER))
+        offset = _RESP_HEADER * 8
+        statuses = np.frombuffer(message, "<i8", count=size, offset=offset)
+        offset += 8 * size
+        if kind == RESP_ERROR:
+            error = message[offset:offset + extra].decode("utf-8", "replace")
+            return Response(batch_id, worker, statuses, None, error)
+        output = None
+        if extra:
+            output = np.frombuffer(
+                message, "<f8", count=size * self._out_elems,
+                offset=offset).reshape((size,) + self.output_shape)
+        return Response(batch_id, worker, statuses, output, None)
+
+    # -- stats -------------------------------------------------------------
+
+    def worker_snapshots(self) -> List[dict]:
+        """Per-worker stats copies: counters, arena, batch hist, latency."""
+        snapshots = []
+        for i in range(self.workers):
+            with self._stats_locks[i]:
+                row = self._stats_view[i].copy()
+            snapshots.append({
+                "completed": int(row[0]),
+                "failed": int(row[1]),
+                "expired": int(row[2]),
+                "batches": int(row[3]),
+                "arena": {
+                    "hits": int(row[4]),
+                    "misses": int(row[5]),
+                    "releases": int(row[6]),
+                    "trims": int(row[7]),
+                    "held_bytes": int(row[8]),
+                },
+                "batch_hist": row[_N_COUNTERS:
+                                  _N_COUNTERS + self.max_batch],
+                "latency_state": row[_N_COUNTERS + self.max_batch:],
+            })
+        return snapshots
+
+    # -- teardown ----------------------------------------------------------
+
+    def join(self, timeout: float = 5.0) -> None:
+        """Join workers; escalate to terminate/kill so this never hangs."""
+        self.stop_event.set()
+        for process in self.processes:
+            process.join(timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+
+    def cleanup(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        if self._cleaned:
+            return
+        self._cleaned = True
+        for ring in self._req_rings:
+            ring.close()
+        if self._resp_ring is not None:
+            self._resp_ring.close()
+        self._stats_view = None
+        destroy_segment(self._stats_seg, unlink=True)
+        self._stats_seg = None
+        destroy_segment(self._weights_seg, unlink=True)
+        self._weights_seg = None

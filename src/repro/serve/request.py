@@ -26,6 +26,7 @@ __all__ = [
     "QueueFull",
     "ServeError",
     "ServerClosed",
+    "WorkerCrashed",
 ]
 
 
@@ -48,6 +49,12 @@ class ServerClosed(ServeError):
     or the request was cancelled by a non-draining shutdown)."""
 
 
+class WorkerCrashed(ServeError):
+    """The worker process holding this request died before responding
+    (process mode).  The request fails loudly — never silently — and
+    surviving workers keep serving."""
+
+
 class PendingResponse:
     """Single-assignment future for one submitted request.
 
@@ -64,7 +71,11 @@ class PendingResponse:
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
-        self.submitted_at = time.perf_counter()
+        # time.monotonic(), not perf_counter(): monotonic is documented
+        # system-wide on Linux/Windows/macOS (3.10+), so the stamp stays
+        # comparable when a deadline derived from it crosses into a
+        # worker process; perf_counter makes no such guarantee.
+        self.submitted_at = time.monotonic()
         self.completed_at: Optional[float] = None
 
     # -- consumer side -----------------------------------------------------
@@ -103,10 +114,10 @@ class PendingResponse:
 
     def _complete(self, value: np.ndarray) -> None:
         self._value = value
-        self.completed_at = time.perf_counter()
+        self.completed_at = time.monotonic()
         self._event.set()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self.completed_at = time.perf_counter()
+        self.completed_at = time.monotonic()
         self._event.set()

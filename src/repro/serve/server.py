@@ -15,17 +15,34 @@
   inputs and runs the plan once.  Under load, batches fill instantly
   and the wait never triggers; at low load a request pays at most
   ``max_wait_ms`` extra latency.
-* **Worker pool** — each worker owns a private
-  :meth:`~repro.nn.infer.InferencePlan.clone` (the plan's arena is
-  unlocked and its module fallbacks flip ``training``, so replicas are
-  a correctness requirement) plus its own unlocked latency histogram
-  and counters; :meth:`Server.stats` merges the replicas into one
-  :class:`ServerStats` snapshot.
+* **Worker pool** — two backends behind one knob
+  (``ServerConfig.worker_mode``):
+
+  - ``"thread"`` (default): each worker thread owns a private
+    :meth:`~repro.nn.infer.InferencePlan.clone` plus its own unlocked
+    latency histogram and counters.  Right choice for simulator-paced
+    runs (workers mostly sleep) and bit-for-bit reproducible CI.
+  - ``"process"``: numpy inference holds the GIL, so thread workers
+    *contend* instead of scaling on real host compute.  Process mode
+    publishes the fused weights once via
+    :mod:`multiprocessing.shared_memory`, forks worker processes that
+    map them zero-copy (:mod:`repro.serve.procpool`), and moves
+    batches over pickle-free shared-memory rings.  Admission control
+    and the dynamic batcher stay in the parent; responses remain
+    bit-identical to direct plan execution.
+
 * **Graceful shutdown** — ``shutdown()`` stops admissions, then (by
   default) drains: queued requests are still executed, workers finish
   their in-flight batches and are joined.  ``drain=False`` cancels
   queued requests with :class:`~repro.serve.ServerClosed` instead.
-  Either way every accepted request is completed.
+  Either way every accepted request is completed, and process mode
+  additionally unlinks every shared-memory segment it created — even
+  when a worker process was killed mid-batch.
+
+All timestamps (deadlines, latencies) use ``time.monotonic()``, which
+is documented system-wide on Linux/Windows/macOS (Python 3.10+), so a
+deadline stamped at submit time remains comparable inside a worker
+process; ``time.perf_counter()`` offers no cross-process guarantee.
 
 An optional ``service_time`` model (see
 :func:`repro.serve.accelerator_service_time`) paces each batch to the
@@ -35,10 +52,11 @@ server into a what-would-the-accelerator-sustain testbench.
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -50,7 +68,9 @@ from repro.serve.request import (
     DeadlineExceeded,
     PendingResponse,
     QueueFull,
+    ServeError,
     ServerClosed,
+    WorkerCrashed,
 )
 
 __all__ = ["Server", "ServerConfig", "ServerStats"]
@@ -72,6 +92,17 @@ class ServerConfig:
     a batch size to the seconds the batch *should* take — workers sleep
     out the difference after computing, pacing the server to a modelled
     accelerator.
+
+    ``worker_mode`` picks the pool backend: ``"thread"`` (default;
+    bit-identical, right for sim-paced runs) or ``"process"``
+    (GIL-free scaling on host compute; see the module docstring for
+    the decision guide).  ``arena_trim_bytes`` caps each worker
+    arena's free-list high water — between batches, buffers above the
+    cap are evicted largest-first so long-running servers release
+    peak-shape scratch.  ``start_method`` overrides the
+    multiprocessing start method in process mode (default: ``fork``
+    where available; under ``spawn``, ``service_time`` must be
+    picklable).
     """
 
     workers: int = 2
@@ -80,6 +111,9 @@ class ServerConfig:
     queue_depth: int = 64
     default_deadline_ms: Optional[float] = None
     service_time: Optional[Callable[[int], float]] = None
+    worker_mode: str = "thread"
+    arena_trim_bytes: Optional[int] = None
+    start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -93,6 +127,12 @@ class ServerConfig:
         if (self.default_deadline_ms is not None
                 and self.default_deadline_ms <= 0):
             raise ValueError("default_deadline_ms must be positive")
+        if self.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', "
+                f"got {self.worker_mode!r}")
+        if self.arena_trim_bytes is not None and self.arena_trim_bytes < 0:
+            raise ValueError("arena_trim_bytes must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -101,7 +141,9 @@ class ServerStats:
 
     Counters cover the server's whole lifetime; ``latency`` percentiles
     are end-to-end (submit to completion) over *completed* requests,
-    merged from the per-worker histogram replicas.
+    merged from the per-worker histogram replicas — across threads in
+    thread mode, across processes (via shared-memory state vectors) in
+    process mode.
     """
 
     accepted: int
@@ -117,6 +159,7 @@ class ServerStats:
     arena: Dict[str, int]
     elapsed_s: float
     throughput_rps: float
+    worker_mode: str = "thread"
 
     @property
     def mean_batch_size(self) -> float:
@@ -125,6 +168,7 @@ class ServerStats:
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready representation (benchmarks persist this)."""
         return {
+            "worker_mode": self.worker_mode,
             "accepted": self.accepted,
             "rejected_queue_full": self.rejected_queue_full,
             "expired": self.expired,
@@ -159,11 +203,11 @@ class _WorkItem:
         return self.deadline_at is not None and now > self.deadline_at
 
 
-_SENTINEL = None  # queue poison pill; one per worker at shutdown
+_SENTINEL = None  # queue poison pill; one per consumer at shutdown
 
 
 class _Worker:
-    """One pool member: a plan replica plus unlocked local telemetry.
+    """One thread-pool member: a plan replica plus unlocked telemetry.
 
     The lock only serializes the worker against ``Server.stats()``
     snapshots — the hot path never contends (stats calls are rare).
@@ -182,6 +226,19 @@ class _Worker:
         self.latency = LatencyHistogram()
 
 
+class _ExpirySink:
+    """Where dequeue-time expiries are counted.
+
+    Thread workers count their own; in process mode the parent's
+    dispatcher thread owns this sink (worker processes count expiries
+    that happen after dispatch separately, in their stats slices).
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.expired = 0
+
+
 class Server:
     """Dynamic-batching inference server over an :class:`InferencePlan`.
 
@@ -189,7 +246,7 @@ class Server:
     :meth:`start` / :meth:`shutdown` explicitly.  Requests are single
     images shaped ``(C, H, W)``; responses are that request's slice of
     the batched plan output — bit-identical to running the plan on the
-    single-image batch directly.
+    single-image batch directly, in both worker modes.
     """
 
     def __init__(self, plan: InferencePlan,
@@ -199,10 +256,19 @@ class Server:
         self.config = config or ServerConfig()
         self.name = name
         self.input_shape = tuple(input_shape) if input_shape else None
+        self._plan = plan
         self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(
             maxsize=self.config.queue_depth)
-        self._workers = [_Worker(i, plan.clone())
-                         for i in range(self.config.workers)]
+        if self.config.worker_mode == "process":
+            if self.input_shape is None:
+                raise ValueError(
+                    "process mode sizes its shared-memory rings from the "
+                    "input shape; pass input_shape= (Server.for_network "
+                    "does) when worker_mode='process'")
+            self._workers: List[_Worker] = []
+        else:
+            self._workers = [_Worker(i, plan.clone())
+                             for i in range(self.config.workers)]
         # Guards the lifecycle flags and the submit-side counters; also
         # serializes submits against shutdown so no request can slip
         # into the queue behind the poison pills.
@@ -215,6 +281,19 @@ class Server:
         self._accepted = 0
         self._rejected_queue_full = 0
         self._cancelled = 0
+        # -- process-mode state -------------------------------------------
+        self._procpool = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._collector: Optional[threading.Thread] = None
+        self._collector_stop = threading.Event()
+        self._dispatch_sink = _ExpirySink()
+        self._pending: Dict[int, Tuple[int, List[_WorkItem]]] = {}
+        self._pending_lock = threading.Lock()
+        self._next_batch_id = 0
+        self._round_robin = 0
+        self._dead_workers: set = set()
+        self._parent_failed = 0  # dead-worker batches (under self._lock)
+        self._final_snapshots: Optional[List[dict]] = None
 
     @classmethod
     def for_network(cls, net, config: Optional[ServerConfig] = None,
@@ -240,14 +319,44 @@ class Server:
             if self._started:
                 return self
             self._started = True
-            self._started_at = time.perf_counter()
-        for worker in self._workers:
-            thread = threading.Thread(
-                target=self._worker_loop, args=(worker,),
-                name=f"{self.name}-worker-{worker.index}", daemon=True)
-            worker.thread = thread
-            thread.start()
+            self._started_at = time.monotonic()
+        if self.config.worker_mode == "process":
+            self._start_process_pool()
+        else:
+            for worker in self._workers:
+                thread = threading.Thread(
+                    target=self._worker_loop, args=(worker,),
+                    name=f"{self.name}-worker-{worker.index}", daemon=True)
+                worker.thread = thread
+                thread.start()
         return self
+
+    def _start_process_pool(self) -> None:
+        from repro.serve.procpool import ProcessWorkerPool
+
+        # One probe run pins the output shape the response ring must
+        # hold; the parent plan is idle afterwards, so release its
+        # scratch instead of pinning a full activation set.
+        probe = self._plan.run(
+            np.zeros((1,) + self.input_shape, dtype=np.float64))
+        output_shape = tuple(probe.shape[1:])
+        del probe
+        self._plan.arena.clear()
+        self._procpool = ProcessWorkerPool(
+            self._plan, workers=self.config.workers,
+            input_shape=self.input_shape, output_shape=output_shape,
+            max_batch=self.config.max_batch_size,
+            service_time=self.config.service_time,
+            arena_trim_bytes=self.config.arena_trim_bytes,
+            start_method=self.config.start_method).start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"{self.name}-dispatch",
+            daemon=True)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name=f"{self.name}-collect",
+            daemon=True)
+        self._dispatcher.start()
+        self._collector.start()
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -267,7 +376,8 @@ class Server:
         before stopping; ``drain=False`` cancels queued requests with
         :class:`ServerClosed` (their futures raise — loudly, not
         silently).  Workers always finish their in-flight batch and
-        are joined.  Idempotent.
+        are joined; process mode also closes and unlinks every
+        shared-memory segment.  Idempotent.
         """
         with self._lock:
             if self._closed:
@@ -294,22 +404,27 @@ class Server:
             with self._lock:
                 self._joined = True
                 if self._stopped_at is None:
-                    self._stopped_at = time.perf_counter()
+                    self._stopped_at = time.monotonic()
             return
-        # Poison pills ride behind every already-accepted request, so
-        # drain mode processes the whole queue before any worker exits.
-        for _ in self._workers:
-            self._queue.put(_SENTINEL)
-        for worker in self._workers:
-            if worker.thread is not None:
-                worker.thread.join(timeout)
-            if worker.thread is None or not worker.thread.is_alive():
-                # Release recycled activation buffers (counters survive
-                # for post-mortem stats; only the memory goes).
-                worker.plan.arena.clear()
+        if self.config.worker_mode == "process":
+            self._shutdown_process_pool(timeout)
+        else:
+            # Poison pills ride behind every already-accepted request,
+            # so drain mode processes the whole queue before any worker
+            # exits.
+            for _ in self._workers:
+                self._queue.put(_SENTINEL)
+            for worker in self._workers:
+                if worker.thread is not None:
+                    worker.thread.join(timeout)
+                if worker.thread is None or not worker.thread.is_alive():
+                    # Release recycled activation buffers (counters
+                    # survive for post-mortem stats; only the memory
+                    # goes).
+                    worker.plan.arena.clear()
         with self._lock:
             self._joined = True
-            self._stopped_at = time.perf_counter()
+            self._stopped_at = time.monotonic()
         # Defensive: the queue must be empty now.  Anything left (a
         # worker died, a join timed out) is failed, not dropped.
         while True:
@@ -322,6 +437,32 @@ class Server:
                     f"server {self.name!r} stopped with request unserved"))
                 with self._lock:
                     self._cancelled += 1
+
+    def _shutdown_process_pool(self, timeout: Optional[float]) -> None:
+        join_s = 10.0 if timeout is None else timeout
+        # One sentinel: the dispatcher is the queue's only consumer.
+        # It dispatches everything already queued, then STOPs workers.
+        self._queue.put(_SENTINEL)
+        if self._dispatcher is not None:
+            self._dispatcher.join(join_s)
+        self._procpool.join(join_s)
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(join_s)
+        # Anything still pending lost its worker (killed, or a join
+        # timed out): fail loudly, never silently.
+        with self._pending_lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for _, items in leftovers:
+            for item in items:
+                item.response._fail(ServerClosed(
+                    f"server {self.name!r} stopped with request unserved"))
+            with self._lock:
+                self._cancelled += len(items)
+        # Final stats outlive the segments they were mirrored in.
+        self._final_snapshots = self._procpool.worker_snapshots()
+        self._procpool.cleanup()
 
     # -- submission --------------------------------------------------------
 
@@ -370,29 +511,29 @@ class Server:
         """Synchronous convenience wrapper: submit and wait."""
         return self.submit(x, deadline_ms=deadline_ms).result(timeout)
 
-    # -- the worker loop ---------------------------------------------------
+    # -- batching (shared by thread workers and the dispatcher) ------------
 
-    def _expire(self, worker: _Worker, item: _WorkItem) -> None:
+    def _expire(self, sink, item: _WorkItem) -> None:
         item.response._fail(DeadlineExceeded(
             f"deadline expired after "
-            f"{(time.perf_counter() - item.response.submitted_at) * 1e3:.1f}"
+            f"{(time.monotonic() - item.response.submitted_at) * 1e3:.1f}"
             f"ms in queue"))
-        with worker.lock:
-            worker.expired += 1
+        with sink.lock:
+            sink.expired += 1
         obs.count("serve.expired")
 
-    def _collect_batch(self, worker: _Worker,
+    def _collect_batch(self, sink,
                        first: _WorkItem) -> Tuple[List[_WorkItem], bool]:
         """Coalesce up to max_batch_size items or max_wait_ms of waiting.
 
         Returns the batch and whether a poison pill was consumed (the
-        worker must exit after executing the batch).
+        consumer must exit after handling the batch).
         """
         batch = [first]
         stop = False
-        wait_until = time.perf_counter() + self.config.max_wait_ms / 1e3
+        wait_until = time.monotonic() + self.config.max_wait_ms / 1e3
         while len(batch) < self.config.max_batch_size:
-            remaining = wait_until - time.perf_counter()
+            remaining = wait_until - time.monotonic()
             if remaining <= 0:
                 break
             try:
@@ -402,15 +543,17 @@ class Server:
             if item is _SENTINEL:
                 stop = True
                 break
-            if item.expired(time.perf_counter()):
-                self._expire(worker, item)
+            if item.expired(time.monotonic()):
+                self._expire(sink, item)
                 continue
             batch.append(item)
         return batch, stop
 
+    # -- the thread worker loop --------------------------------------------
+
     def _execute(self, worker: _Worker, batch: List[_WorkItem]) -> None:
         size = len(batch)
-        started = time.perf_counter()
+        started = time.monotonic()
         try:
             with obs.span("serve.batch", worker=worker.index, size=size):
                 xs = np.stack([item.x for item in batch])
@@ -425,10 +568,10 @@ class Server:
             return
         if self.config.service_time is not None:
             target = self.config.service_time(size)
-            pause = target - (time.perf_counter() - started)
+            pause = target - (time.monotonic() - started)
             if pause > 0:
                 time.sleep(pause)
-        now = time.perf_counter()
+        now = time.monotonic()
         with worker.lock:
             worker.batches += 1
             worker.completed += size
@@ -442,19 +585,142 @@ class Server:
         for i, item in enumerate(batch):
             item.response._complete(out[i].copy())
         obs.count("serve.completed", size)
+        if self.config.arena_trim_bytes is not None:
+            worker.plan.arena.trim(self.config.arena_trim_bytes)
 
     def _worker_loop(self, worker: _Worker) -> None:
         while True:
             item = self._queue.get()
             if item is _SENTINEL:
                 return
-            if item.expired(time.perf_counter()):
+            if item.expired(time.monotonic()):
                 self._expire(worker, item)
                 continue
             batch, stop = self._collect_batch(worker, item)
             self._execute(worker, batch)
             if stop:
                 return
+
+    # -- the process-mode parent threads -----------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """Dequeue, coalesce, and round-robin batches into worker rings."""
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                break
+            if item.expired(time.monotonic()):
+                self._expire(self._dispatch_sink, item)
+                continue
+            batch, stop = self._collect_batch(self._dispatch_sink, item)
+            self._dispatch_batch(batch)
+            if stop:
+                break
+        for index in range(self._procpool.workers):
+            if self._procpool.processes[index].is_alive():
+                self._procpool.send_stop(index, timeout=5.0)
+
+    def _fail_batch(self, batch: List[_WorkItem],
+                    error: BaseException) -> None:
+        for item in batch:
+            item.response._fail(error)
+        with self._lock:
+            self._parent_failed += len(batch)
+        obs.count("serve.failed", len(batch))
+
+    def _dispatch_batch(self, batch: List[_WorkItem]) -> None:
+        pool = self._procpool
+        xs = np.stack([item.x for item in batch]).astype(
+            np.float64, copy=False)
+        deadlines = [item.deadline_at if item.deadline_at is not None
+                     else math.nan for item in batch]
+        submits = [item.response.submitted_at for item in batch]
+        with self._pending_lock:
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+        while True:
+            alive = pool.alive()
+            candidates = [w for w in range(pool.workers)
+                          if alive[w] and w not in self._dead_workers]
+            if not candidates:
+                self._fail_batch(batch, WorkerCrashed(
+                    f"server {self.name!r} has no live worker processes"))
+                return
+            worker = candidates[self._round_robin % len(candidates)]
+            self._round_robin += 1
+            with self._pending_lock:
+                self._pending[batch_id] = (worker, batch)
+            if pool.dispatch(worker, batch_id, xs, deadlines, submits,
+                             timeout=0.25):
+                obs.count("serve.dispatched", len(batch))
+                return
+            # Ring full (worker busy) or worker gone — try the next one.
+            with self._pending_lock:
+                self._pending.pop(batch_id, None)
+
+    def _collect_loop(self) -> None:
+        """Complete futures from the response ring; reap dead workers."""
+        pool = self._procpool
+        while True:
+            response = pool.recv(timeout=0.1)
+            if response is not None:
+                self._complete_response(response)
+                continue
+            self._reap_dead_workers()
+            if self._collector_stop.is_set():
+                while True:  # final non-blocking drain
+                    response = pool.recv(timeout=0.05)
+                    if response is None:
+                        break
+                    self._complete_response(response)
+                return
+
+    def _complete_response(self, response) -> None:
+        from repro.serve.procpool import STATUS_EXPIRED
+
+        with self._pending_lock:
+            entry = self._pending.pop(response.batch_id, None)
+        if entry is None:
+            return  # already failed by dead-worker reaping
+        _, batch = entry
+        if response.error is not None:
+            error = ServeError(
+                f"worker process {response.worker} failed the batch:\n"
+                f"{response.error}")
+            for item in batch:
+                item.response._fail(error)
+            obs.count("serve.failed", len(batch))
+            return
+        delivered = 0
+        for i, item in enumerate(batch):
+            if response.statuses[i] == STATUS_EXPIRED:
+                item.response._fail(DeadlineExceeded(
+                    "deadline expired in the worker process before "
+                    "execution"))
+                obs.count("serve.expired")
+            else:
+                item.response._complete(response.output[i].copy())
+                delivered += 1
+        if delivered:
+            obs.count("serve.completed", delivered)
+
+    def _reap_dead_workers(self) -> None:
+        pool = self._procpool
+        alive = pool.alive()
+        for index in range(pool.workers):
+            if alive[index] or index in self._dead_workers:
+                continue
+            with self._pending_lock:
+                self._dead_workers.add(index)
+                doomed = [(bid, items) for bid, (w, items)
+                          in self._pending.items() if w == index]
+                for bid, _ in doomed:
+                    del self._pending[bid]
+            for _, items in doomed:
+                self._fail_batch(items, WorkerCrashed(
+                    f"worker process {index} died with the batch in "
+                    f"flight"))
+            obs.count("serve.worker_crashed")
 
     # -- telemetry ---------------------------------------------------------
 
@@ -463,30 +729,55 @@ class Server:
         latency = LatencyHistogram()
         batches = completed = failed = expired = 0
         batch_size_hist: Dict[int, int] = {}
-        for worker in self._workers:
-            with worker.lock:
-                batches += worker.batches
-                completed += worker.completed
-                failed += worker.failed
-                expired += worker.expired
-                for size, count in worker.batch_size_hist.items():
-                    batch_size_hist[size] = (
-                        batch_size_hist.get(size, 0) + count)
-                latency.merge(worker.latency)
+        if self.config.worker_mode == "process":
+            if self._final_snapshots is not None:
+                snapshots = self._final_snapshots
+            elif self._procpool is not None:
+                snapshots = self._procpool.worker_snapshots()
+            else:
+                snapshots = []
+            for snap in snapshots:
+                batches += snap["batches"]
+                completed += snap["completed"]
+                failed += snap["failed"]
+                expired += snap["expired"]
+                for size_index, count in enumerate(snap["batch_hist"]):
+                    if count:
+                        size = size_index + 1
+                        batch_size_hist[size] = (
+                            batch_size_hist.get(size, 0) + int(count))
+                latency.merge_state(snap["latency_state"])
+            with self._dispatch_sink.lock:
+                expired += self._dispatch_sink.expired
+            arena = BufferArena.merge_stats(
+                snap["arena"] for snap in snapshots)
+            with self._lock:
+                failed += self._parent_failed
+        else:
+            for worker in self._workers:
+                with worker.lock:
+                    batches += worker.batches
+                    completed += worker.completed
+                    failed += worker.failed
+                    expired += worker.expired
+                    for size, count in worker.batch_size_hist.items():
+                        batch_size_hist[size] = (
+                            batch_size_hist.get(size, 0) + count)
+                    latency.merge(worker.latency)
+            arena = BufferArena.merge_stats(
+                worker.plan.arena.stats() for worker in self._workers)
         with self._lock:
             accepted = self._accepted
             rejected = self._rejected_queue_full
             cancelled = self._cancelled
             started_at = self._started_at
             stopped_at = self._stopped_at
-        end = stopped_at if stopped_at is not None else time.perf_counter()
+        end = stopped_at if stopped_at is not None else time.monotonic()
         elapsed = max(end - started_at, 1e-9) if started_at else 0.0
         summary = latency.summary()
         latency_ms = {key: summary[key] / 1e3
                       for key in ("mean", "min", "max", "p50", "p95", "p99")}
         latency_ms["count"] = summary["count"]
-        arena = BufferArena.merge_stats(
-            worker.plan.arena.stats() for worker in self._workers)
         obs.gauge("serve.queue_depth", self._queue.qsize())
         return ServerStats(
             accepted=accepted,
@@ -502,4 +793,5 @@ class Server:
             arena=arena,
             elapsed_s=elapsed,
             throughput_rps=completed / elapsed if elapsed else 0.0,
+            worker_mode=self.config.worker_mode,
         )

@@ -361,3 +361,48 @@ class TestLatencyHistogram:
         report = obs.profile_report(tracer)
         assert "p50" in report
         assert "p99" in report
+
+
+class TestHistogramState:
+    """The flat float64 state vector process-mode serving ships across
+    shared memory (`state_len` / `write_state` / `merge_state`)."""
+
+    def test_state_round_trip_preserves_summary(self):
+        rng = np.random.default_rng(9)
+        hist = obs.LatencyHistogram()
+        for value in rng.uniform(1.0, 1e5, size=500):
+            hist.record(value)
+        state = np.zeros(hist.state_len(), dtype=np.float64)
+        hist.write_state(state)
+        rebuilt = obs.LatencyHistogram()
+        rebuilt.merge_state(state)
+        assert rebuilt.summary() == hist.summary()
+
+    def test_merge_state_accumulates_like_merge(self):
+        a, b = obs.LatencyHistogram(), obs.LatencyHistogram()
+        for value in (10.0, 100.0, 1000.0):
+            a.record(value)
+        for value in (5.0, 50.0):
+            b.record(value)
+        state = np.zeros(b.state_len(), dtype=np.float64)
+        b.write_state(state)
+        a.merge_state(state)
+        assert a.count == 5
+        assert a.min == 5.0
+        assert a.max == 1000.0
+
+    def test_empty_state_merge_is_identity(self):
+        hist = obs.LatencyHistogram()
+        hist.record(42.0)
+        before = hist.summary()
+        empty = np.zeros(hist.state_len(), dtype=np.float64)
+        obs.LatencyHistogram().write_state(empty)
+        hist.merge_state(empty)
+        assert hist.summary() == before
+
+    def test_state_layout_mismatch_rejected(self):
+        hist = obs.LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.merge_state(np.zeros(3))
+        with pytest.raises(ValueError):
+            hist.write_state(np.zeros(3))

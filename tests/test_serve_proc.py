@@ -1,0 +1,280 @@
+"""Tests for the multiprocessing serving backend (``worker_mode="process"``).
+
+Covers the shared-memory primitives (packed weight segments, bounded
+rings), cross-process response bit-identity against direct plan
+execution, parent-stamped deadlines expiring inside worker processes
+(the monotonic-clock contract), drain-then-shutdown, worker-crash
+containment (:class:`~repro.serve.WorkerCrashed`), cross-process stats
+merging — and the leak contract: zero orphaned ``/dev/shm`` segments
+after every shutdown, including 100 randomized start/stop cycles and a
+worker killed mid-batch.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeadlineExceeded,
+    Server,
+    ServerConfig,
+    WorkerCrashed,
+)
+from repro.serve.shm import (
+    SHM_PREFIX,
+    ShmRing,
+    destroy_segment,
+    map_arrays,
+    pack_arrays,
+)
+from tests.test_serve import images, make_net
+
+
+def shm_segments():
+    """Live serving-runtime segment names in /dev/shm."""
+    try:
+        return sorted(name for name in os.listdir("/dev/shm")
+                      if name.startswith(SHM_PREFIX))
+    except FileNotFoundError:  # platform without /dev/shm
+        return []
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this module must leave /dev/shm as it found it."""
+    before = shm_segments()
+    yield
+    assert shm_segments() == before
+
+
+def proc_config(**overrides):
+    base = dict(workers=2, max_batch_size=4, max_wait_ms=2.0,
+                queue_depth=64, worker_mode="process")
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+class TestShmPrimitives:
+    def test_pack_map_round_trip_preserves_values_and_dtypes(self):
+        arrays = {
+            "w": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.arange(5, dtype=np.float32),
+            "i": np.arange(7, dtype=np.int64),
+        }
+        segment, manifest = pack_arrays(f"{SHM_PREFIX}test_pack", arrays)
+        views = {}
+        try:
+            views = map_arrays(segment, manifest)
+            assert set(views) == set(arrays)
+            for key, array in arrays.items():
+                assert views[key].dtype == array.dtype
+                np.testing.assert_array_equal(views[key], array)
+        finally:
+            views.clear()
+            destroy_segment(segment, unlink=True)
+
+    def test_mapped_views_are_read_only(self):
+        segment, manifest = pack_arrays(
+            f"{SHM_PREFIX}test_ro", {"w": np.ones(4)})
+        try:
+            view = map_arrays(segment, manifest)["w"]
+            with pytest.raises(ValueError):
+                view[0] = 2.0
+        finally:
+            del view
+            destroy_segment(segment, unlink=True)
+
+    def test_ring_is_fifo_and_reuses_slots(self):
+        ctx = multiprocessing.get_context()
+        ring = ShmRing.create(ctx, slots=2, slot_bytes=64,
+                              name=f"{SHM_PREFIX}test_fifo")
+        try:
+            # More messages than slots: flow control recycles them.
+            for round_no in range(3):
+                payloads = [f"msg-{round_no}-{i}".encode() for i in range(2)]
+                for payload in payloads:
+                    assert ring.put([payload], timeout=1.0)
+                for payload in payloads:
+                    assert ring.get(timeout=1.0) == payload
+        finally:
+            ring.close()
+
+    def test_ring_concatenates_numpy_chunks(self):
+        ctx = multiprocessing.get_context()
+        ring = ShmRing.create(ctx, slots=1, slot_bytes=256,
+                              name=f"{SHM_PREFIX}test_chunks")
+        try:
+            header = np.array([1, 2, 3], dtype="<i8")
+            payload = np.linspace(0.0, 1.0, 8)
+            assert ring.put([header, payload])
+            message = ring.get(timeout=1.0)
+            assert message == header.tobytes() + payload.tobytes()
+        finally:
+            ring.close()
+
+    def test_ring_put_times_out_when_full_get_when_empty(self):
+        ctx = multiprocessing.get_context()
+        ring = ShmRing.create(ctx, slots=1, slot_bytes=16,
+                              name=f"{SHM_PREFIX}test_timeo")
+        try:
+            assert ring.get(timeout=0.05) is None
+            assert ring.put([b"x"], timeout=1.0)
+            assert not ring.put([b"y"], timeout=0.05)
+            assert ring.get(timeout=1.0) == b"x"
+        finally:
+            ring.close()
+
+    def test_ring_rejects_oversized_message(self):
+        ctx = multiprocessing.get_context()
+        ring = ShmRing.create(ctx, slots=1, slot_bytes=8,
+                              name=f"{SHM_PREFIX}test_big")
+        try:
+            with pytest.raises(ValueError, match="exceeds slot size"):
+                ring.put([b"0123456789abcdef"])
+        finally:
+            ring.close()
+
+
+class TestProcessServer:
+    def test_responses_bit_identical_to_direct_plan(self):
+        net = make_net()
+        reference = net.inference_plan()
+        xs = images(16)
+        expected = reference.run(xs)
+        with Server.for_network(net, proc_config()) as server:
+            futures = [server.submit(x) for x in xs]
+            outputs = [future.result(timeout=30) for future in futures]
+        for i in range(len(xs)):
+            np.testing.assert_array_equal(outputs[i], expected[i])
+
+    def test_drain_shutdown_completes_every_accepted_request(self):
+        net = make_net()
+        xs = images(12)
+        config = proc_config(workers=2, max_batch_size=2,
+                             service_time=lambda n: 0.02)
+        server = Server.for_network(net, config).start()
+        futures = [server.submit(x) for x in xs]
+        server.shutdown(drain=True)
+        assert all(future.exception(timeout=10) is None
+                   for future in futures)
+        stats = server.stats()
+        assert stats.accepted == len(xs)
+        assert stats.completed == len(xs)
+        assert stats.cancelled == 0
+        assert stats.latency_ms["count"] == len(xs)
+
+    def test_deadline_stamped_in_parent_expires_in_worker_process(self):
+        # The regression this guards: deadlines are absolute monotonic
+        # stamps set in the parent and compared inside a worker
+        # *process* — under perf_counter (no cross-process guarantee)
+        # this comparison would be meaningless.  One worker, batch size
+        # one: the first request occupies the worker long enough that
+        # the second — already dispatched into the worker's ring — is
+        # past its deadline when the worker picks it up.
+        net = make_net()
+        x = images(1)[0]
+        config = proc_config(workers=1, max_batch_size=1,
+                             service_time=lambda n: 0.15)
+        with Server.for_network(net, config) as server:
+            first = server.submit(x)
+            time.sleep(0.02)  # let the dispatcher push it to the worker
+            second = server.submit(x, deadline_ms=40.0)
+            assert first.exception(timeout=10) is None
+            with pytest.raises(DeadlineExceeded):
+                second.result(timeout=10)
+            stats = server.stats()
+        assert stats.expired >= 1
+        assert stats.completed == 1
+
+    def test_worker_exception_propagates_with_remote_traceback(self):
+        net = make_net()
+        config = proc_config(workers=1,
+                             service_time=lambda n: 1 / 0)
+        with Server.for_network(net, config) as server:
+            future = server.submit(images(1)[0])
+            error = future.exception(timeout=10)
+        assert error is not None
+        assert "ZeroDivisionError" in str(error)
+        assert "worker process 0" in str(error)
+
+    def test_worker_killed_mid_batch_fails_loudly_pool_survives(self):
+        net = make_net()
+        xs = images(2)
+        config = proc_config(workers=2, max_batch_size=1,
+                             service_time=lambda n: 0.6)
+        server = Server.for_network(net, config).start()
+        try:
+            futures = [server.submit(x) for x in xs]
+            time.sleep(0.25)  # both batches now in flight, one per worker
+            server._procpool.processes[0].kill()
+            outcomes = [future.exception(timeout=15) for future in futures]
+            crashed = [e for e in outcomes if isinstance(e, WorkerCrashed)]
+            assert len(crashed) == 1
+            assert sum(1 for e in outcomes if e is None) == 1
+            # The surviving worker keeps serving new requests.
+            follow_up = server.submit(xs[0])
+            assert follow_up.exception(timeout=15) is None
+            stats = server.stats()
+            assert stats.failed == 1
+            assert stats.completed == 2
+        finally:
+            server.shutdown()
+        # The autouse fixture asserts the kill leaked no segments.
+
+    def test_stats_merge_across_process_boundary(self):
+        net = make_net()
+        xs = images(20)
+        config = proc_config(workers=2, max_batch_size=4, max_wait_ms=5.0)
+        with Server.for_network(net, config) as server:
+            futures = [server.submit(x) for x in xs]
+            for future in futures:
+                future.result(timeout=30)
+            stats = server.stats()
+        assert stats.completed == len(xs)
+        assert sum(size * count for size, count
+                   in stats.batch_size_hist.items()) == len(xs)
+        assert stats.latency_ms["count"] == len(xs)
+        assert stats.latency_ms["p99"] >= stats.latency_ms["p50"] > 0
+        assert stats.arena["misses"] > 0
+        assert stats.worker_mode == "process"
+
+    def test_process_mode_requires_input_shape(self):
+        net = make_net()
+        with pytest.raises(ValueError, match="input_shape"):
+            Server(net.inference_plan(), proc_config())
+
+    def test_arena_trim_bounds_worker_held_bytes(self):
+        net = make_net()
+        cap = 64 * 1024
+        config = proc_config(workers=1, arena_trim_bytes=cap)
+        with Server.for_network(net, config) as server:
+            for x in images(8):
+                server.infer(x, timeout=30)
+            stats = server.stats()
+        assert stats.arena["held_bytes"] <= cap
+        assert stats.arena["trims"] >= 0
+
+    def test_randomized_start_stop_cycles_leak_nothing(self):
+        # The acceptance bar: 100 start/stop cycles with randomized
+        # load and drain mode, zero leaked segments, and every accepted
+        # request accounted for (completed/expired/cancelled/failed).
+        net = make_net()
+        x = images(1)[0]
+        rng = np.random.default_rng(11)
+        config = proc_config(workers=1, max_batch_size=4, max_wait_ms=0.5)
+        for cycle in range(100):
+            server = Server.for_network(net, config).start()
+            futures = [server.submit(x)
+                       for _ in range(int(rng.integers(0, 5)))]
+            drain = bool(rng.integers(0, 2))
+            server.shutdown(drain=drain)
+            for future in futures:
+                future.exception(timeout=10)  # resolved, never dropped
+            stats = server.stats()
+            assert stats.accepted == len(futures)
+            assert (stats.completed + stats.expired + stats.cancelled
+                    + stats.failed) == stats.accepted
+            assert shm_segments() == [], f"leak after cycle {cycle}"
