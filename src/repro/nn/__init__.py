@@ -28,6 +28,7 @@ from repro.nn.layers import (
     Softmax,
     Upsample,
 )
+from repro.nn.compile import CompiledPlan, compile_plan
 from repro.nn.infer import (
     ArenaRegistry,
     BufferArena,
@@ -77,6 +78,7 @@ __all__ = [
     "ArenaRegistry",
     "BufferArena",
     "ClassificationReport",
+    "CompiledPlan",
     "BatchNorm2D",
     "Conv2D",
     "CosineLR",
@@ -111,6 +113,7 @@ __all__ = [
     "augment_dataset",
     "build_inference_plan",
     "classification_report",
+    "compile_plan",
     "compose",
     "fold_batchnorm",
     "is_grad_enabled",

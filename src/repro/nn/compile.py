@@ -1,0 +1,1162 @@
+"""Ahead-of-time compilation of an :class:`~repro.nn.infer.InferencePlan`.
+
+:func:`compile_plan` lowers the interpreted step list into a
+:class:`CompiledPlan`: one executable program per ``(model, batch_size)``
+with every byte offset resolved at compile time.  The same separation of
+trace-time from run-time that ``repro.accel.schedule`` applies to the
+simulator (static per-layer programs) is applied here to the nn runtime:
+
+* **Static arena** — a single flat block sized by a liveness walk over
+  the step list; every activation, im2col scratch and padded-input
+  buffer is a pre-sliced view at a fixed offset.  The hot path performs
+  zero shape-keyed dict lookups and zero ``acquire``/``release`` calls.
+* **Pre-bound kernels** — each step becomes a closure over its input
+  views, weight views, and output view.  Padded inputs live in
+  recycled regions whose zero/-inf borders are refilled per run;
+  ``as_strided`` window views over them are built once at bind time.
+* **Kernel specialization** — pointwise (1x1/s1/p0) convolutions skip
+  the im2col gather entirely (the GEMM reads a reshaped view of the
+  input), depthwise convolutions run ``einsum`` straight into their
+  output view, and ``MaxPool2D`` lowers to a tap-loop of ``np.maximum``
+  over the window view (bit-identical: max is an exact reduction).
+* **Join write-through** — a convolution or pooling step whose only
+  consumer is a ``concat`` writes directly into its channel slice of
+  the concat buffer; the copy in ``concat_channels`` disappears.  The
+  first branch of an ``add`` writes into the sum buffer likewise.
+* **Optional branch parallelism** — independent chains feeding a join
+  (fire-module expands, bottleneck shortcuts) can run on a small
+  thread pool; numpy releases the GIL inside BLAS/einsum kernels.
+
+Numerics: every specialized kernel performs the same floating-point
+operations in the same order as the interpreted plan, so outputs are
+bit-identical in practice and always within the 1e-12 equivalence bar
+enforced by the test suite.
+
+Thread safety: a :class:`CompiledPlan` may be shared across threads —
+each thread binds its own static-arena block on first use (the program
+metadata and weight views are immutable).  Fallback runs through the
+interpreted plan under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.nn import layers
+from repro.nn.functional import conv_output_plane
+from repro.nn.infer import (
+    FusedConv2D,
+    FusedDense,
+    InferencePlan,
+    _ModuleStep,
+)
+from repro.nn.module import Identity, no_grad
+
+__all__ = ["CompiledPlan", "CompiledProgram", "compile_plan"]
+
+#: Static-arena offsets are aligned so every float64 view is at least
+#: cache-line aligned, matching the shm weight packing discipline.
+ALIGN = 64
+
+_F64 = np.dtype(np.float64)
+
+
+def _align(nbytes: int) -> int:
+    return (nbytes + ALIGN - 1) // ALIGN * ALIGN
+
+
+# -- static allocator --------------------------------------------------------
+
+
+class _StaticAllocator:
+    """First-fit free-hole allocator producing deterministic offsets.
+
+    Drives the compile-time layout: buffers are allocated at their step
+    of first use and their bytes return to the hole list at their last
+    use, so the block's high-water mark tracks the widest liveness cut
+    (same objective as the interpreted planner's arena, but resolved
+    once instead of per run).
+    """
+
+    def __init__(self) -> None:
+        self._holes: List[List[int]] = []  # sorted [offset, nbytes]
+        self.high_water = 0
+
+    def alloc(self, nbytes: int) -> int:
+        nbytes = _align(max(nbytes, 1))
+        for hole in self._holes:
+            if hole[1] >= nbytes:
+                offset = hole[0]
+                hole[0] += nbytes
+                hole[1] -= nbytes
+                if hole[1] == 0:
+                    self._holes.remove(hole)
+                return offset
+        offset = self.high_water
+        self.high_water += nbytes
+        return offset
+
+    def free(self, offset: int, nbytes: int) -> None:
+        nbytes = _align(max(nbytes, 1))
+        self._holes.append([offset, nbytes])
+        self._holes.sort()
+        merged: List[List[int]] = []
+        for hole in self._holes:
+            if merged and merged[-1][0] + merged[-1][1] == hole[0]:
+                merged[-1][1] += hole[1]
+            else:
+                merged.append(hole)
+        # A hole touching the high-water mark shrinks the block.
+        if merged and merged[-1][0] + merged[-1][1] == self.high_water:
+            self.high_water = merged[-1][0]
+            merged.pop()
+        self._holes = merged
+
+
+# -- compile-time IR ---------------------------------------------------------
+
+
+@dataclass
+class _Buf:
+    """One region of the static arena."""
+
+    shape: Tuple[int, ...]
+    alloc_at: int
+    free_at: int
+    offset: int = -1
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * _F64.itemsize
+
+
+@dataclass
+class _Value:
+    """Where a step's output lives.
+
+    ``mode`` is one of ``static`` (a whole buffer), ``slice`` (a channel
+    slice of a join buffer), ``alias`` (a reshape view of another
+    step's value) or ``dynamic`` (a module output held in a run-time
+    slot).
+    """
+
+    mode: str
+    shape: Tuple[int, ...]
+    buf: int = -1
+    channels: Tuple[int, int] = (0, 0)
+    base: int = -1  # alias: producer step index
+
+
+@dataclass
+class _StepIR:
+    """Compile-time record for one plan step."""
+
+    index: int
+    name: str
+    kind: str  # input | conv | dense | maxpool | concat | add | alias | module
+    label: str
+    inputs: Tuple[int, ...]  # producer step indices
+    value: Optional[_Value] = None
+    op: object = None
+    strategy: str = ""
+    write_through: bool = False
+    # conv/maxpool lowering details
+    padded_buf: int = -1
+    padded_shape: Tuple[int, ...] = ()
+    scratch_buf: int = -1
+    stage_buf: int = -1
+    # concat: (input position, channel range) for inputs needing a copy
+    copy_slices: Tuple[Tuple[int, Tuple[int, int]], ...] = ()
+    # add: input position that already wrote into the output buffer
+    inplace_src: int = -1
+    module: Optional[_ModuleStep] = None
+
+    def describe(self) -> str:
+        tag = self.label + (f"[{self.strategy}]" if self.strategy else "")
+        if self.write_through:
+            tag += "->join"
+        return f"{self.name:<24} {tag}"
+
+
+@dataclass
+class _Group:
+    """A parallel group: independent chains between a fork and a join."""
+
+    lo: int
+    hi: int
+    chains: Tuple[Tuple[int, ...], ...]
+
+
+# -- compiled program (one batch size) ---------------------------------------
+
+
+class _BoundProgram:
+    """A program bound to one thread's static-arena block."""
+
+    __slots__ = ("block", "ops", "names", "labels", "schedule", "input_views",
+                 "output_fn", "pool", "batch")
+
+    def __init__(self) -> None:
+        self.pool: Optional[ThreadPoolExecutor] = None
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        for view in self.input_views:
+            np.copyto(view, x)
+        if obs.is_enabled():
+            return self._execute_traced(x)
+        for item in self.schedule:
+            if item.__class__ is tuple:  # parallel group: tuple of chains
+                futures = [self.pool.submit(self._run_chain, chain)
+                           for chain in item[1:]]
+                self._run_chain(item[0])
+                for f in futures:
+                    f.result()
+            else:
+                self.ops[item]()
+        return self.output_fn()
+
+    def _run_chain(self, chain: Tuple[int, ...]) -> None:
+        for idx in chain:
+            self.ops[idx]()
+
+    def _execute_traced(self, x: np.ndarray) -> np.ndarray:
+        with obs.span("infer.compiled", batch=self.batch,
+                      steps=len(self.ops)):
+            for item in self.schedule:
+                if item.__class__ is tuple:
+                    with obs.span("infer.compiled_step", step="parallel-group",
+                                  kind="group", chains=len(item)):
+                        futures = [self.pool.submit(self._run_chain, chain)
+                                   for chain in item[1:]]
+                        self._run_chain(item[0])
+                        for f in futures:
+                            f.result()
+                else:
+                    with obs.span("infer.compiled_step",
+                                  step=self.names[item],
+                                  kind=self.labels[item]):
+                        self.ops[item]()
+            return self.output_fn()
+
+
+class CompiledProgram:
+    """Immutable compiled program for one batch size.
+
+    Holds the step IR, buffer table and schedule; :meth:`bound` binds
+    (or returns) the calling thread's block + kernel closures.  Bound
+    replicas are cached per thread, so one program can serve any number
+    of threads with one static arena each.
+    """
+
+    def __init__(self, steps: List[_StepIR], bufs: List[_Buf],
+                 total_bytes: int, groups: List[_Group], batch: int,
+                 input_shape: Tuple[int, int, int],
+                 parallel_workers: int) -> None:
+        self._steps = steps
+        self._bufs = bufs
+        self.total_bytes = total_bytes
+        self._groups = groups
+        self.batch = batch
+        self.input_shape = input_shape
+        self._parallel_workers = parallel_workers
+        self._local = threading.local()
+        self._bind_lock = threading.Lock()
+        self._replicas = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [step.describe() for step in self._steps]
+        for g in self._groups:
+            chains = " | ".join(
+                "+".join(self._steps[i].name for i in chain)
+                for chain in g.chains)
+            lines.append(f"{'<parallel>':<24} {chains}")
+        return "\n".join(lines)
+
+    @property
+    def strategies(self) -> Dict[str, str]:
+        return {s.name: s.strategy + ("->join" if s.write_through else "")
+                for s in self._steps}
+
+    @property
+    def parallel_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def bound_replicas(self) -> int:
+        return self._replicas
+
+    # -- binding -------------------------------------------------------------
+
+    def bound(self) -> _BoundProgram:
+        prog = getattr(self._local, "bound", None)
+        if prog is None:
+            prog = self._bind()
+            self._local.bound = prog
+            with self._bind_lock:
+                self._replicas += 1
+            obs.count("infer.compiled.bind")
+            obs.gauge("infer.compiled.arena_bytes", self.total_bytes)
+        return prog
+
+    def _bind(self) -> _BoundProgram:
+        block = np.empty(max(self.total_bytes, ALIGN), dtype=np.uint8)
+        views: List[Optional[np.ndarray]] = []
+        for buf in self._bufs:
+            raw = block[buf.offset:buf.offset + buf.nbytes]
+            views.append(raw.view(_F64).reshape(buf.shape))
+        slots: List[Optional[np.ndarray]] = [None] * len(self._steps)
+
+        def static_view(idx: int) -> Optional[np.ndarray]:
+            value = self._steps[idx].value
+            if value.mode == "static":
+                return views[value.buf]
+            if value.mode == "slice":
+                c0, c1 = value.channels
+                return views[value.buf][:, c0:c1]
+            if value.mode == "alias":
+                base = static_view(value.base)
+                if base is None:
+                    return None
+                view = base.reshape(value.shape)
+                if not np.shares_memory(view, base):  # pragma: no cover
+                    return None
+                return view
+            return None
+
+        def getter(idx: int) -> Callable[[], np.ndarray]:
+            sv = static_view(idx)
+            if sv is not None:
+                return lambda: sv
+            value = self._steps[idx].value
+            if value.mode == "alias":
+                inner = getter(value.base)
+                shape = value.shape
+                return lambda: inner().reshape(shape)
+            return lambda: slots[idx]
+
+        prog = _BoundProgram()
+        ops: List[Callable[[], None]] = []
+        names: List[str] = []
+        labels: List[str] = []
+        for step in self._steps:
+            ops.append(self._bind_step(step, views, static_view, getter,
+                                       slots))
+            names.append(step.name)
+            labels.append(step.label + (f"[{step.strategy}]"
+                                        if step.strategy else ""))
+        prog.block = block
+        prog.ops = ops
+        prog.names = names
+        prog.labels = labels
+        prog.batch = self.batch
+        prog.input_views = [views[s.value.buf] for s in self._steps
+                            if s.kind == "input"]
+        prog.schedule = self._build_schedule()
+        if self._groups:
+            prog.pool = ThreadPoolExecutor(
+                max_workers=self._parallel_workers,
+                thread_name_prefix="repro-compiled")
+        out_idx = len(self._steps) - 1
+        out_static = static_view(out_idx)
+        if out_static is not None:
+            prog.output_fn = out_static.copy
+        else:
+            out_get = getter(out_idx)
+
+            def output_fn() -> np.ndarray:
+                out = out_get()
+                root = out
+                while isinstance(root.base, np.ndarray):
+                    root = root.base
+                if root is block or (root.base is not None
+                                     and root.base is block):
+                    return out.copy()
+                return out
+
+            prog.output_fn = output_fn
+        return prog
+
+    def _build_schedule(self) -> List[object]:
+        schedule: List[object] = []
+        grouped: Dict[int, _Group] = {g.lo: g for g in self._groups}
+        skip: Set[int] = set()
+        for g in self._groups:
+            for chain in g.chains:
+                skip.update(chain)
+        i = 0
+        n = len(self._steps)
+        while i < n:
+            g = grouped.get(i)
+            if g is not None:
+                schedule.append(tuple(tuple(c) for c in g.chains))
+                i = g.hi + 1
+                continue
+            if i not in skip and self._steps[i].kind != "input":
+                schedule.append(i)
+            i += 1
+        return schedule
+
+    # -- per-step kernel binding --------------------------------------------
+
+    def _bind_step(self, step: _StepIR, views, static_view, getter,
+                   slots) -> Callable[[], None]:
+        noop = _noop
+        if step.kind in ("input", "alias"):
+            return noop
+        if step.kind == "conv":
+            return self._bind_conv(step, views, static_view, getter)
+        if step.kind == "maxpool":
+            return self._bind_maxpool(step, views, static_view, getter)
+        if step.kind == "dense":
+            return self._bind_dense(step, static_view, getter)
+        if step.kind == "concat":
+            out = static_view(step.index)
+            copies = [(getter(step.inputs[pos]), out[:, c0:c1])
+                      for pos, (c0, c1) in step.copy_slices]
+
+            def run_concat() -> None:
+                for get, dst in copies:
+                    np.copyto(dst, get())
+
+            return run_concat
+        if step.kind == "add":
+            out = static_view(step.index)
+            srcs = [getter(i) for i in step.inputs]
+            if step.inplace_src >= 0:
+                rest = [s for pos, s in enumerate(srcs)
+                        if pos != step.inplace_src]
+
+                def run_add_inplace() -> None:
+                    for s in rest:
+                        np.add(out, s(), out=out)
+
+                return run_add_inplace
+            first, second = srcs[0], srcs[1]
+            rest = srcs[2:]
+
+            def run_add() -> None:
+                np.add(first(), second(), out=out)
+                for s in rest:
+                    np.add(out, s(), out=out)
+
+            return run_add
+        # module fallback
+        get_in = getter(step.inputs[0])
+        module = step.module
+        idx = step.index
+
+        def run_module() -> None:
+            slots[idx] = module(get_in())
+
+        return run_module
+
+    def _conv_input(self, step: _StepIR, views, static_view, getter):
+        """(input view, per-run stage copy or None) for conv/maxpool."""
+        if step.stage_buf >= 0:
+            stage = views[step.stage_buf]
+            get_in = getter(step.inputs[0])
+
+            def stage_copy() -> None:
+                np.copyto(stage, get_in())
+
+            return stage, stage_copy
+        return static_view(step.inputs[0]), None
+
+    @staticmethod
+    def _padded(views, step: _StepIR, in_view: np.ndarray,
+                pad_value: float):
+        """(window source, per-run border fill + interior copy)."""
+        padded = views[step.padded_buf]
+        ph = (step.padded_shape[2] - in_view.shape[2]) // 2
+        pw = (step.padded_shape[3] - in_view.shape[3]) // 2
+        interior = padded[:, :, ph:padded.shape[2] - ph,
+                          pw:padded.shape[3] - pw]
+        borders = []
+        if ph:
+            borders.append(padded[:, :, :ph, :])
+            borders.append(padded[:, :, padded.shape[2] - ph:, :])
+        if pw:
+            borders.append(padded[:, :, ph:padded.shape[2] - ph, :pw])
+            borders.append(
+                padded[:, :, ph:padded.shape[2] - ph,
+                       padded.shape[3] - pw:])
+
+        def refill() -> None:
+            for b in borders:
+                b.fill(pad_value)
+            np.copyto(interior, in_view)
+
+        return padded, refill
+
+    @staticmethod
+    def _windows(src: np.ndarray, kernel, stride, out_plane) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        oh, ow = out_plane
+        n, c = src.shape[:2]
+        shape = (n, c, kh, kw, oh, ow)
+        strides = (src.strides[0], src.strides[1], src.strides[2],
+                   src.strides[3], src.strides[2] * sh, src.strides[3] * sw)
+        return np.lib.stride_tricks.as_strided(src, shape=shape,
+                                               strides=strides)
+
+    def _bind_conv(self, step: _StepIR, views, static_view, getter):
+        op: FusedConv2D = step.op
+        out4 = static_view(step.index)
+        n = out4.shape[0]
+        g = op.groups
+        oh, ow = out4.shape[2], out4.shape[3]
+        relu = op.relu
+        in_view, stage_copy = self._conv_input(step, views, static_view,
+                                               getter)
+        prologue = stage_copy
+        if step.padded_buf >= 0:
+            src, refill = self._padded(views, step, in_view, 0.0)
+            prologue = _chain(prologue, refill)
+        else:
+            src = in_view
+        gemm_out = out4.reshape(n, g, op._cout_g, oh * ow)
+        wmat = op._wmat[None]
+        bias4 = (op._bias.reshape(1, g, op._cout_g, 1)
+                 if op._bias is not None else None)
+        if step.strategy == "pointwise":
+            cols = src.reshape(n, g, op._cin_g, oh * ow)
+            if not np.shares_memory(cols, src):  # pragma: no cover
+                raise AssertionError("pointwise view must not copy")
+            del src
+
+            def run_pw() -> None:
+                if prologue is not None:
+                    prologue()
+                np.matmul(wmat, cols, out=gemm_out)
+                if bias4 is not None:
+                    np.add(gemm_out, bias4, out=gemm_out)
+                if relu:
+                    np.maximum(gemm_out, 0.0, out=gemm_out)
+
+            return run_pw
+        # general im2col GEMM through the static scratch buffer
+        scratch = views[step.scratch_buf]
+        win = self._windows(src, op.kernel_size, op.stride, (oh, ow))
+        kh, kw = op.kernel_size
+        cols = scratch.reshape(n, g, op._cin_g * kh * kw, oh * ow)
+
+        def run_gemm() -> None:
+            if prologue is not None:
+                prologue()
+            np.copyto(scratch, win)
+            np.matmul(wmat, cols, out=gemm_out)
+            if bias4 is not None:
+                np.add(gemm_out, bias4, out=gemm_out)
+            if relu:
+                np.maximum(gemm_out, 0.0, out=gemm_out)
+
+        return run_gemm
+
+    def _bind_maxpool(self, step: _StepIR, views, static_view, getter):
+        pool: layers.MaxPool2D = step.op
+        out = static_view(step.index)
+        oh, ow = out.shape[2], out.shape[3]
+        in_view, stage_copy = self._conv_input(step, views, static_view,
+                                               getter)
+        prologue = stage_copy
+        if step.padded_buf >= 0:
+            src, refill = self._padded(views, step, in_view, -np.inf)
+            prologue = _chain(prologue, refill)
+        else:
+            src = in_view
+        win = self._windows(src, pool.kernel_size, pool.stride, (oh, ow))
+        kh, kw = pool.kernel_size
+        taps = [win[:, :, i, j] for i in range(kh) for j in range(kw)]
+        first, rest = taps[0], taps[1:]
+        relu = step.strategy.endswith("+relu")
+
+        def run_pool() -> None:
+            if prologue is not None:
+                prologue()
+            np.copyto(out, first)
+            for tap in rest:
+                np.maximum(out, tap, out=out)
+            if relu:
+                np.maximum(out, 0.0, out=out)
+
+        return run_pool
+
+    def _bind_dense(self, step: _StepIR, static_view, getter):
+        op: FusedDense = step.op
+        out = static_view(step.index)
+        weight_t = op._weight.T
+        bias = op._bias
+        relu = op.relu
+        batch = out.shape[0]
+        in_features = op.in_features
+        flat_static = static_view(step.inputs[0])
+        if flat_static is not None:
+            flat = flat_static.reshape(batch, in_features)
+            if not np.shares_memory(flat, flat_static):
+                flat_static = None  # reshape copied: bind dynamically
+        if flat_static is not None:
+            rows = [(flat[r], out[r]) for r in range(batch)]
+
+            def run_dense_static() -> None:
+                for src, dst in rows:
+                    np.matmul(src, weight_t, out=dst)
+                if bias is not None:
+                    np.add(out, bias, out=out)
+                if relu:
+                    np.maximum(out, 0.0, out=out)
+
+            return run_dense_static
+        get_in = getter(step.inputs[0])
+
+        def run_dense() -> None:
+            flat = get_in().reshape(batch, -1)
+            for r in range(batch):
+                np.matmul(flat[r], weight_t, out=out[r])
+            if bias is not None:
+                np.add(out, bias, out=out)
+            if relu:
+                np.maximum(out, 0.0, out=out)
+
+        return run_dense
+
+
+def _noop() -> None:
+    return None
+
+
+def _chain(a: Optional[Callable[[], None]],
+           b: Callable[[], None]) -> Callable[[], None]:
+    if a is None:
+        return b
+
+    def both() -> None:
+        a()
+        b()
+
+    return both
+
+
+# -- the compile pass --------------------------------------------------------
+
+
+def _classify(plan: InferencePlan) -> List[_StepIR]:
+    """Pass 0: map plan steps to compile-time kinds (no shapes yet)."""
+    index_of = {step.name: i for i, step in enumerate(plan.steps)}
+    irs: List[_StepIR] = []
+    for i, step in enumerate(plan.steps):
+        inputs = tuple(index_of[name] for name in step.inputs)
+        kind = step.kind
+        label = step.fused or step.kind
+        op = step.op
+        module: Optional[_ModuleStep] = None
+        if kind == "fused_conv":
+            kind = "conv"
+        elif kind == "fused_dense":
+            kind = "dense"
+        elif kind == "module":
+            mod_step: _ModuleStep = op
+            activation = mod_step.activation
+            plain = activation is None or isinstance(activation, Identity)
+            relu = isinstance(activation, layers.ReLU)
+            if isinstance(mod_step.module, layers.MaxPool2D) and (
+                    plain or relu):
+                kind = "maxpool"
+                op = mod_step.module
+                label = "maxpool" + ("+relu" if relu else "")
+            elif plain and isinstance(
+                    mod_step.module, (layers.Flatten, layers.Dropout,
+                                      Identity)):
+                kind = "alias"
+                label = f"alias[{type(mod_step.module).__name__.lower()}]"
+            else:
+                module = mod_step.clone()
+                label = f"module[{type(mod_step.module).__name__}]"
+        irs.append(_StepIR(index=i, name=step.name, kind=kind, label=label,
+                           inputs=inputs, op=op, module=module))
+    return irs
+
+
+def _consumers(irs: List[_StepIR]) -> List[List[int]]:
+    consumers: List[List[int]] = [[] for _ in irs]
+    for ir in irs:
+        for src in ir.inputs:
+            consumers[src].append(ir.index)
+    return consumers
+
+
+def _conv_out_shape(op: FusedConv2D, in_shape: Tuple[int, ...]
+                    ) -> Tuple[int, ...]:
+    n, _, h, w = in_shape
+    oh, ow = conv_output_plane(h, w, op.kernel_size, op.stride, op.padding)
+    return (n, op.out_channels, oh, ow)
+
+
+def _pool_out_shape(pool, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    n, c, h, w = in_shape
+    oh, ow = conv_output_plane(h, w, pool.kernel_size, pool.stride,
+                               pool.padding)
+    return (n, c, oh, ow)
+
+
+def _module_out_shape(module: _ModuleStep,
+                      in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    with no_grad():
+        out = module(np.zeros(in_shape, dtype=np.float64))
+    return tuple(out.shape)
+
+
+def _detect_groups(irs: List[_StepIR],
+                   consumers: List[List[int]]) -> List[_Group]:
+    """Find fork→join regions whose branches can run concurrently."""
+    groups: List[_Group] = []
+    claimed: Set[int] = set()
+    runnable = {"conv", "dense", "maxpool", "module", "alias"}
+    for ir in irs:
+        if ir.kind not in ("concat", "add") or len(set(ir.inputs)) < 2:
+            continue
+        chains: List[List[int]] = []
+        used: Set[int] = set()
+        for src in dict.fromkeys(ir.inputs):
+            chain: List[int] = []
+            cur = src
+            while (irs[cur].kind in runnable
+                   and len(irs[cur].inputs) == 1
+                   and consumers[cur] == ([ir.index] if not chain
+                                          else [chain[-1]])
+                   and cur not in claimed and cur not in used):
+                chain.append(cur)
+                cur = irs[cur].inputs[0]
+            chain.reverse()
+            if chain:
+                chains.append(chain)
+                used.update(chain)
+        if sum(1 for c in chains if c) < 2:
+            continue
+        members = sorted(used)
+        lo, hi = members[0], members[-1]
+        if members != list(range(lo, hi + 1)):
+            continue  # interleaved non-chain steps: stay sequential
+        # Every chain step may only depend on its own chain or on steps
+        # strictly before the group.
+        safe = True
+        for chain in chains:
+            for idx in chain:
+                for src in irs[idx].inputs:
+                    if src >= lo and src not in chain:
+                        safe = False
+        if not safe:
+            continue
+        groups.append(_Group(lo=lo, hi=hi,
+                             chains=tuple(tuple(c) for c in chains)))
+        claimed.update(used)
+    return groups
+
+
+def _compile_program(plan: InferencePlan, batch: int,
+                     input_shape: Tuple[int, int, int],
+                     parallel: Union[bool, int]) -> CompiledProgram:
+    irs = _classify(plan)
+    consumers = _consumers(irs)
+    n_steps = len(irs)
+    out_idx = n_steps - 1
+    bufs: List[_Buf] = []
+    last_use: List[int] = [ir.index for ir in irs]
+    for ir in irs:
+        for src in ir.inputs:
+            last_use[src] = max(last_use[src], ir.index)
+
+    def new_buf(shape: Tuple[int, ...], alloc_at: int,
+                free_at: int) -> int:
+        bufs.append(_Buf(shape=tuple(int(d) for d in shape),
+                         alloc_at=alloc_at, free_at=free_at))
+        return len(bufs) - 1
+
+    # Write-through joins: a conv/maxpool whose sole consumer is the
+    # join writes straight into its slice of the join buffer.  The join
+    # buffer must therefore exist from the first producer onwards.
+    wt_targets: Dict[int, int] = {}  # producer index -> join index
+    for ir in irs:
+        if ir.kind == "concat":
+            for src in ir.inputs:
+                if (irs[src].kind in ("conv", "maxpool")
+                        and consumers[src] == [ir.index]
+                        and src != out_idx):
+                    wt_targets[src] = ir.index
+        elif ir.kind == "add":
+            for src in ir.inputs[:2]:
+                if (irs[src].kind == "conv"
+                        and consumers[src] == [ir.index]
+                        and src != out_idx
+                        and ir.inputs.count(src) == 1):
+                    wt_targets[src] = ir.index
+                    break
+
+    groups = _detect_groups(irs, consumers) if parallel else []
+    group_of: Dict[int, _Group] = {}
+    for g in groups:
+        for chain in g.chains:
+            for idx in chain:
+                group_of[idx] = g
+
+    def lifetime(idx: int, alloc_at: int) -> Tuple[int, int]:
+        """Buffer lifetime for step idx's value, group-adjusted."""
+        free_at = n_steps if idx == out_idx else last_use[idx]
+        # Aliases keep their base alive: extend through alias consumers.
+        stack = [c for c in consumers[idx] if irs[c].kind == "alias"]
+        while stack:
+            a = stack.pop()
+            free_at = max(free_at, n_steps if a == out_idx else last_use[a])
+            stack.extend(c for c in consumers[a] if irs[c].kind == "alias")
+        # Module steps may return views of their input: keep the input
+        # buffer alive while the module's own value is.
+        for c in consumers[idx]:
+            if irs[c].kind == "module":
+                free_at = max(free_at,
+                              n_steps if c == out_idx else last_use[c])
+        g = group_of.get(idx)
+        if g is not None:
+            alloc_at = min(alloc_at, g.lo)
+            free_at = max(free_at, g.hi)
+        return alloc_at, free_at
+
+    def transient(idx: int, shape: Tuple[int, ...]) -> int:
+        g = group_of.get(idx)
+        lo = g.lo if g is not None else idx
+        hi = g.hi if g is not None else idx
+        return new_buf(shape, lo, hi)
+
+    # Join buffers for write-through targets, created up front so
+    # producers can reference them.  Channel offsets follow input order.
+    join_bufs: Dict[int, int] = {}
+    join_channels: Dict[int, Dict[int, Tuple[int, int]]] = {}
+
+    # Pass 1: shapes, values, transients.
+    shapes: List[Tuple[int, ...]] = [()] * n_steps
+    for ir in irs:
+        i = ir.index
+        if ir.kind == "input":
+            shape = (batch,) + tuple(input_shape)
+            alloc_at, free_at = lifetime(i, i)
+            buf = new_buf(shape, alloc_at, free_at)
+            ir.value = _Value("static", shape, buf=buf)
+            shapes[i] = shape
+            continue
+        in_shape = shapes[ir.inputs[0]] if ir.inputs else ()
+        in_value = irs[ir.inputs[0]].value if ir.inputs else None
+
+        def resolve_dynamic(value: _Value) -> bool:
+            while value.mode == "alias":
+                value = irs[value.base].value
+            return value.mode == "dynamic"
+
+        if ir.kind == "conv":
+            op: FusedConv2D = ir.op
+            shape = _conv_out_shape(op, in_shape)
+            kh, kw = op.kernel_size
+            ph, pw = op.padding
+            if (kh, kw) == (1, 1) and op.stride == (1, 1) \
+                    and (ph, pw) == (0, 0):
+                ir.strategy = "pointwise"
+            elif op.depthwise:
+                # Depthwise lowers to the same im2col GEMM as a grouped
+                # conv (cin_g == 1): with the gather hitting a static
+                # scratch buffer, batched BLAS beats the interpreted
+                # einsum ~2x at identical accumulation order per output.
+                ir.strategy = "dw-gemm"
+            else:
+                ir.strategy = "gemm"
+            if resolve_dynamic(in_value):
+                ir.stage_buf = transient(i, in_shape)
+            if (ph, pw) != (0, 0):
+                ir.padded_shape = (in_shape[0], in_shape[1],
+                                  in_shape[2] + 2 * ph, in_shape[3] + 2 * pw)
+                ir.padded_buf = transient(i, ir.padded_shape)
+            if ir.strategy != "pointwise":
+                ir.scratch_buf = transient(
+                    i, (shape[0], in_shape[1], kh, kw, shape[2], shape[3]))
+        elif ir.kind == "maxpool":
+            pool = ir.op
+            shape = _pool_out_shape(pool, in_shape)
+            ir.strategy = "taps" + ("+relu" if ir.label.endswith("+relu")
+                                    else "")
+            if resolve_dynamic(in_value):
+                ir.stage_buf = transient(i, in_shape)
+            ph, pw = pool.padding
+            if (ph, pw) != (0, 0):
+                ir.padded_shape = (in_shape[0], in_shape[1],
+                                  in_shape[2] + 2 * ph, in_shape[3] + 2 * pw)
+                ir.padded_buf = transient(i, ir.padded_shape)
+        elif ir.kind == "dense":
+            op = ir.op
+            shape = (batch, op.out_features)
+            ir.strategy = "prebound"
+        elif ir.kind == "concat":
+            channels = [shapes[s][1] for s in ir.inputs]
+            shape = (in_shape[0], sum(channels)) + tuple(in_shape[2:])
+            offsets = np.concatenate([[0], np.cumsum(channels)])
+            ranges = [(int(offsets[p]), int(offsets[p + 1]))
+                      for p in range(len(ir.inputs))]
+            wt_positions = {pos for pos, src in enumerate(ir.inputs)
+                            if wt_targets.get(src) == i}
+            ir.copy_slices = tuple(
+                (pos, ranges[pos]) for pos in range(len(ir.inputs))
+                if pos not in wt_positions)
+            ir.strategy = (f"write-through:{len(wt_positions)}/"
+                           f"{len(ir.inputs)}" if wt_positions else "copy")
+            join_channels[i] = {ir.inputs[pos]: ranges[pos]
+                                for pos in wt_positions}
+        elif ir.kind == "add":
+            shape = in_shape
+            wt_srcs = [src for src in ir.inputs
+                       if wt_targets.get(src) == i]
+            if wt_srcs:
+                ir.inplace_src = ir.inputs.index(wt_srcs[0])
+                ir.strategy = "in-place"
+                join_channels[i] = {wt_srcs[0]: (0, shape[1])}
+            else:
+                ir.strategy = "copy"
+        elif ir.kind == "alias":
+            mod = ir.op.module if isinstance(ir.op, _ModuleStep) else None
+            if isinstance(mod, layers.Flatten):
+                shape = (in_shape[0],
+                         int(np.prod(in_shape[1:], dtype=np.int64)))
+            else:
+                shape = in_shape
+            ir.value = _Value("alias", shape, base=ir.inputs[0])
+            shapes[i] = shape
+            continue
+        else:  # module
+            shape = _module_out_shape(ir.module, in_shape)
+            ir.value = _Value("dynamic", shape)
+            shapes[i] = shape
+            continue
+
+        shapes[i] = shape
+        join = wt_targets.get(i)
+        if join is not None:
+            # Output lives inside the join's buffer; make sure that
+            # buffer exists, allocated from this step onwards (or from
+            # the start of the parallel group containing this step).
+            g = group_of.get(i)
+            start = g.lo if g is not None else i
+            jbuf = join_bufs.get(join)
+            if jbuf is None:
+                jbuf = new_buf((0,), start, n_steps)  # placeholder
+                join_bufs[join] = jbuf
+            else:
+                bufs[jbuf].alloc_at = min(bufs[jbuf].alloc_at, start)
+            ir.value = _Value("slice", shape, buf=jbuf)
+            ir.write_through = True
+        else:
+            jbuf = join_bufs.get(i)
+            alloc_at, free_at = lifetime(i, i)
+            if jbuf is not None:
+                # This step IS a join with write-through producers: fix
+                # up the placeholder buffer created by the first one.
+                buf = bufs[jbuf]
+                buf.shape = tuple(int(d) for d in shape)
+                buf.free_at = free_at
+                a2, _ = lifetime(i, buf.alloc_at)
+                buf.alloc_at = min(buf.alloc_at, a2)
+                ir.value = _Value("static", shape, buf=jbuf)
+            else:
+                buf = new_buf(shape, alloc_at, free_at)
+                ir.value = _Value("static", shape, buf=buf)
+
+    # Resolve write-through slice channel ranges now the joins are known.
+    for ir in irs:
+        if ir.write_through:
+            join = wt_targets[ir.index]
+            ir.value.channels = join_channels[join][ir.index]
+
+    # Pass 2: assign offsets.
+    allocator = _StaticAllocator()
+    by_alloc: Dict[int, List[int]] = {}
+    by_free: Dict[int, List[int]] = {}
+    for bid, buf in enumerate(bufs):
+        by_alloc.setdefault(buf.alloc_at, []).append(bid)
+        by_free.setdefault(buf.free_at, []).append(bid)
+    peak = 0
+    for i in range(n_steps):
+        for bid in by_alloc.get(i, ()):
+            bufs[bid].offset = allocator.alloc(bufs[bid].nbytes)
+        peak = max(peak, allocator.high_water)
+        for bid in by_free.get(i, ()):
+            allocator.free(bufs[bid].offset, bufs[bid].nbytes)
+
+    workers = parallel if isinstance(parallel, int) and parallel > 1 else 2
+    return CompiledProgram(irs, bufs, peak, groups, batch,
+                           tuple(input_shape), workers)
+
+
+# -- public API --------------------------------------------------------------
+
+
+@dataclass
+class CompiledStats:
+    """Aggregate counters for one :class:`CompiledPlan`."""
+
+    compiled_batches: Tuple[int, ...] = ()
+    fallbacks: int = 0
+    runs: int = 0
+    arena_bytes: Dict[int, int] = field(default_factory=dict)
+    bound_replicas: Dict[int, int] = field(default_factory=dict)
+
+
+class CompiledPlan:
+    """Batch-specialized executable programs over an interpreted plan.
+
+    ``run`` dispatches to the program compiled for ``x.shape[0]``; any
+    mismatch (batch size, input shape, dtype) transparently falls back
+    to the interpreted :meth:`InferencePlan.run` (counted in
+    ``fallbacks`` and the ``infer.compiled.fallback`` obs counter)
+    unless ``autocompile`` is set, in which case unseen batch sizes are
+    compiled on first use.
+
+    Sharing: the compiled programs (step metadata, offsets, weight
+    views) are immutable and shared by every thread and every
+    :meth:`clone`; each thread binds its own static-arena block on
+    first use.  The interpreted fallback plan is per-clone and guarded
+    by a lock.
+    """
+
+    def __init__(self, plan: InferencePlan,
+                 input_shape: Tuple[int, int, int],
+                 batch_sizes: Sequence[int] = (1,), *,
+                 parallel: Union[bool, int] = False,
+                 autocompile: bool = False) -> None:
+        if not batch_sizes and not autocompile:
+            raise ValueError("need at least one batch size or autocompile")
+        self._plan = plan
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.parallel = parallel
+        self.autocompile = autocompile
+        self._programs: Dict[int, CompiledProgram] = {}
+        self._compile_lock = threading.Lock()
+        self._fallback_lock = threading.Lock()
+        self.fallbacks = 0
+        self.runs = 0
+        for b in batch_sizes:
+            self._ensure(int(b))
+
+    # -- compilation ---------------------------------------------------------
+
+    def _ensure(self, batch: int) -> CompiledProgram:
+        prog = self._programs.get(batch)
+        if prog is None:
+            with self._compile_lock:
+                prog = self._programs.get(batch)
+                if prog is None:
+                    with obs.span("infer.compile", batch=batch,
+                                  steps=len(self._plan.steps)):
+                        prog = _compile_program(self._plan, batch,
+                                                self.input_shape,
+                                                self.parallel)
+                    # Publish only once fully built.
+                    programs = dict(self._programs)
+                    programs[batch] = prog
+                    self._programs = programs
+        return prog
+
+    @property
+    def plan(self) -> InferencePlan:
+        return self._plan
+
+    @property
+    def batch_sizes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._programs))
+
+    def program(self, batch: int) -> CompiledProgram:
+        """The compiled program for ``batch`` (compiling if needed)."""
+        return self._ensure(int(batch))
+
+    def describe(self, batch: Optional[int] = None) -> str:
+        batch = batch if batch is not None else self.batch_sizes[0]
+        return self._programs[batch].describe()
+
+    def static_arena_bytes(self, batch: int) -> int:
+        return self._programs[batch].total_bytes
+
+    @property
+    def fused_step_count(self) -> int:
+        return self._plan.fused_step_count
+
+    def stats(self) -> CompiledStats:
+        return CompiledStats(
+            compiled_batches=self.batch_sizes,
+            fallbacks=self.fallbacks,
+            runs=self.runs,
+            arena_bytes={b: p.total_bytes
+                         for b, p in self._programs.items()},
+            bound_replicas={b: p.bound_replicas
+                            for b, p in self._programs.items()},
+        )
+
+    def clone(self) -> "CompiledPlan":
+        """A replica sharing the compiled programs and weights.
+
+        The clone gets its own interpreted fallback plan (private
+        arena) and its own counters; the immutable compiled programs —
+        which already bind per-thread — are shared.
+        """
+        replica = CompiledPlan.__new__(CompiledPlan)
+        replica._plan = self._plan.clone()
+        replica.input_shape = self.input_shape
+        replica.parallel = self.parallel
+        replica.autocompile = self.autocompile
+        replica._programs = self._programs
+        replica._compile_lock = self._compile_lock
+        replica._fallback_lock = threading.Lock()
+        replica.fallbacks = 0
+        replica.runs = 0
+        return replica
+
+    # -- execution -----------------------------------------------------------
+
+    def _fallback(self, x: np.ndarray) -> np.ndarray:
+        self.fallbacks += 1
+        obs.count("infer.compiled.fallback")
+        with self._fallback_lock:
+            return self._plan.run(x)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        self.runs += 1
+        if (x.ndim != 4 or tuple(x.shape[1:]) != self.input_shape
+                or x.dtype != _F64):
+            return self._fallback(x)
+        batch = int(x.shape[0])
+        prog = self._programs.get(batch)
+        if prog is None:
+            if not self.autocompile:
+                return self._fallback(x)
+            prog = self._ensure(batch)
+        return prog.bound().execute(x)
+
+    __call__ = run
+
+
+def compile_plan(plan: InferencePlan,
+                 input_shape: Tuple[int, int, int],
+                 batch_sizes: Sequence[int] = (1,), *,
+                 parallel: Union[bool, int] = False,
+                 autocompile: bool = False) -> CompiledPlan:
+    """Lower an interpreted plan into batch-specialized programs.
+
+    ``input_shape`` is the per-sample ``(C, H, W)`` shape (batch
+    excluded).  ``batch_sizes`` are compiled eagerly; other batch sizes
+    either fall back to the interpreted plan or — with
+    ``autocompile=True`` — compile on first use.  ``parallel`` enables
+    branch-parallel execution of independent fork→join chains on a
+    small thread pool (pass an int for the worker count).
+    """
+    return CompiledPlan(plan, input_shape, batch_sizes, parallel=parallel,
+                        autocompile=autocompile)

@@ -8,6 +8,7 @@ report and server statistics::
     repro-serve --model squeezenet_v1_1 --clients 8 --requests 64
     repro-serve --model sqnxt_23 --rps 100 --sim --time-scale 0.1
     repro-serve --model sqnxt_23_v5 --worker-mode process --workers 4
+    repro-serve --model mobilenet --compiled --rps 50 --duration 5
 
 ``--rps`` selects the open-loop generator (Poisson arrivals by
 default — seeded, bursty, the honest tail-latency experiment; pass
@@ -123,6 +124,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "bit-identical, right for --sim pacing) "
                              "or process (GIL-free host scaling via "
                              "shared-memory weights)")
+    parser.add_argument("--compiled", action="store_true",
+                        help="run workers on the AOT-compiled executor "
+                             "(static arena, pre-bound kernels; see "
+                             "repro.nn.compile)")
+    parser.add_argument("--no-warmup", action="store_true",
+                        help="skip the dummy warm-up batch each worker "
+                             "runs at start")
     parser.add_argument("--arrivals", choices=("uniform", "poisson"),
                         default="poisson",
                         help="open-loop schedule: seeded Poisson "
@@ -184,6 +192,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         service_time=service_time,
         worker_mode=args.worker_mode,
         arena_trim_bytes=args.arena_trim_bytes,
+        compiled=args.compiled,
+        warmup=not args.no_warmup,
     )
     shape = model_spec.input_shape
     inputs = rng.normal(

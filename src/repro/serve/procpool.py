@@ -95,6 +95,8 @@ class _WorkerSetup:
     stats_name: str
     stats_offset: int               # in float64 elements
     stats_len: int
+    compiled: bool = False
+    warmup: bool = True
 
 
 def _choose_context(start_method: Optional[str]):
@@ -143,6 +145,21 @@ def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
     weights = attach_segment(setup.weights_name)
     arrays = map_arrays(weights, setup.manifest)
     plan = plan_from_template(setup.template, arrays)
+    executor = plan
+    if setup.compiled:
+        # Compile over the zero-copy shm weight views: the parent paid
+        # for the weights once, each worker only adds its static arena.
+        from repro.nn.compile import CompiledPlan
+        executor = CompiledPlan(plan, setup.input_shape,
+                                batch_sizes=(1, setup.max_batch),
+                                autocompile=True)
+    if setup.warmup:
+        # One dummy batch so the first real request doesn't pay
+        # arena/bind cold-start. Failures surface on real traffic.
+        try:
+            executor.run(np.zeros((1,) + tuple(setup.input_shape)))
+        except BaseException:  # noqa: BLE001 - warm-up is best-effort
+            pass
     requests = ShmRing.attach(req_handle)
     responses = ShmRing.attach(resp_handle)
     stats_seg = attach_segment(setup.stats_name)
@@ -186,7 +203,7 @@ def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
             if alive:
                 began = time.monotonic()
                 try:
-                    out = plan.run(xs)
+                    out = executor.run(xs)
                     if setup.service_time is not None:
                         pause = (setup.service_time(size)
                                  - (time.monotonic() - began))
@@ -229,7 +246,7 @@ def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
         with stats_lock:
             state.publish(stats_view, plan.arena)
         # Drop every view into the mappings before unmapping them.
-        del plan, arrays
+        del executor, plan, arrays
         stats_view = None
         requests.close()
         responses.close()
@@ -255,7 +272,8 @@ class ProcessWorkerPool:
                  output_shape: Tuple[int, ...], max_batch: int,
                  service_time: Optional[Callable[[int], float]] = None,
                  arena_trim_bytes: Optional[int] = None,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 compiled: bool = False, warmup: bool = True) -> None:
         self.workers = workers
         self.input_shape = tuple(input_shape)
         self.output_shape = tuple(output_shape)
@@ -265,6 +283,8 @@ class ProcessWorkerPool:
         self._plan = plan
         self._service_time = service_time
         self._arena_trim_bytes = arena_trim_bytes
+        self._compiled = compiled
+        self._warmup = warmup
         self.processes: List[object] = []
         self._req_rings: List[ShmRing] = []
         self._resp_ring: Optional[ShmRing] = None
@@ -323,6 +343,8 @@ class ProcessWorkerPool:
                 stats_name=f"{self._base}_s",
                 stats_offset=i * slice_len,
                 stats_len=slice_len,
+                compiled=self._compiled,
+                warmup=self._warmup,
             )
             process = self._ctx.Process(
                 target=_worker_main,

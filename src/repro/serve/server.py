@@ -103,6 +103,15 @@ class ServerConfig:
     multiprocessing start method in process mode (default: ``fork``
     where available; under ``spawn``, ``service_time`` must be
     picklable).
+
+    ``compiled`` runs each worker's plan through
+    :func:`repro.nn.compile.compile_plan` — batch sizes 1 and
+    ``max_batch_size`` compile eagerly, other coalesced sizes compile
+    on first use, and shape/dtype mismatches fall back to the
+    interpreted plan (requires ``input_shape``; ``Server.for_network``
+    provides it).  ``warmup`` (default on when the input shape is
+    known) runs one dummy batch through every worker at start so the
+    first real request pays no arena/bind cold-start.
     """
 
     workers: int = 2
@@ -114,6 +123,8 @@ class ServerConfig:
     worker_mode: str = "thread"
     arena_trim_bytes: Optional[int] = None
     start_method: Optional[str] = None
+    compiled: bool = False
+    warmup: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -209,13 +220,20 @@ _SENTINEL = None  # queue poison pill; one per consumer at shutdown
 class _Worker:
     """One thread-pool member: a plan replica plus unlocked telemetry.
 
-    The lock only serializes the worker against ``Server.stats()``
-    snapshots — the hot path never contends (stats calls are rare).
+    ``exec`` is what batches actually run through — the plan itself,
+    or its :class:`~repro.nn.compile.CompiledPlan` wrapper when
+    ``ServerConfig.compiled`` is set (``plan`` then doubles as the
+    wrapper's interpreted fallback).  The lock only serializes the
+    worker against ``Server.stats()`` snapshots — the hot path never
+    contends (stats calls are rare).
     """
 
-    def __init__(self, index: int, plan: InferencePlan) -> None:
+    def __init__(self, index: int, plan: InferencePlan,
+                 executor=None) -> None:
         self.index = index
         self.plan = plan
+        self.exec = executor if executor is not None else plan
+        self.warmed = False
         self.thread: Optional[threading.Thread] = None
         self.lock = threading.Lock()
         self.completed = 0
@@ -259,6 +277,11 @@ class Server:
         self._plan = plan
         self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue(
             maxsize=self.config.queue_depth)
+        if self.config.compiled and self.input_shape is None:
+            raise ValueError(
+                "compiled mode specializes programs for the input shape; "
+                "pass input_shape= (Server.for_network does) when "
+                "compiled=True")
         if self.config.worker_mode == "process":
             if self.input_shape is None:
                 raise ValueError(
@@ -266,6 +289,19 @@ class Server:
                     "input shape; pass input_shape= (Server.for_network "
                     "does) when worker_mode='process'")
             self._workers: List[_Worker] = []
+        elif self.config.compiled:
+            from repro.nn.compile import CompiledPlan
+
+            # Compile once against the server's plan; worker clones
+            # share the immutable programs and bind per-thread arenas.
+            base = CompiledPlan(
+                plan, self.input_shape,
+                batch_sizes=(1, self.config.max_batch_size),
+                autocompile=True)
+            self._workers = []
+            for i in range(self.config.workers):
+                executor = base.clone()
+                self._workers.append(_Worker(i, executor.plan, executor))
         else:
             self._workers = [_Worker(i, plan.clone())
                              for i in range(self.config.workers)]
@@ -348,7 +384,9 @@ class Server:
             max_batch=self.config.max_batch_size,
             service_time=self.config.service_time,
             arena_trim_bytes=self.config.arena_trim_bytes,
-            start_method=self.config.start_method).start()
+            start_method=self.config.start_method,
+            compiled=self.config.compiled,
+            warmup=self.config.warmup).start()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name=f"{self.name}-dispatch",
             daemon=True)
@@ -557,7 +595,7 @@ class Server:
         try:
             with obs.span("serve.batch", worker=worker.index, size=size):
                 xs = np.stack([item.x for item in batch])
-                out = worker.plan.run(xs)
+                out = worker.exec.run(xs)
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
             for item in batch:
                 item.response._fail(error)
@@ -588,7 +626,28 @@ class Server:
         if self.config.arena_trim_bytes is not None:
             worker.plan.arena.trim(self.config.arena_trim_bytes)
 
+    def _warmup_worker(self, worker: _Worker) -> None:
+        """One dummy batch so the first real request pays no cold-start.
+
+        Binds the compiled program (or faults in the interpreted
+        arena's peak-shape buffers) on the worker's own thread, outside
+        any request's latency window.  Failures are deliberately
+        swallowed: a plan that cannot run zeros will fail the first
+        real batch with the genuine error.
+        """
+        if not self.config.warmup or self.input_shape is None:
+            return
+        try:
+            dummy = np.zeros((1,) + self.input_shape, dtype=np.float64)
+            with obs.span("serve.warmup", worker=worker.index):
+                worker.exec.run(dummy)
+            obs.count("serve.warmup")
+        except Exception:  # noqa: BLE001 - first real batch will surface it
+            pass
+        worker.warmed = True
+
     def _worker_loop(self, worker: _Worker) -> None:
+        self._warmup_worker(worker)
         while True:
             item = self._queue.get()
             if item is _SENTINEL:

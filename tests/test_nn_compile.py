@@ -1,0 +1,341 @@
+"""Tests for the AOT plan compiler (:mod:`repro.nn.compile`).
+
+Covers the static first-fit allocator, zoo-wide equivalence of the
+compiled executor against the interpreted plan (≤1e-12) and the looped
+``forward_reference`` oracle at batch 1 and 4, kernel-strategy
+selection (pointwise / dw-gemm / write-through joins), branch-parallel
+execution, batch-specialization fallback + autocompile, per-thread
+static arenas, and the no-arena-traffic hot-path guarantee.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.graph import NetworkBuilder, TensorShape
+from repro.models import MODEL_FACTORIES
+from repro.nn import CompiledPlan, GraphNetwork, compile_plan
+from repro.nn.compile import _StaticAllocator, ALIGN
+from tests.test_nn_infer import (
+    _randomize_running_stats,
+    branchy_spec,
+    looped_reference_forward,
+)
+
+RNG = np.random.default_rng(77)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    assert not obs.is_enabled()
+    yield
+    obs.disable()
+
+
+def _input_shape(net: GraphNetwork):
+    shape = net.spec.input_shape
+    return (shape.channels, shape.height, shape.width)
+
+
+def _branchy_net(seed: int = 1) -> GraphNetwork:
+    net = GraphNetwork(branchy_spec(), rng=np.random.default_rng(seed),
+                       batch_norm=True)
+    _randomize_running_stats(net)
+    return net.eval()
+
+
+class TestStaticAllocator:
+    def test_offsets_are_aligned_and_first_fit(self):
+        alloc = _StaticAllocator()
+        a = alloc.alloc(100)
+        b = alloc.alloc(ALIGN)
+        assert a == 0
+        assert b % ALIGN == 0
+        assert b >= 128  # 100 rounds up to two cachelines
+        alloc.free(a, 100)
+        # First fit: the freed head hole is reused before growing.
+        assert alloc.alloc(64) == 0
+
+    def test_free_coalesces_and_shrinks_high_water(self):
+        alloc = _StaticAllocator()
+        a = alloc.alloc(64)
+        b = alloc.alloc(64)
+        c = alloc.alloc(64)
+        assert alloc.high_water == 192
+        alloc.free(b, 64)
+        assert alloc.high_water == 192  # middle hole: no shrink
+        alloc.free(c, 64)
+        # b+c coalesce and touch the top: block shrinks to just a.
+        assert alloc.high_water == 64
+        alloc.free(a, 64)
+        assert alloc.high_water == 0
+
+    def test_zero_byte_requests_still_get_a_slot(self):
+        alloc = _StaticAllocator()
+        a = alloc.alloc(0)
+        b = alloc.alloc(0)
+        assert a != b
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_FACTORIES))
+def zoo_network(request):
+    net = GraphNetwork(MODEL_FACTORIES[request.param](),
+                       rng=np.random.default_rng(0), batch_norm=True)
+    _randomize_running_stats(net)
+    return net.eval()
+
+
+class TestZooCompiledEquivalence:
+    """The issue's acceptance bar: compiled output within 1e-12 of the
+    interpreted plan and matching the preserved looped oracle, on every
+    zoo model at batch 1 and 4."""
+
+    @pytest.mark.parametrize("batch", [1, 4])
+    def test_compiled_matches_plan_and_oracle(self, zoo_network, batch):
+        net = zoo_network
+        x = np.random.default_rng(batch).normal(
+            size=(batch,) + _input_shape(net))
+        plan = net.inference_plan()
+        interpreted = plan.run(x).copy()
+        compiled = compile_plan(plan, _input_shape(net),
+                                batch_sizes=(batch,))
+        out = compiled.run(x)
+        assert np.max(np.abs(out - interpreted)) <= 1e-12
+        oracle = looped_reference_forward(net, x)
+        np.testing.assert_allclose(out, oracle, atol=1e-6)
+        assert compiled.fallbacks == 0
+
+
+class TestKernelStrategies:
+    def test_pointwise_dwgemm_and_join_write_through(self):
+        b = NetworkBuilder("strat", TensorShape(4, 12, 12))
+        b.conv("stem", 8, kernel_size=3, padding=1)
+        b.depthwise_conv("dw", kernel_size=3, padding=1)
+        left = b.conv("pw", 8, kernel_size=1, after="dw")
+        right = b.conv("k3", 8, kernel_size=3, padding=1, after="dw")
+        b.concat("cat", [left, right])
+        b.pool("mp", kernel_size=2, stride=2)
+        b.global_avg_pool("gap")
+        b.dense("fc", 5, activation="identity")
+        net = GraphNetwork(b.build(), rng=np.random.default_rng(2),
+                           batch_norm=True)
+        _randomize_running_stats(net)
+        net.eval()
+        compiled = compile_plan(net.inference_plan(), (4, 12, 12))
+        strategies = compiled.program(1).strategies
+        assert strategies["pw"].startswith("pointwise")
+        assert strategies["dw"].startswith("dw-gemm")
+        assert strategies["k3"].startswith("gemm")
+        # Both concat feeders write straight into their channel slices.
+        assert strategies["pw"].endswith("->join")
+        assert strategies["k3"].endswith("->join")
+        assert "taps" in strategies["mp"]
+        # dw-gemm reorders the depthwise reduction vs the interpreted
+        # einsum, so equality here is ≤1e-12, not bitwise.
+        x = RNG.normal(size=(1, 4, 12, 12))
+        np.testing.assert_allclose(
+            compiled.run(x), net.inference_plan().run(x), atol=1e-12)
+
+    def test_residual_add_runs_in_place(self):
+        b = NetworkBuilder("residual", TensorShape(3, 10, 10))
+        stem = b.conv("stem", 8, kernel_size=3, padding=1)
+        b.conv("c1", 8, kernel_size=3, padding=1)
+        b.conv("c2", 8, kernel_size=3, padding=1)
+        b.add("res", ["c2", stem])
+        b.global_avg_pool("gap")
+        b.dense("fc", 4, activation="identity")
+        net = GraphNetwork(b.build(), rng=np.random.default_rng(4),
+                           batch_norm=True)
+        _randomize_running_stats(net)
+        net.eval()
+        plan = net.inference_plan()
+        compiled = compile_plan(plan, (3, 10, 10))
+        assert "add[in-place]" in compiled.describe()
+        x = RNG.normal(size=(1, 3, 10, 10))
+        np.testing.assert_array_equal(compiled.run(x), plan.run(x))
+
+    def test_describe_lists_every_step(self):
+        net = _branchy_net()
+        compiled = compile_plan(net.inference_plan(), _input_shape(net))
+        description = compiled.describe()
+        for step in net.inference_plan().steps:
+            assert step.name in description
+
+
+class TestBatchSpecialization:
+    def test_unseen_batch_falls_back_to_interpreter(self):
+        net = _branchy_net()
+        plan = net.inference_plan()
+        compiled = CompiledPlan(plan, _input_shape(net), batch_sizes=(1,))
+        x = RNG.normal(size=(3,) + _input_shape(net))
+        expected = net.inference_plan().run(x)
+        tracer = obs.enable()
+        try:
+            out = compiled.run(x)
+        finally:
+            obs.disable()
+        np.testing.assert_array_equal(out, expected)
+        assert compiled.fallbacks == 1
+        assert compiled.batch_sizes == (1,)  # nothing new compiled
+        assert tracer.counters["infer.compiled.fallback"] == 1
+
+    def test_wrong_shape_and_dtype_fall_back(self):
+        net = _branchy_net()
+        compiled = CompiledPlan(net.inference_plan(), _input_shape(net))
+        bad_shape = RNG.normal(size=(1, 3, 6, 6))
+        bad_dtype = RNG.normal(size=(1,) + _input_shape(net)).astype(
+            np.float32)
+        compiled.run(bad_shape)
+        compiled.run(bad_dtype)
+        assert compiled.fallbacks == 2
+
+    def test_autocompile_compiles_on_first_use(self):
+        net = _branchy_net()
+        compiled = CompiledPlan(net.inference_plan(), _input_shape(net),
+                                batch_sizes=(1,), autocompile=True)
+        x = RNG.normal(size=(2,) + _input_shape(net))
+        out = compiled.run(x)
+        assert compiled.fallbacks == 0
+        assert compiled.batch_sizes == (1, 2)
+        np.testing.assert_array_equal(out, net.inference_plan().run(x))
+
+    def test_batch4_rows_match_batch1_runs(self):
+        net = _branchy_net()
+        compiled = CompiledPlan(net.inference_plan(), _input_shape(net),
+                                batch_sizes=(1, 4))
+        x = RNG.normal(size=(4,) + _input_shape(net))
+        stacked = compiled.run(x)
+        singles = np.concatenate([compiled.run(x[i:i + 1])
+                                  for i in range(4)])
+        np.testing.assert_allclose(stacked, singles, atol=1e-12)
+
+
+class TestHotPathIsStatic:
+    def test_no_arena_traffic_after_compile(self):
+        """The whole point: zero acquire/release on the hot path."""
+        net = _branchy_net()
+        plan = net.inference_plan()
+        compiled = compile_plan(plan, _input_shape(net))
+        x = RNG.normal(size=(1,) + _input_shape(net))
+        compiled.run(x)  # first run binds the block
+        before = plan.arena.stats()
+        for _ in range(5):
+            compiled.run(x)
+        after = plan.arena.stats()
+        assert before == after
+        assert compiled.static_arena_bytes(1) > 0
+
+    def test_output_is_not_a_view_of_the_arena(self):
+        net = _branchy_net()
+        compiled = compile_plan(net.inference_plan(), _input_shape(net))
+        x = RNG.normal(size=(1,) + _input_shape(net))
+        first = compiled.run(x)
+        keep = first.copy()
+        compiled.run(RNG.normal(size=(1,) + _input_shape(net)))
+        np.testing.assert_array_equal(first, keep)
+
+    def test_input_is_never_mutated(self):
+        net = _branchy_net()
+        compiled = compile_plan(net.inference_plan(), _input_shape(net))
+        x = RNG.normal(size=(1,) + _input_shape(net))
+        snapshot = x.copy()
+        compiled.run(x)
+        np.testing.assert_array_equal(x, snapshot)
+
+
+class TestParallelBranches:
+    def test_fire_modules_detected_and_bit_identical(self):
+        net = GraphNetwork(MODEL_FACTORIES["SqueezeNet v1.1"](),
+                           rng=np.random.default_rng(0), batch_norm=True)
+        _randomize_running_stats(net)
+        net.eval()
+        plan = net.inference_plan()
+        serial = compile_plan(plan, _input_shape(net))
+        fanout = compile_plan(plan, _input_shape(net), parallel=2)
+        assert fanout.program(1).parallel_groups >= 8  # the fire modules
+        x = np.random.default_rng(3).normal(size=(1,) + _input_shape(net))
+        np.testing.assert_array_equal(fanout.run(x), serial.run(x))
+
+    def test_branchy_toy_graph_parallel_equivalence(self):
+        net = _branchy_net()
+        plan = net.inference_plan()
+        serial = compile_plan(plan, _input_shape(net))
+        fanout = compile_plan(plan, _input_shape(net), parallel=True)
+        assert fanout.program(1).parallel_groups >= 1
+        x = RNG.normal(size=(2,) + _input_shape(net))
+        x1 = x[:1]
+        np.testing.assert_array_equal(fanout.run(x1), serial.run(x1))
+
+
+class TestThreadSafety:
+    THREADS = 8
+    ROUNDS = 10
+
+    def test_one_program_from_8_threads_via_private_arenas(self):
+        net = _branchy_net()
+        compiled = compile_plan(net.inference_plan(), _input_shape(net))
+        xs = [np.random.default_rng(s).normal(size=(1,) + _input_shape(net))
+              for s in range(4)]
+        expected = [compiled.run(x).copy() for x in xs]
+        errors = []
+
+        def worker(tid):
+            try:
+                for round_index in range(self.ROUNDS):
+                    pick = (tid + round_index) % len(xs)
+                    out = compiled.run(xs[pick])
+                    np.testing.assert_array_equal(out, expected[pick])
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[0]
+        # Main thread + each worker bound its own static arena.
+        assert compiled.program(1).bound_replicas >= self.THREADS + 1
+
+    def test_clone_shares_programs_but_not_fallback_plan(self):
+        net = _branchy_net()
+        compiled = CompiledPlan(net.inference_plan(), _input_shape(net))
+        twin = compiled.clone()
+        assert twin.program(1) is compiled.program(1)
+        assert twin.plan is not compiled.plan
+        x = RNG.normal(size=(2,) + _input_shape(net))  # uncompiled batch
+        np.testing.assert_array_equal(twin.run(x), compiled.run(x))
+        assert twin.fallbacks == 1
+        assert compiled.fallbacks == 1
+
+
+class TestStatsAndObs:
+    def test_stats_reports_programs_and_arenas(self):
+        net = _branchy_net()
+        compiled = CompiledPlan(net.inference_plan(), _input_shape(net),
+                                batch_sizes=(1, 2))
+        compiled.run(RNG.normal(size=(1,) + _input_shape(net)))
+        stats = compiled.stats()
+        assert stats.compiled_batches == (1, 2)
+        assert stats.runs == 1
+        assert stats.arena_bytes[1] > 0
+        assert stats.bound_replicas[1] >= 1
+
+    def test_compile_and_step_spans_recorded(self):
+        net = _branchy_net()
+        plan = net.inference_plan()
+        tracer = obs.enable()
+        try:
+            compiled = compile_plan(plan, _input_shape(net))
+            compiled.run(RNG.normal(size=(1,) + _input_shape(net)))
+        finally:
+            obs.disable()
+        names = [record.name for record in tracer.spans]
+        assert "infer.compile" in names
+        assert "infer.compiled" in names
+        assert "infer.compiled_step" in names
+        assert tracer.counters["infer.compiled.bind"] >= 1
+        assert tracer.gauges["infer.compiled.arena_bytes"] > 0

@@ -278,3 +278,40 @@ class TestProcessServer:
             assert (stats.completed + stats.expired + stats.cancelled
                     + stats.failed) == stats.accepted
             assert shm_segments() == [], f"leak after cycle {cycle}"
+
+
+class TestCompiledProcessMode:
+    """compiled=True with process workers: each worker compiles over
+    its zero-copy shm weight views; responses stay bit-identical and
+    shutdown leaks nothing (the autouse fixture checks /dev/shm)."""
+
+    def test_compiled_responses_bit_identical_to_direct_plan(self):
+        net = make_net()
+        reference_plan = net.inference_plan()
+        xs = images(16)
+        with Server.for_network(net, proc_config(compiled=True)) as server:
+            futures = [server.submit(x) for x in xs]
+            results = [f.result(timeout=60) for f in futures]
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(
+                result, reference_plan.run(xs[i:i + 1])[0])
+
+    def test_compiled_matches_thread_mode_bitwise(self):
+        net = make_net()
+        x = images(1)[0]
+        with Server.for_network(
+                net, proc_config(compiled=True, workers=1)) as server:
+            from_process = server.infer(x, timeout=60)
+        thread_config = ServerConfig(workers=1, max_batch_size=4,
+                                     compiled=True)
+        with Server.for_network(net, thread_config) as server:
+            from_thread = server.infer(x, timeout=60)
+        np.testing.assert_array_equal(from_process, from_thread)
+
+    def test_compiled_warmup_disabled_still_serves(self):
+        net = make_net()
+        config = proc_config(compiled=True, workers=1, warmup=False)
+        with Server.for_network(net, config) as server:
+            out = server.infer(images(1)[0], timeout=60)
+        np.testing.assert_array_equal(
+            out, net.inference_plan().run(images(1)[:1])[0])
