@@ -24,6 +24,7 @@ from repro.accel.dataflows.no_local_reuse import NoLocalReuseModel
 from repro.accel.dataflows.output_stationary import OutputStationaryModel
 from repro.accel.dataflows.row_stationary import RowStationaryModel
 from repro.accel.dataflows.weight_stationary import WeightStationaryModel
+from repro.accel.diskcache import DiskCache, DiskCacheStats
 from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.accel.reference import Event, ReferenceResult, ReferenceSimulator
 from repro.accel.report import AccessCounts, DataflowPerf, LayerReport, NetworkReport
@@ -34,7 +35,9 @@ from repro.accel.simcache import (
     buffer_signature,
     config_fingerprint,
     layer_cache_key,
+    network_cache_key,
     workload_shape_key,
+    workloads_digest,
 )
 from repro.accel.simulator import AcceleratorSimulator, simulate
 from repro.accel.hybrid import DataflowDecision, Squeezelerator
@@ -58,6 +61,8 @@ __all__ = [
     "DataflowDecision",
     "DataflowPerf",
     "DataflowPolicy",
+    "DiskCache",
+    "DiskCacheStats",
     "EnergyModel",
     "Event",
     "LayerDirective",
@@ -79,7 +84,9 @@ __all__ = [
     "compile_network",
     "config_fingerprint",
     "layer_cache_key",
+    "network_cache_key",
     "workload_shape_key",
+    "workloads_digest",
     "core_scaling",
     "estimate_area",
     "memory_bound_fraction",

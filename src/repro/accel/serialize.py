@@ -8,11 +8,13 @@ diffed across calibrations, or consumed by external plotting tools.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict
 
 from repro.accel.report import LayerReport, NetworkReport
-from repro.accel.schedule import Program
 from repro.graph.categories import LayerCategory
+
+if TYPE_CHECKING:  # import cycle: diskcache -> serialize -> schedule
+    from repro.accel.schedule import Program
 
 
 def layer_report_to_dict(layer: LayerReport) -> Dict[str, Any]:
@@ -46,23 +48,34 @@ def network_report_to_dict(report: NetworkReport) -> Dict[str, Any]:
     }
 
 
+_CATEGORIES = {str(c): c for c in LayerCategory}
+
+
+def layer_report_from_dict(entry: Dict[str, Any]) -> LayerReport:
+    """Rebuild one layer report saved by :func:`layer_report_to_dict`.
+
+    The round trip is bit-identical: every float survives JSON encoding
+    exactly (``json`` emits ``repr``-precision literals), so
+    ``layer_report_from_dict(layer_report_to_dict(r)) == r`` field for
+    field.  The persistent simulation cache
+    (:mod:`repro.accel.diskcache`) depends on this guarantee.
+    """
+    return LayerReport(
+        name=entry["name"],
+        category=_CATEGORIES[entry["category"]],
+        dataflow=entry["dataflow"],
+        macs=int(entry["macs"]),
+        compute_cycles=float(entry["compute_cycles"]),
+        dram_cycles=float(entry["dram_cycles"]),
+        total_cycles=float(entry["total_cycles"]),
+        energy=float(entry["energy"]),
+        energy_breakdown=dict(entry["energy_breakdown"]),
+    )
+
+
 def network_report_from_dict(data: Dict[str, Any]) -> NetworkReport:
     """Rebuild a report saved by :func:`network_report_to_dict`."""
-    categories = {str(c): c for c in LayerCategory}
-    layers = [
-        LayerReport(
-            name=entry["name"],
-            category=categories[entry["category"]],
-            dataflow=entry["dataflow"],
-            macs=int(entry["macs"]),
-            compute_cycles=float(entry["compute_cycles"]),
-            dram_cycles=float(entry["dram_cycles"]),
-            total_cycles=float(entry["total_cycles"]),
-            energy=float(entry["energy"]),
-            energy_breakdown=dict(entry["energy_breakdown"]),
-        )
-        for entry in data["layers"]
-    ]
+    layers = [layer_report_from_dict(entry) for entry in data["layers"]]
     return NetworkReport(
         network=data["network"],
         machine=data["machine"],
@@ -73,7 +86,7 @@ def network_report_from_dict(data: Dict[str, Any]) -> NetworkReport:
     )
 
 
-def program_to_dict(program: Program) -> Dict[str, Any]:
+def program_to_dict(program: "Program") -> Dict[str, Any]:
     """Flatten a compiled schedule."""
     return {
         "network": program.network,

@@ -278,7 +278,7 @@ class AcceleratorSimulator:
             whole = cache.stats()
             stats = CacheStats(hits=hits, misses=lookups - hits,
                                evictions=whole.evictions,
-                               entries=whole.entries)
+                               entries=whole.entries, disk=whole.disk)
         return NetworkReport(
             network=network.name,
             machine=self.config.name,

@@ -6,8 +6,11 @@
 * :mod:`repro.core.tuner` — accelerator parameter sweeps (RF size,
   array size, buffers, sparsity);
 * :mod:`repro.core.sweep` — the shared parallel sweep engine (cached,
-  deterministic-order config-point evaluation) every search runs on;
-* :mod:`repro.core.pareto` — accuracy/latency/energy frontier (Fig. 4);
+  deterministic-order config-point evaluation, thread or process mode,
+  persistent disk cache, streamed results) every search runs on;
+* :mod:`repro.core.journal` — checkpoint/resume journal for long sweeps;
+* :mod:`repro.core.pareto` — accuracy/latency/energy frontier (Fig. 4),
+  batch or incrementally streamed (:class:`ParetoFrontier`);
 * :mod:`repro.core.codesign` — the three-movement co-design loop.
 """
 
@@ -18,11 +21,15 @@ from repro.core.codesign import (
     run_paper_codesign,
 )
 from repro.core.evolve import EvolveResult, EvolveStep, describe, evolve_squeezenext
+from repro.core.journal import SweepJournal, sweep_fingerprint
 from repro.core.pareto import (
     DesignPoint,
+    ParetoFrontier,
     evaluate_design_points,
     families_on_front,
     pareto_front,
+    streaming_sweep_frontier,
+    sweep_dominates,
 )
 from repro.core.search import (
     CandidateSpec,
@@ -42,6 +49,8 @@ from repro.core.tuner import (
     array_size_sweep,
     best_point,
     buffer_size_sweep,
+    design_space_jobs,
+    design_space_sweep,
     rf_size_sweep,
     sparsity_sweep,
     tune_for_network,
@@ -67,10 +76,12 @@ __all__ = [
     "EvolveResult",
     "EvolveStep",
     "EvaluatedCandidate",
+    "ParetoFrontier",
     "SearchResult",
     "StageProfile",
     "SweepEngine",
     "SweepJob",
+    "SweepJournal",
     "SweepPoint",
     "VariantResult",
     "array_size_sweep",
@@ -82,6 +93,8 @@ __all__ = [
     "default_objective",
     "default_search_space",
     "describe",
+    "design_space_jobs",
+    "design_space_sweep",
     "evaluate_design_points",
     "evaluate_variants",
     "evolve_squeezenext",
@@ -94,5 +107,8 @@ __all__ = [
     "run_paper_codesign",
     "sparsity_sweep",
     "squeezenext_stage_of",
+    "streaming_sweep_frontier",
+    "sweep_dominates",
+    "sweep_fingerprint",
     "tune_for_network",
 ]

@@ -19,7 +19,8 @@ the paper's design narrative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.accel.hybrid import Squeezelerator
 from repro.core.sweep import SweepEngine
@@ -62,13 +63,23 @@ class CoDesignLoop:
 
     def __init__(self, seed_network: NetworkSpec,
                  array_sizes=(16, 32), rf_entries=(8, 16),
-                 engine: Optional[SweepEngine] = None) -> None:
+                 engine: Optional[SweepEngine] = None,
+                 checkpoint_dir: Optional[Union[str, Path]] = None) -> None:
         self.seed_network = seed_network
         self.array_sizes = tuple(array_sizes)
         self.rf_entries = tuple(rf_entries)
         # One engine for all three movements, so the re-tune sweep reuses
         # every layer report the initial sweep already produced.
         self.engine = engine or SweepEngine()
+        # With a checkpoint_dir, each hardware sweep journals its
+        # completed points; a re-run of an interrupted loop skips them.
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+
+    def _journal(self, movement: str) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / f"{movement}.jsonl"
 
     def run(self) -> CoDesignResult:
         """Execute all three movements and return the history."""
@@ -77,7 +88,8 @@ class CoDesignLoop:
         # Movement 1: tailor the accelerator to the seed DNN.
         hw_points = array_size_sweep(self.seed_network,
                                      sizes=self.array_sizes,
-                                     engine=self.engine)
+                                     engine=self.engine,
+                                     journal=self._journal("array-size"))
         hw_best = best_point(hw_points)
         result.steps.append(CoDesignStep(
             name="accelerator-for-dnn",
@@ -105,7 +117,8 @@ class CoDesignLoop:
         rf_points = rf_size_sweep(chosen_variant.network,
                                   rf_entries=self.rf_entries,
                                   array_size=hw_best.config.array_rows,
-                                  engine=self.engine)
+                                  engine=self.engine,
+                                  journal=self._journal("rf-size"))
         rf_best = best_point(rf_points)
         result.steps.append(CoDesignStep(
             name="retune-accelerator",

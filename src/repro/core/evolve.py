@@ -20,7 +20,7 @@ moves (e.g. ``min_stage_blocks``) to reproduce that restraint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.accel.config import AcceleratorConfig, squeezelerator
 from repro.core.sweep import SweepEngine, SweepJob
@@ -58,19 +58,22 @@ class EvolveResult:
 
 
 def _simulate_batch(engine: SweepEngine, config: AcceleratorConfig,
-                    candidates) -> List[float]:
+                    candidates) -> Iterator[float]:
     """Cycle counts for a batch of (stages, conv1_kernel, move) points.
 
     One engine call per greedy iteration: the candidates differ by a
     single block move or filter shrink, so nearly all of their layers
-    are already in the shared cache.
+    are already in the shared cache.  Streamed via
+    :meth:`SweepEngine.run_iter` in input order; callers consume the
+    iterator fully (the greedy loop scans every candidate anyway).
     """
     jobs = [
         SweepJob(move, config,
                  squeezenext(stages=tuple(stages), conv1_kernel=conv1))
         for stages, conv1, move in candidates
     ]
-    return [point.report.total_cycles for point in engine.run(jobs)]
+    for point in engine.run_iter(jobs):
+        yield point.report.total_cycles
 
 
 def _candidate_moves(stages: Tuple[int, ...],
@@ -130,8 +133,10 @@ def evolve_squeezenext(
         candidates = list(_candidate_moves(stages, conv1, min_stage_blocks,
                                            min_conv1_kernel))
         best = None
-        for candidate, cand_cycles in zip(
-                candidates, _simulate_batch(engine, config, candidates)):
+        # Generator first in the zip: once the last candidate is
+        # consumed, run_iter's cleanup (journal close, cache flush) runs.
+        for cand_cycles, candidate in zip(
+                _simulate_batch(engine, config, candidates), candidates):
             if best is None or cand_cycles < best[0]:
                 best = (cand_cycles,) + candidate
         if best is None or best[0] >= cycles * (1 - min_gain):

@@ -1,0 +1,145 @@
+"""Checkpoint/resume journal for long design-space sweeps.
+
+A million-point sweep that dies at point 900,000 should not re-pay the
+first 900,000 simulations.  :class:`SweepJournal` is an append-only
+JSONL file the :class:`~repro.core.sweep.SweepEngine` writes one line
+per completed point; an interrupted run re-opened against the same job
+list resumes by yielding the journaled results and simulating only the
+remainder.
+
+File format (one JSON object per line)::
+
+    {"kind": "repro-sweep-journal", "version": 1, "fingerprint": "..."}
+    {"index": 0, "label": "8x8/rf4", "report": {...}}
+    {"index": 3, "label": "16x16/rf4", "report": {...}}
+
+* The header **fingerprint** digests the full job list (labels, machine
+  configs, workload geometry, energy model).  A journal whose
+  fingerprint does not match the sweep being run is discarded and
+  restarted — resuming is only ever exact.
+* Entries carry the job **index**, because completion order is not
+  input order under a parallel engine, and labels need not be unique.
+* Reports round-trip through
+  :func:`repro.accel.serialize.network_report_to_dict` bit-identically,
+  so a resumed sweep's results equal an uninterrupted run's.
+* A run killed mid-write leaves at most one torn final line, which
+  :meth:`completed` skips; every fully written point survives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import IO, Dict, Optional, Union
+
+from repro.accel.report import NetworkReport
+from repro.accel.serialize import network_report_from_dict, network_report_to_dict
+
+JOURNAL_KIND = "repro-sweep-journal"
+JOURNAL_VERSION = 1
+
+
+def sweep_fingerprint(parts) -> str:
+    """Digest an iterable of ``repr``-able sweep identity parts."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class SweepJournal:
+    """Append-only completed-point journal bound to one sweep identity.
+
+    ``path`` is created (with parents) on first record; an existing file
+    with a matching fingerprint seeds :meth:`completed`, any other file
+    is truncated and restarted.
+    """
+
+    def __init__(self, path: Union[str, Path], fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._completed: Dict[int, NetworkReport] = {}
+        self._handle: Optional[IO[str]] = None
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if (not isinstance(header, dict)
+                or header.get("kind") != JOURNAL_KIND
+                or header.get("version") != JOURNAL_VERSION
+                or header.get("fingerprint") != self.fingerprint):
+            # A journal for a different sweep (or an unreadable one) is
+            # worthless here; start over rather than resuming wrongly.
+            self.path.unlink(missing_ok=True)
+            return
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+                index = int(entry["index"])
+                report = network_report_from_dict(entry["report"])
+            except (ValueError, KeyError, TypeError):
+                continue  # torn tail from a killed run
+            self._completed[index] = report
+
+    def completed(self) -> Dict[int, NetworkReport]:
+        """Job index -> journaled report, for this exact sweep."""
+        return dict(self._completed)
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def _open(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._handle.write(json.dumps({
+                    "kind": JOURNAL_KIND,
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": self.fingerprint,
+                }) + "\n")
+                self._handle.flush()
+        return self._handle
+
+    def record(self, index: int, label: str, report: NetworkReport) -> None:
+        """Append one completed point.
+
+        Flushed line by line: a killed process loses at most the point
+        being written (the OS page cache holds flushed lines even if the
+        process dies before any fsync — sweeps are re-runnable, so we
+        don't pay fsync per point against whole-machine crashes).
+        """
+        handle = self._open()
+        handle.write(json.dumps({
+            "index": index,
+            "label": label,
+            "report": network_report_to_dict(report),
+        }) + "\n")
+        handle.flush()
+        self._completed[index] = report
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -3,17 +3,33 @@
 Figure 4 plots each DNN family in accuracy-vs-energy and accuracy-vs-
 inference-time space and argues SqueezeNext dominates ("higher and to
 the left").  This module computes those point clouds from the simulator
-plus the published-accuracy table, and extracts the Pareto frontier.
+plus the published-accuracy table, and extracts the Pareto frontier —
+either in one batch (:func:`pareto_front`) or incrementally
+(:class:`ParetoFrontier`), so a streaming design-space sweep
+(:meth:`repro.core.sweep.SweepEngine.run_iter`) has a usable frontier
+at every moment of a million-point enumeration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 from repro.accel.hybrid import Squeezelerator
 from repro.graph.network_spec import NetworkSpec
 from repro.models.accuracy import maybe_top1_accuracy
+
+_P = TypeVar("_P")
 
 
 @dataclass(frozen=True)
@@ -73,13 +89,97 @@ def evaluate_design_points(
     return points
 
 
+class ParetoFrontier(Generic[_P]):
+    """Incrementally maintained non-dominated set.
+
+    Works over any point type exposing ``a.dominates(b)``
+    (:class:`DesignPoint`, :class:`repro.core.search.EvaluatedCandidate`),
+    or over arbitrary objects with an explicit ``dominates=`` predicate
+    (e.g. :func:`sweep_dominates` for raw
+    :class:`~repro.core.sweep.SweepPoint` values).  Feeding every point
+    of a sweep through :meth:`add` yields exactly the same frontier as
+    the batch :func:`pareto_front` — the incremental-vs-batch
+    equivalence is pinned by tests — while keeping the partial frontier
+    usable live at every step of a streaming sweep.
+
+    Exact ties (equal on all axes) do not dominate each other, so
+    duplicates are all retained — matching the batch semantics.
+    """
+
+    def __init__(self, points: Iterable[_P] = (),
+                 dominates: Optional[Callable[[_P, _P], bool]] = None) -> None:
+        self._dominates = dominates or (lambda a, b: a.dominates(b))
+        self._points: List[_P] = []
+        self.seen = 0
+        self.update(points)
+
+    def add(self, point: _P) -> bool:
+        """Offer one point; True when it enters the frontier.
+
+        A dominated offer is rejected; an accepted offer expels every
+        frontier member it dominates.  Retained points keep arrival
+        order (the sort happens in :meth:`sorted`).
+        """
+        self.seen += 1
+        if any(self._dominates(q, point) for q in self._points):
+            return False
+        self._points = [q for q in self._points
+                        if not self._dominates(point, q)]
+        self._points.append(point)
+        return True
+
+    def update(self, points: Iterable[_P]) -> "ParetoFrontier[_P]":
+        """Offer a batch (or a live stream) of points; returns self."""
+        for point in points:
+            self.add(point)
+        return self
+
+    @property
+    def points(self) -> List[_P]:
+        """The current frontier, in arrival order."""
+        return list(self._points)
+
+    def sorted(self, key: Callable[[_P], float]) -> List[_P]:
+        """The current frontier ordered by ``key`` (stable on ties)."""
+        return sorted(self._points, key=key)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[_P]:
+        return iter(self._points)
+
+    def __contains__(self, point: _P) -> bool:
+        return point in self._points
+
+
+def sweep_dominates(a, b) -> bool:
+    """Dominance for raw sweep points: faster and cheaper in energy.
+
+    For machine sweeps of one network there is no accuracy axis; a
+    config point dominates when it is at least as good on cycles and
+    energy and strictly better on one.
+    """
+    at_least = a.cycles <= b.cycles and a.energy <= b.energy
+    strictly = a.cycles < b.cycles or a.energy < b.energy
+    return at_least and strictly
+
+
+def streaming_sweep_frontier(points: Iterable) -> ParetoFrontier:
+    """Fold an (iterator of) sweep points into a cycles/energy frontier.
+
+    Pair with :meth:`repro.core.sweep.SweepEngine.run_iter` to keep the
+    frontier current while a long sweep is still running::
+
+        frontier = streaming_sweep_frontier(engine.run_iter(jobs))
+    """
+    return ParetoFrontier(points, dominates=sweep_dominates)
+
+
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     """Non-dominated subset, sorted by ascending inference time."""
-    front = [
-        p for p in points
-        if not any(q.dominates(p) for q in points if q is not p)
-    ]
-    return sorted(front, key=lambda p: p.inference_ms)
+    frontier: ParetoFrontier[DesignPoint] = ParetoFrontier(points)
+    return frontier.sorted(key=lambda p: p.inference_ms)
 
 
 def families_on_front(points: Sequence[DesignPoint]) -> Dict[str, int]:

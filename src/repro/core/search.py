@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.accel.config import AcceleratorConfig, squeezelerator
+from repro.core.pareto import ParetoFrontier
 from repro.core.sweep import SweepEngine, SweepJob
 from repro.graph import NetworkBuilder, NetworkSpec, TensorShape
 from repro.models.squeezenet import fire_module
@@ -103,11 +104,8 @@ class SearchResult:
 
     @property
     def frontier(self) -> List[EvaluatedCandidate]:
-        return sorted(
-            (c for c in self.candidates
-             if not any(o.dominates(c) for o in self.candidates if o is not c)),
-            key=lambda c: c.latency_ms,
-        )
+        front: ParetoFrontier[EvaluatedCandidate] = ParetoFrontier(self.candidates)
+        return front.sorted(key=lambda c: c.latency_ms)
 
     def best_under_latency(self, budget_ms: float) -> Optional[EvaluatedCandidate]:
         feasible = [c for c in self.candidates if c.latency_ms <= budget_ms]
@@ -164,8 +162,10 @@ def hardware_aware_search(
                 seed=seed + index).fit(train, epochs=epochs)
         trained.append((spec, network_spec, evaluate(model, test)))
 
-    points = engine.run([SweepJob(spec.name, config, network)
-                         for spec, network, _ in trained])
+    jobs = [SweepJob(spec.name, config, network)
+            for spec, network, _ in trained]
+    # Streamed (run_iter yields input order), so each candidate's
+    # evaluation is complete the moment its simulation finishes.
     evaluated = [
         EvaluatedCandidate(
             spec=spec,
@@ -174,6 +174,7 @@ def hardware_aware_search(
             latency_ms=point.report.inference_ms,
             energy=point.report.total_energy,
         )
-        for (spec, network, accuracy), point in zip(trained, points)
+        for point, (spec, network, accuracy) in zip(engine.run_iter(jobs),
+                                                    trained)
     ]
     return SearchResult(candidates=evaluated)

@@ -16,10 +16,12 @@ from-scratch simulation.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.accel.config import AcceleratorConfig, squeezelerator
-from repro.core.sweep import SweepEngine, SweepPoint, default_objective
+from repro.core.journal import SweepJournal
+from repro.core.sweep import SweepEngine, SweepJob, SweepPoint, default_objective
 from repro.graph.network_spec import NetworkSpec
 
 __all__ = [
@@ -27,22 +29,27 @@ __all__ = [
     "array_size_sweep",
     "best_point",
     "buffer_size_sweep",
+    "design_space_jobs",
+    "design_space_sweep",
     "rf_size_sweep",
     "sparsity_sweep",
     "tune_for_network",
 ]
+
+_Journal = Optional[Union[str, Path, SweepJournal]]
 
 
 def _sweep(network: NetworkSpec,
            configs: Sequence[AcceleratorConfig],
            labels: Sequence[str],
            engine: Optional[SweepEngine] = None,
-           use_cache: bool = True) -> List[SweepPoint]:
+           use_cache: bool = True,
+           journal: _Journal = None) -> List[SweepPoint]:
     """Shared sweep helper; raises ValueError on a configs/labels
     length mismatch instead of silently truncating."""
     if engine is None:
         engine = SweepEngine(use_cache=use_cache)
-    return engine.sweep(network, configs, labels)
+    return engine.sweep(network, configs, labels, journal=journal)
 
 
 def rf_size_sweep(
@@ -50,11 +57,12 @@ def rf_size_sweep(
     rf_entries: Sequence[int] = (4, 8, 16, 32),
     array_size: int = 32,
     engine: Optional[SweepEngine] = None,
+    journal: _Journal = None,
 ) -> List[SweepPoint]:
     """The paper's final tune-up, generalized: sweep RF entries per PE."""
     configs = [squeezelerator(array_size, rf) for rf in rf_entries]
     labels = [f"rf={rf}" for rf in rf_entries]
-    return _sweep(network, configs, labels, engine=engine)
+    return _sweep(network, configs, labels, engine=engine, journal=journal)
 
 
 def array_size_sweep(
@@ -62,11 +70,12 @@ def array_size_sweep(
     sizes: Sequence[int] = (8, 16, 24, 32),
     rf_entries: int = 8,
     engine: Optional[SweepEngine] = None,
+    journal: _Journal = None,
 ) -> List[SweepPoint]:
     """Sweep the PE array across the paper's stated range (8..32)."""
     configs = [squeezelerator(size, rf_entries) for size in sizes]
     labels = [f"{size}x{size}" for size in sizes]
-    return _sweep(network, configs, labels, engine=engine)
+    return _sweep(network, configs, labels, engine=engine, journal=journal)
 
 
 def sparsity_sweep(
@@ -141,3 +150,52 @@ def tune_for_network(
     points = _sweep(network, configs, labels, engine=engine,
                     use_cache=use_cache)
     return best_point(points)
+
+
+def design_space_jobs(
+    networks: Sequence[NetworkSpec],
+    array_sizes: Sequence[int] = (8, 16, 24, 32),
+    rf_entries: Sequence[int] = (4, 8, 16, 32),
+) -> List[SweepJob]:
+    """Enumerate the full Squeezelerator design space over ``networks``.
+
+    The cross product networks x array sizes x RF sizes, in a
+    deterministic order (network-major, then array, then RF) — the job
+    list behind :func:`design_space_sweep` and the sweep benchmark.
+    """
+    jobs: List[SweepJob] = []
+    for network in networks:
+        for size in array_sizes:
+            for rf in rf_entries:
+                jobs.append(SweepJob(
+                    label=f"{network.name}/{size}x{size}/rf{rf}",
+                    config=squeezelerator(size, rf),
+                    network=network,
+                ))
+    return jobs
+
+
+def design_space_sweep(
+    networks: Sequence[NetworkSpec],
+    array_sizes: Sequence[int] = (8, 16, 24, 32),
+    rf_entries: Sequence[int] = (4, 8, 16, 32),
+    engine: Optional[SweepEngine] = None,
+    journal: _Journal = None,
+    stream: bool = False,
+) -> Union[List[SweepPoint], Iterator[SweepPoint]]:
+    """Sweep the whole accelerator design space across a model zoo.
+
+    This is the million-point entry: every (network, array size, RF
+    size) combination, on whatever engine is passed — a process-mode
+    engine with a ``cache_dir`` makes re-runs nearly free, and a
+    ``journal`` (or ``resume=True`` on the engine) makes an interrupted
+    enumeration resumable.  With ``stream=True`` an iterator of points
+    is returned as they complete (input order), suitable for feeding
+    :func:`repro.core.pareto.streaming_sweep_frontier`.
+    """
+    if engine is None:
+        engine = SweepEngine()
+    jobs = design_space_jobs(networks, array_sizes, rf_entries)
+    if stream:
+        return engine.run_iter(jobs, journal=journal)
+    return engine.run(jobs, journal=journal)

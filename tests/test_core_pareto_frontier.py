@@ -1,0 +1,149 @@
+"""Edge cases and incremental/batch equivalence for Pareto extraction.
+
+:class:`ParetoFrontier` must agree exactly with the batch
+:func:`pareto_front` on every input — including duplicates, exact ties,
+and adversarial arrival orders — because the streaming sweep path and
+the Figure 4 path share these semantics.
+"""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.pareto import (
+    DesignPoint,
+    ParetoFrontier,
+    pareto_front,
+    streaming_sweep_frontier,
+    sweep_dominates,
+)
+
+
+def dp(acc, ms, energy, model="m", family="f"):
+    return DesignPoint(model=model, family=family, top1_accuracy=acc,
+                       inference_ms=ms, energy=energy)
+
+
+@dataclass(frozen=True)
+class FakeSweepPoint:
+    """Just the two axes sweep_dominates reads."""
+
+    cycles: float
+    energy: float
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        frontier = ParetoFrontier()
+        assert len(frontier) == 0
+        assert frontier.points == []
+        assert frontier.seen == 0
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        point = dp(0.6, 10.0, 5.0)
+        frontier = ParetoFrontier([point])
+        assert frontier.points == [point]
+        assert point in frontier
+        assert pareto_front([point]) == [point]
+
+    def test_duplicates_all_retained(self):
+        """Equal points don't dominate each other — both stay, exactly
+        as the batch extractor keeps them."""
+        a, b = dp(0.6, 10.0, 5.0), dp(0.6, 10.0, 5.0)
+        assert a == b
+        frontier = ParetoFrontier([a, b])
+        assert len(frontier) == 2
+        assert len(pareto_front([a, b])) == 2
+
+    def test_exact_tie_on_two_axes_third_decides(self):
+        better = dp(0.6, 10.0, 4.0)
+        worse = dp(0.6, 10.0, 5.0)
+        for order in ([better, worse], [worse, better]):
+            frontier = ParetoFrontier(order)
+            assert frontier.points == [better]
+
+    def test_dominated_offer_rejected(self):
+        frontier = ParetoFrontier([dp(0.7, 10.0, 5.0)])
+        assert frontier.add(dp(0.6, 11.0, 6.0)) is False
+        assert len(frontier) == 1
+        assert frontier.seen == 2
+
+    def test_accepted_offer_expels_all_dominated(self):
+        frontier = ParetoFrontier([
+            dp(0.50, 12.0, 6.0),   # dominated by the offer below
+            dp(0.45, 11.0, 5.5),   # likewise (incomparable with the first)
+            dp(0.90, 20.0, 9.0),   # incomparable with everything: stays
+        ])
+        assert len(frontier) == 3  # mutually incomparable
+        assert frontier.add(dp(0.6, 10.0, 5.0)) is True
+        assert frontier.points == [dp(0.9, 20.0, 9.0), dp(0.6, 10.0, 5.0)]
+
+    def test_incomparable_points_coexist(self):
+        fast = dp(0.5, 1.0, 9.0)
+        accurate = dp(0.9, 9.0, 1.0)
+        frontier = ParetoFrontier([fast, accurate])
+        assert sorted(frontier.sorted(key=lambda p: p.inference_ms),
+                      key=lambda p: p.inference_ms) == [fast, accurate]
+
+    def test_seen_counts_every_offer(self):
+        frontier = ParetoFrontier([dp(0.6, 10.0, 5.0)] * 3)
+        frontier.add(dp(0.1, 99.0, 99.0))
+        assert frontier.seen == 4
+
+
+class TestIncrementalBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_clouds(self, seed):
+        rng = random.Random(seed)
+        points = [dp(round(rng.uniform(0.3, 0.9), 2),
+                     round(rng.uniform(1.0, 30.0), 1),
+                     round(rng.uniform(1.0, 10.0), 1),
+                     model=f"m{i}")
+                  for i in range(120)]
+        batch = pareto_front(points)
+        incremental = ParetoFrontier()
+        for point in points:
+            incremental.add(point)
+        assert incremental.sorted(key=lambda p: p.inference_ms) == batch
+        # ... and arrival order never matters for membership.
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        refolded = ParetoFrontier(shuffled)
+        assert sorted(refolded.points, key=lambda p: (p.inference_ms, p.model)) \
+            == sorted(batch, key=lambda p: (p.inference_ms, p.model))
+
+    def test_quantized_axes_force_ties(self):
+        """Coarse grids produce many exact ties; both paths must agree."""
+        rng = random.Random(7)
+        points = [dp(rng.choice([0.5, 0.6]), rng.choice([10.0, 20.0]),
+                     rng.choice([1.0, 2.0]), model=f"m{i}")
+                  for i in range(60)]
+        assert ParetoFrontier(points).sorted(
+            key=lambda p: p.inference_ms) == pareto_front(points)
+
+
+class TestSweepDominance:
+    def test_sweep_dominates_semantics(self):
+        assert sweep_dominates(FakeSweepPoint(10, 5), FakeSweepPoint(11, 5))
+        assert sweep_dominates(FakeSweepPoint(10, 5), FakeSweepPoint(10, 6))
+        assert not sweep_dominates(FakeSweepPoint(10, 5),
+                                   FakeSweepPoint(10, 5))  # exact tie
+        assert not sweep_dominates(FakeSweepPoint(9, 6),
+                                   FakeSweepPoint(10, 5))  # trade-off
+
+    def test_streaming_sweep_frontier(self):
+        points = [FakeSweepPoint(10, 5), FakeSweepPoint(8, 7),
+                  FakeSweepPoint(12, 9),   # dominated by the first
+                  FakeSweepPoint(10, 5)]   # exact duplicate: retained
+        frontier = streaming_sweep_frontier(iter(points))
+        assert frontier.seen == 4
+        assert frontier.points == [FakeSweepPoint(10, 5),
+                                   FakeSweepPoint(8, 7),
+                                   FakeSweepPoint(10, 5)]
+
+    def test_custom_dominates_predicate(self):
+        smaller = ParetoFrontier([3, 1, 2, 1],
+                                 dominates=lambda a, b: a < b)
+        assert smaller.points == [1, 1]

@@ -1,0 +1,240 @@
+"""Process-mode sweeps, checkpoint/resume, and streaming results.
+
+The contracts under test, in rough order of importance:
+
+* process-mode results are bit- and order-identical to thread-mode
+  results, across the whole model zoo;
+* a journaled sweep resumes re-simulating zero completed points, and a
+  partially journaled (killed) sweep re-simulates only the remainder;
+* ``run_iter`` streams points in input order and composes with the
+  incremental Pareto frontier;
+* worker-count policy: ``SWEEP_MAX_WORKERS`` overrides both modes,
+  process mode defaults to the full ``cpu_count()``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.accel.config import squeezelerator
+from repro.core.journal import JOURNAL_KIND, SweepJournal, sweep_fingerprint
+from repro.core.pareto import streaming_sweep_frontier, sweep_dominates
+from repro.core.sweep import SweepEngine, SweepJob, _default_workers
+from repro.core.tuner import design_space_jobs, design_space_sweep
+from repro.models import build_all, squeezenet_v1_1, squeezenext
+
+
+def small_jobs(networks=None, sizes=(16, 32), rfs=(8,)):
+    return design_space_jobs(networks or [squeezenet_v1_1()],
+                             array_sizes=sizes, rf_entries=rfs)
+
+
+def as_dicts(points):
+    return [(p.label, p.report.network, p.report.machine,
+             [layer.__dict__ for layer in p.report.layers])
+            for p in points]
+
+
+class TestProcessMode:
+    def test_zoo_wide_bit_and_order_identical_to_threads(self):
+        """The acceptance bar: every zoo model, both modes, equal."""
+        jobs = small_jobs(networks=list(build_all().values()),
+                          sizes=(16, 32), rfs=(8,))
+        threaded = SweepEngine(mode="thread").run(jobs)
+        processed = SweepEngine(mode="process", max_workers=2,
+                                chunk_size=3).run(jobs)
+        assert as_dicts(processed) == as_dicts(threaded)
+        assert [p.label for p in processed] == [j.label for j in jobs]
+
+    def test_process_workers_share_disk_tier(self, tmp_path):
+        """Worker flushes land in the shared store; a warm thread-mode
+        run over the same directory then simulates nothing."""
+        jobs = small_jobs()
+        with SweepEngine(mode="process", max_workers=2,
+                         cache_dir=tmp_path) as cold:
+            cold_points = cold.run(jobs)
+        with SweepEngine(mode="thread", cache_dir=tmp_path) as warm:
+            warm_points = warm.run(jobs)
+            assert warm.cache_stats.misses == 0
+        assert as_dicts(warm_points) == as_dicts(cold_points)
+
+    def test_single_chunk_and_many_chunks_agree(self):
+        jobs = small_jobs(sizes=(8, 16, 24, 32), rfs=(8, 16))
+        one = SweepEngine(mode="process", chunk_size=len(jobs)).run(jobs)
+        many = SweepEngine(mode="process", chunk_size=1).run(jobs)
+        assert as_dicts(one) == as_dicts(many)
+
+    def test_empty_job_list(self):
+        assert SweepEngine(mode="process").run([]) == []
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SweepEngine(mode="fiber")
+
+    def test_mode_env_default(self, monkeypatch):
+        monkeypatch.setenv("SWEEP_MODE", "process")
+        assert SweepEngine().mode == "process"
+        assert SweepEngine(mode="thread").mode == "thread"
+
+
+class TestWorkerPolicy:
+    def test_process_mode_defaults_to_all_cores(self, monkeypatch):
+        monkeypatch.delenv("SWEEP_MAX_WORKERS", raising=False)
+        assert _default_workers("process") == (os.cpu_count() or 1)
+        assert _default_workers("thread") == min(8, os.cpu_count() or 1)
+
+    def test_env_override_both_modes(self, monkeypatch):
+        monkeypatch.setenv("SWEEP_MAX_WORKERS", "3")
+        assert SweepEngine(mode="thread").max_workers == 3
+        assert SweepEngine(mode="process").max_workers == 3
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("SWEEP_MAX_WORKERS", "3")
+        assert SweepEngine(max_workers=5).max_workers == 5
+
+    def test_invalid_env_override_rejected(self, monkeypatch):
+        monkeypatch.setenv("SWEEP_MAX_WORKERS", "0")
+        with pytest.raises(ValueError, match="SWEEP_MAX_WORKERS"):
+            SweepEngine()
+
+
+class TestRunIter:
+    def test_streams_in_input_order_and_equals_run(self):
+        jobs = small_jobs(sizes=(8, 16, 32), rfs=(8, 16))
+        engine = SweepEngine()
+        streamed = []
+        for point in engine.run_iter(jobs):
+            streamed.append(point)  # usable immediately
+        assert as_dicts(streamed) == as_dicts(SweepEngine().run(jobs))
+        assert [p.label for p in streamed] == [j.label for j in jobs]
+
+    def test_feeds_streaming_pareto_frontier(self):
+        jobs = small_jobs(sizes=(8, 16, 24, 32), rfs=(4, 8, 16, 32))
+        engine = SweepEngine()
+        frontier = streaming_sweep_frontier(engine.run_iter(jobs))
+        points = SweepEngine().run(jobs)
+        batch = [p for p in points
+                 if not any(sweep_dominates(q, p) for q in points)]
+        assert frontier.seen == len(jobs)
+        assert as_dicts(frontier.points) == as_dicts(batch)
+
+
+class TestJournal:
+    def test_resume_simulates_zero_points(self, tmp_path):
+        jobs = small_jobs(sizes=(16, 32), rfs=(8, 16))
+        path = tmp_path / "sweep.jsonl"
+        first = SweepEngine().run(jobs, journal=path)
+        resumed_engine = SweepEngine()
+        resumed = resumed_engine.run(jobs, journal=path)
+        assert resumed_engine.cache_stats.lookups == 0  # no simulation
+        assert as_dicts(resumed) == as_dicts(first)
+
+    def test_partial_journal_resumes_remainder_only(self, tmp_path):
+        """A journal truncated mid-run (killed sweep) re-simulates only
+        the missing points, and the stitched results are identical."""
+        jobs = small_jobs(sizes=(8, 16, 24, 32), rfs=(8,))
+        path = tmp_path / "sweep.jsonl"
+        full = SweepEngine().run(jobs, journal=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")  # header + 2 points
+        engine = SweepEngine()
+        resumed = engine.run(jobs, journal=path)
+        assert as_dicts(resumed) == as_dicts(full)
+        assert engine.cache_stats.lookups > 0  # the remainder simulated
+        # ... and the journal was topped back up to every point.
+        assert SweepJournal(path, _fingerprint_of(path)).completed().keys() \
+            == set(range(len(jobs)))
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        jobs = small_jobs(sizes=(16, 32), rfs=(8,))
+        path = tmp_path / "sweep.jsonl"
+        full = SweepEngine().run(jobs, journal=path)
+        with open(path, "a") as handle:
+            handle.write('{"index": 9, "label": "torn')  # killed mid-write
+        resumed = SweepEngine().run(jobs, journal=path)
+        assert as_dicts(resumed) == as_dicts(full)
+
+    def test_fingerprint_mismatch_restarts(self, tmp_path):
+        """A journal from a *different* sweep must never seed this one."""
+        path = tmp_path / "sweep.jsonl"
+        other = small_jobs(sizes=(8,), rfs=(4,))
+        SweepEngine().run(other, journal=path)
+        jobs = small_jobs(sizes=(16, 32), rfs=(8,))
+        engine = SweepEngine()
+        points = engine.run(jobs, journal=path)
+        assert engine.cache_stats.lookups > 0  # really re-simulated
+        assert as_dicts(points) == as_dicts(SweepEngine().run(jobs))
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == JOURNAL_KIND
+        assert header["fingerprint"] == _fingerprint_of(path)
+        assert len(path.read_text().splitlines()) == 1 + len(jobs)
+
+    def test_auto_journal_via_resume_flag(self, tmp_path):
+        """resume=True + cache_dir journals without explicit wiring."""
+        jobs = small_jobs(sizes=(16, 32), rfs=(8,))
+        with SweepEngine(cache_dir=tmp_path, resume=True) as first:
+            first.run(jobs)
+        journals = list((tmp_path / "journals").glob("*.jsonl"))
+        assert len(journals) == 1
+        with SweepEngine(cache_dir=tmp_path, resume=True) as again:
+            again.run(jobs)
+            # Zero lookups: every point came from the journal — a disk
+            # cache hit would still have counted as a lookup.
+            assert again.cache_stats.lookups == 0
+
+    def test_resume_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SWEEP_RESUME", "1")
+        monkeypatch.setenv("SWEEP_CACHE_DIR", str(tmp_path))
+        jobs = small_jobs(sizes=(16,), rfs=(8,))
+        with SweepEngine() as first:
+            assert first.resume and first.cache_dir == str(tmp_path)
+            first.run(jobs)
+        with SweepEngine() as again:
+            again.run(jobs)
+            assert again.cache_stats.lookups == 0
+
+    def test_journal_in_process_mode(self, tmp_path):
+        jobs = small_jobs(sizes=(16, 32), rfs=(8, 16))
+        path = tmp_path / "proc.jsonl"
+        first = SweepEngine(mode="process", max_workers=2).run(
+            jobs, journal=path)
+        engine = SweepEngine(mode="process", max_workers=2)
+        resumed = engine.run(jobs, journal=path)
+        assert as_dicts(resumed) == as_dicts(first)
+        assert engine.cache_stats.lookups == 0
+
+    def test_sweep_fingerprint_sensitivity(self):
+        base = [("a", 1), ("b", 2)]
+        assert sweep_fingerprint(base) == sweep_fingerprint(list(base))
+        assert sweep_fingerprint(base) != sweep_fingerprint(base[::-1])
+        assert sweep_fingerprint(base) != sweep_fingerprint(base[:1])
+
+
+def _fingerprint_of(path):
+    return json.loads(path.read_text().splitlines()[0])["fingerprint"]
+
+
+class TestDesignSpace:
+    def test_jobs_enumerate_cross_product_deterministically(self):
+        nets = [squeezenet_v1_1(), squeezenext()]
+        jobs = design_space_jobs(nets, array_sizes=(16, 32),
+                                 rf_entries=(8, 16))
+        assert len(jobs) == 2 * 2 * 2
+        assert jobs[0].label == f"{nets[0].name}/16x16/rf8"
+        assert jobs[-1].label == f"{nets[1].name}/32x32/rf16"
+        assert jobs == design_space_jobs(nets, array_sizes=(16, 32),
+                                         rf_entries=(8, 16))
+
+    def test_stream_and_batch_agree(self):
+        nets = [squeezenet_v1_1()]
+        batch = design_space_sweep(nets, array_sizes=(16, 32),
+                                   rf_entries=(8,))
+        streamed = list(design_space_sweep(nets, array_sizes=(16, 32),
+                                           rf_entries=(8,), stream=True))
+        assert as_dicts(streamed) == as_dicts(batch)
+
+    def test_configs_match_labels(self):
+        (job,) = design_space_jobs([squeezenet_v1_1()], array_sizes=(24,),
+                                   rf_entries=(16,))
+        assert job.config == squeezelerator(24, 16)
