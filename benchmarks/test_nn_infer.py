@@ -13,6 +13,13 @@ Measures the paper zoo's forward-pass cost on three paths:
 * ``compiled`` — :func:`repro.nn.compile.compile_plan`: the AOT
   executor with a static arena, pre-bound kernels and specialized
   pointwise / dw-gemm strategies.
+* ``quant16`` / ``quant8`` — :meth:`InferencePlan.quantize`: the
+  integer plan (int16/int8 activations, integer GEMM, requantizing
+  epilogue), interpreted and AOT-compiled.  Each record carries the
+  peak-live and static-arena shrink vs the float64 plan plus the
+  worst relative output deviation; the int16 peak-live ratio is
+  asserted ≤ 0.3 (the issue's acceptance bar) and the compiled
+  quantized program must be bit-identical to the interpreted plan.
 
 Results are written to ``BENCH_nn_infer.json`` at the repository root.
 ``NN_INFER_SMOKE=1`` shrinks the run to a tiny MobileNet with one
@@ -28,7 +35,12 @@ import numpy as np
 
 from repro.graph import layer_spec as spec
 from repro.models import MODEL_FACTORIES, mobilenet
-from repro.nn import GraphNetwork, compile_plan, layers
+from repro.nn import (
+    GraphNetwork,
+    compile_plan,
+    compile_quantized_plan,
+    layers,
+)
 
 SMOKE = os.environ.get("NN_INFER_SMOKE") == "1"
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_nn_infer.json"
@@ -123,6 +135,38 @@ def test_inference_runtime_throughput():
         t_eval = best_of(lambda: net.forward(x), repeats)
         t_plan = best_of(lambda: plan.run(x), repeats)
         t_compiled = best_of(lambda: compiled.run(x), repeats)
+
+        # Integer plans: interpreted + compiled at int16, interpreted
+        # at int8.  The float output is the accuracy reference.
+        float_out = plan.run(x)
+        float_peak = plan.last_peak_live_bytes
+        denom = max(float(np.max(np.abs(float_out))), 1e-12)
+        quant = {}
+        for bits in (16, 8):
+            qplan = plan.quantize(bits)
+            q_out = qplan.run(x)
+            quant[bits] = {
+                "ms": round(best_of(lambda: qplan.run(x), repeats) * 1e3, 3),
+                "peak_live_mib": round(
+                    qplan.last_peak_live_bytes / 2**20, 3),
+                "peak_live_ratio": round(
+                    qplan.last_peak_live_bytes / float_peak, 3),
+                "max_rel_diff_vs_plan": float(
+                    np.max(np.abs(q_out - float_out)) / denom),
+            }
+        q16 = plan.quantize(16)
+        in_shape = (shape.channels, shape.height, shape.width)
+        q16_compiled = compile_quantized_plan(q16, in_shape,
+                                              batch_sizes=(batch,))
+        assert np.array_equal(q16_compiled.run(x), q16.run(x)), name
+        quant[16]["compiled_ms"] = round(
+            best_of(lambda: q16_compiled.run(x), repeats) * 1e3, 3)
+        quant[16]["static_arena_mib"] = round(
+            q16_compiled.static_arena_bytes(batch) / 2**20, 2)
+        quant[16]["static_arena_ratio"] = round(
+            q16_compiled.static_arena_bytes(batch)
+            / compiled.static_arena_bytes(batch), 3)
+
         record = {
             "model": name,
             "batch": batch,
@@ -140,12 +184,22 @@ def test_inference_runtime_throughput():
                 compiled.static_arena_bytes(batch) / 2**20, 2),
             "max_abs_diff_vs_looped": max_diff,
             "max_abs_diff_compiled_vs_plan": compiled_diff,
+            "quant16": quant[16],
+            "quant8": quant[8],
         }
         records.append(record)
         print(f"{name}: looped {t_looped * 1e3:.1f}ms -> "
               f"plan {t_plan * 1e3:.1f}ms -> "
               f"compiled {t_compiled * 1e3:.1f}ms "
-              f"({record['speedup_compiled_vs_plan']}x over plan)")
+              f"({record['speedup_compiled_vs_plan']}x over plan); "
+              f"int16 {quant[16]['ms']}ms "
+              f"peak x{quant[16]['peak_live_ratio']}, "
+              f"int8 peak x{quant[8]['peak_live_ratio']}")
+
+        # The issue's acceptance bar: int16 activations live in a
+        # quarter of the float64 plan's peak (int8 in an eighth).
+        assert quant[16]["peak_live_ratio"] <= 0.3, (name, quant[16])
+        assert quant[8]["peak_live_ratio"] <= 0.2, (name, quant[8])
 
     RESULTS_PATH.write_text(json.dumps({
         "benchmark": "nn_inference_runtime",

@@ -9,6 +9,7 @@ from repro.experiments import (  # noqa: F401 - re-exported submodules
     headline,
     memory_footprint,
     per_layer,
+    quantization,
     table1,
     table2,
     taxonomy,
@@ -19,6 +20,6 @@ from repro.experiments.runner import main, run
 __all__ = [
     "figure1", "figure2", "figure3", "figure4",
     "energy_breakdown", "headline", "main", "memory_footprint",
-    "per_layer", "run", "table1", "table2", "taxonomy",
+    "per_layer", "quantization", "run", "table1", "table2", "taxonomy",
     "text_claims",
 ]

@@ -1,0 +1,211 @@
+"""Quantized-inference study: accuracy vs speed vs memory per width.
+
+The Squeezelerator executes 16-bit integer MACs (Figure 2), so the
+co-design story needs the runtime's integer path measured the same way
+the paper measures everything else: what does dropping float64 to
+int16 (or int8) cost in accuracy, and what does it buy in memory and
+time?  This artifact trains a small BatchNorm classifier on the shapes
+dataset, lowers its fused inference plan through
+:func:`repro.nn.quant.quantize_plan` at each requested width, and
+reports:
+
+* top-1 accuracy and its delta vs the float64 plan on the eval set;
+* output agreement (fraction of identical argmax decisions);
+* peak live activation bytes (the quantized plan's integer values
+  dict vs the float plan's) and per-image latency;
+* the worst output deviation from
+  :func:`repro.nn.fixed_point.emulate_fixed_point` — the bit-accuracy
+  oracle: an independent integer-arithmetic walk of the same network,
+  so a requantization bug shows up as divergence here even when
+  accuracy happens to survive;
+* a per-layer table folding the plan's requantization stats (weight
+  scale spread, accumulator peak bits) together with the oracle's
+  ``per_layer_acc_bits``.
+
+The tolerance for the oracle cross-check scales with the width: both
+sides round activations to ``qmax = 2**(bits-1) - 1`` levels but with
+different scale granularity (per-channel/per-sample in the plan,
+per-tensor in the oracle), so their outputs agree to a small multiple
+of ``1/qmax``, not bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.graph import NetworkBuilder, TensorShape
+from repro.experiments.formatting import format_table
+from repro.nn.data import make_shapes_dataset, train_test_split
+from repro.nn.fixed_point import emulate_fixed_point
+from repro.nn.network import GraphNetwork
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer, evaluate
+
+#: Oracle agreement bar, as a multiple of one quantization step.  The
+#: measured gap sits around 2-5 steps on trained nets; 16 leaves head
+#: room without letting a real requantization bug through.
+ORACLE_TOLERANCE_STEPS = 16.0
+
+
+@dataclass(frozen=True)
+class QuantizationRow:
+    """One width's accuracy/speed/memory measurements."""
+
+    bits: int
+    accuracy: float
+    accuracy_delta: float          # float accuracy - quantized accuracy
+    agreement: float               # fraction of matching top-1 decisions
+    peak_live_bytes: int
+    peak_live_ratio: float         # vs the float64 plan
+    ms_per_image: float
+    oracle_max_rel: float          # worst |plan - oracle| / max|oracle|
+    oracle_tolerance: float        # the width's acceptance bar
+    layer_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    oracle_acc_bits: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def within_oracle_tolerance(self) -> bool:
+        return self.oracle_max_rel <= self.oracle_tolerance
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Float baseline plus one row per quantized width."""
+
+    float_accuracy: float
+    float_peak_live_bytes: int
+    float_ms_per_image: float
+    eval_size: int
+    rows: List[QuantizationRow] = field(default_factory=list)
+
+
+def _build_network(seed: int) -> GraphNetwork:
+    builder = NetworkBuilder("quant-study", TensorShape(3, 16, 16))
+    builder.conv("c1", 8, kernel_size=3, padding=1)
+    builder.pool("p1", kernel_size=2, stride=2)
+    builder.conv("c2", 16, kernel_size=3, padding=1)
+    builder.pool("p2", kernel_size=2, stride=2)
+    builder.conv("c3", 16, kernel_size=3, padding=1)
+    builder.global_avg_pool("gap")
+    builder.flatten("flat")
+    builder.dense("fc", 4, activation="identity")
+    return GraphNetwork(builder.build(), rng=np.random.default_rng(seed),
+                        batch_norm=True)
+
+
+def _time_plan(plan, images: np.ndarray, batch_size: int) -> float:
+    began = time.perf_counter()
+    for start in range(0, len(images), batch_size):
+        plan.run(images[start:start + batch_size])
+    return (time.perf_counter() - began) * 1e3 / len(images)
+
+
+def run_quantization(quant_bits: Sequence[int] = (16, 8),
+                     seed: int = 0,
+                     train_samples: int = 320,
+                     epochs: int = 10) -> QuantizationReport:
+    """Train the study network and measure every requested width."""
+    dataset = make_shapes_dataset(train_samples, image_size=16,
+                                  num_classes=4, seed=seed)
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=seed)
+    net = _build_network(seed)
+    trainer = Trainer(net, SGD(net.parameters(), lr=0.05),
+                      batch_size=32, seed=seed)
+    trainer.fit(train, epochs=epochs)
+    net.eval()
+
+    images, labels = test.images, test.labels
+    batch = 32
+    plan = net.inference_plan()
+    float_logits = np.concatenate(
+        [plan.run(images[s:s + batch]) for s in range(0, len(images), batch)])
+    float_pred = np.argmax(float_logits, axis=1)
+    float_acc = evaluate(net, test, batch_size=batch)
+    net.eval()  # evaluate() flips the network back to train mode
+    float_peak = plan.last_peak_live_bytes
+    float_ms = _time_plan(plan, images, batch)
+
+    rows: List[QuantizationRow] = []
+    for bits in quant_bits:
+        qplan = plan.quantize(bits)
+        q_logits = np.concatenate(
+            [qplan.run(images[s:s + batch])
+             for s in range(0, len(images), batch)])
+        q_pred = np.argmax(q_logits, axis=1)
+        q_peak = qplan.last_peak_live_bytes
+        q_ms = _time_plan(qplan, images, batch)
+
+        # Oracle cross-check on one eval batch: the independent
+        # integer-arithmetic emulation of the same network.
+        probe = images[:batch]
+        oracle_out, oracle_report = emulate_fixed_point(
+            net, probe, weight_bits=bits, activation_bits=bits)
+        plan_out = qplan.run(probe)
+        denom = float(np.abs(oracle_out).max()) or 1.0
+        oracle_rel = float(np.abs(plan_out - oracle_out).max()) / denom
+        qmax = 2 ** (bits - 1) - 1
+
+        rows.append(QuantizationRow(
+            bits=bits,
+            accuracy=float(np.mean(q_pred == labels)),
+            accuracy_delta=float_acc - float(np.mean(q_pred == labels)),
+            agreement=float(np.mean(q_pred == float_pred)),
+            peak_live_bytes=q_peak,
+            peak_live_ratio=q_peak / float_peak if float_peak else 0.0,
+            ms_per_image=q_ms,
+            oracle_max_rel=oracle_rel,
+            oracle_tolerance=ORACLE_TOLERANCE_STEPS / qmax,
+            layer_stats=dict(qplan.last_layer_stats),
+            oracle_acc_bits=dict(oracle_report.per_layer_acc_bits),
+        ))
+    return QuantizationReport(
+        float_accuracy=float_acc,
+        float_peak_live_bytes=float_peak,
+        float_ms_per_image=float_ms,
+        eval_size=len(test),
+        rows=rows,
+    )
+
+
+def format_quantization(report: QuantizationReport) -> str:
+    """Render the study: summary table plus a per-layer table per width."""
+    lines = [
+        "== Quantized inference: accuracy vs speed vs memory ==",
+        (f"float64 baseline: top-1 {report.float_accuracy:.3f} on "
+         f"{report.eval_size} images, peak live "
+         f"{report.float_peak_live_bytes / 2**20:.3f} MiB, "
+         f"{report.float_ms_per_image:.3f} ms/image"),
+        "",
+        format_table(
+            ["bits", "top-1", "delta", "agree", "peak MiB", "peak ratio",
+             "ms/img", "oracle rel", "oracle ok"],
+            [[row.bits, f"{row.accuracy:.3f}",
+              f"{row.accuracy_delta:+.3f}", f"{row.agreement:.3f}",
+              f"{row.peak_live_bytes / 2**20:.3f}",
+              f"{row.peak_live_ratio:.3f}", f"{row.ms_per_image:.3f}",
+              f"{row.oracle_max_rel:.2e}",
+              "yes" if row.within_oracle_tolerance else "NO"]
+             for row in report.rows]),
+    ]
+    for row in report.rows:
+        lines.append("")
+        lines.append(f"-- per layer @ int{row.bits} "
+                     f"(oracle acc bits from emulate_fixed_point) --")
+        table_rows = []
+        for name, stats in row.layer_stats.items():
+            table_rows.append([
+                name,
+                f"{stats['weight_scale_min']:.2e}",
+                f"{stats['weight_scale_max']:.2e}",
+                int(stats["acc_bits"]),
+                row.oracle_acc_bits.get(name, "-"),
+                f"{stats.get('out_scale_max', 0.0):.2e}",
+            ])
+        lines.append(format_table(
+            ["layer", "w scale min", "w scale max", "acc bits",
+             "oracle bits", "out scale max"], table_rows))
+    return "\n".join(lines)

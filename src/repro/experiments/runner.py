@@ -8,7 +8,10 @@ Installed as the ``repro-experiments`` console script:
     repro-experiments headline --trace trace.json --profile
 
 Artifact ids: t1, t2, f1, f2, f3, f4, claims, headline, taxonomy,
-footprint, perlayer, energy (long names like "table1" work too).
+footprint, perlayer, energy, quant (long names like "table1" work too).
+The ``quant`` artifact is the quantized-inference study — accuracy vs
+speed vs memory at int16/int8, cross-checked against the fixed-point
+oracle; ``--quant-bits`` narrows it to one width.
 
 Machine flags and artifacts
 ---------------------------
@@ -53,6 +56,7 @@ from repro.experiments import (
     headline,
     memory_footprint,
     per_layer,
+    quantization,
     table1,
     table2,
     taxonomy,
@@ -60,70 +64,78 @@ from repro.experiments import (
 )
 
 
-def _run_table1(array_size: int, rf_entries: int) -> str:
+def _run_table1(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return table1.format_table1(table1.run_table1())
 
 
-def _run_table2(array_size: int, rf_entries: int) -> str:
+def _run_table2(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     # Table 2's own default machine is 16x16 (see its module docstring).
     return table2.format_table2(
         table2.run_table2(array_size or 16, rf_entries or 8))
 
 
-def _run_figure1(array_size: int, rf_entries: int) -> str:
+def _run_figure1(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return figure1.format_figure1(figure1.run_figure1(array_size or 32,
                                                       rf_entries or 8))
 
 
-def _run_figure2(array_size: int, rf_entries: int) -> str:
+def _run_figure2(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return figure2.render_block_diagram(
         squeezelerator(array_size or 32, rf_entries or 8))
 
 
-def _run_figure3(array_size: int, rf_entries: int) -> str:
+def _run_figure3(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return figure3.format_figure3(figure3.run_figure3(array_size or 32,
                                                       rf_entries or 8))
 
 
-def _run_figure4(array_size: int, rf_entries: int) -> str:
+def _run_figure4(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return figure4.format_figure4(figure4.run_figure4(array_size or 32,
                                                       rf_entries or 8))
 
 
-def _run_claims(array_size: int, rf_entries: int) -> str:
+def _run_claims(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return text_claims.format_text_claims(
         text_claims.run_text_claims(array_size or 32, rf_entries or 8))
 
 
-def _run_headline(array_size: int, rf_entries: int) -> str:
+def _run_headline(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     # The headline artifact is itself the RF 8 -> 16 tune-up, so an
     # external --rf-entries override has nothing to apply to.
     return headline.format_headline(headline.run_headline(array_size or 32))
 
 
-def _run_taxonomy(array_size: int, rf_entries: int) -> str:
+def _run_taxonomy(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return taxonomy.format_taxonomy(
         taxonomy.run_taxonomy(array_size or 32, rf_entries or 8))
 
 
-def _run_footprint(array_size: int, rf_entries: int) -> str:
+def _run_footprint(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return memory_footprint.format_memory_footprint(
         memory_footprint.run_memory_footprint(array_size or 32,
                                               rf_entries or 8))
 
 
-def _run_per_layer(array_size: int, rf_entries: int) -> str:
+def _run_per_layer(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return per_layer.format_per_layer(
         per_layer.run_per_layer(array_size or 32, rf_entries or 8))
 
 
-def _run_energy(array_size: int, rf_entries: int) -> str:
+def _run_energy(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
     return energy_breakdown.format_energy_breakdown(
         energy_breakdown.run_energy_breakdown(array_size or 32,
                                               rf_entries or 8))
 
 
-_ARTIFACTS: Dict[str, Callable[[int, int], str]] = {
+def _run_quant(array_size: int, rf_entries: int, quant_bits: Optional[int]) -> str:
+    # --quant-bits narrows the study to one width; default covers the
+    # accelerator's native int16 plus the aggressive int8 point.
+    widths = (quant_bits,) if quant_bits else (16, 8)
+    return quantization.format_quantization(
+        quantization.run_quantization(quant_bits=widths))
+
+
+_ARTIFACTS: Dict[str, Callable[[int, int, Optional[int]], str]] = {
     "t1": _run_table1,
     "t2": _run_table2,
     "f1": _run_figure1,
@@ -136,6 +148,7 @@ _ARTIFACTS: Dict[str, Callable[[int, int], str]] = {
     "footprint": _run_footprint,
     "perlayer": _run_per_layer,
     "energy": _run_energy,
+    "quant": _run_quant,
 }
 
 _BOTH = frozenset({"array_size", "rf_entries"})
@@ -156,6 +169,7 @@ ARTIFACT_FLAGS: Dict[str, FrozenSet[str]] = {
     "footprint": _BOTH,
     "perlayer": _BOTH,
     "energy": _BOTH,
+    "quant": frozenset({"quant_bits"}),  # no simulated machine at all
 }
 
 _ALIASES = {
@@ -165,6 +179,7 @@ _ALIASES = {
     "memory_footprint": "footprint",
     "per_layer": "perlayer",
     "energy_breakdown": "energy",
+    "quantization": "quant",
 }
 
 
@@ -179,10 +194,12 @@ def resolve(name: str) -> str:
 
 
 def _warn_ignored_flags(keys: List[str], array_size: Optional[int],
-                        rf_entries: Optional[int]) -> None:
+                        rf_entries: Optional[int],
+                        quant_bits: Optional[int] = None) -> None:
     """One explicit warning per (explicitly passed flag, deaf artifact)."""
     passed = {flag for flag, value in (("array_size", array_size),
-                                       ("rf_entries", rf_entries))
+                                       ("rf_entries", rf_entries),
+                                       ("quant_bits", quant_bits))
               if value is not None}
     for key in keys:
         for flag in sorted(passed - ARTIFACT_FLAGS[key]):
@@ -194,7 +211,8 @@ def _warn_ignored_flags(keys: List[str], array_size: Optional[int],
 def run(names: Optional[List[str]] = None,
         array_size: Optional[int] = None,
         rf_entries: Optional[int] = None,
-        jobs: int = 1) -> str:
+        jobs: int = 1,
+        quant_bits: Optional[int] = None) -> str:
     """Render the selected artifacts (all of them when empty).
 
     ``array_size=None`` / ``rf_entries=None`` let each artifact use its
@@ -211,11 +229,11 @@ def run(names: Optional[List[str]] = None,
     variables for the duration of :func:`main`.
     """
     keys = [resolve(n) for n in names] if names else list(_ARTIFACTS)
-    _warn_ignored_flags(keys, array_size, rf_entries)
+    _warn_ignored_flags(keys, array_size, rf_entries, quant_bits)
 
     def render(key: str) -> str:
         with obs.span("runner.artifact", artifact=key):
-            return _ARTIFACTS[key](array_size, rf_entries)
+            return _ARTIFACTS[key](array_size, rf_entries, quant_bits)
 
     if jobs > 1 and len(keys) > 1:
         from repro.core.sweep import SweepEngine
@@ -240,6 +258,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="register-file entries per PE (default: "
                              "each artifact's documented machine; "
                              "paper: 8/16)")
+    parser.add_argument("--quant-bits", type=int, default=None,
+                        metavar="BITS",
+                        help="quant artifact: study only this integer "
+                             "width (default: both 16 and 8); other "
+                             "artifacts warn and ignore it")
     parser.add_argument("--jobs", type=int, default=1,
                         help="render artifacts concurrently (default: 1)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
@@ -275,7 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracer = obs.enable() if (args.trace or args.profile) else None
     try:
         print(run(args.artifacts, args.array_size, args.rf_entries,
-                  jobs=args.jobs))
+                  jobs=args.jobs, quant_bits=args.quant_bits))
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2

@@ -28,7 +28,12 @@ from repro.nn.layers import (
     Softmax,
     Upsample,
 )
-from repro.nn.compile import CompiledPlan, compile_plan
+from repro.nn.compile import (
+    CompiledPlan,
+    CompiledQuantizedPlan,
+    compile_plan,
+    compile_quantized_plan,
+)
 from repro.nn.infer import (
     ArenaRegistry,
     BufferArena,
@@ -57,9 +62,15 @@ from repro.nn.optim import SGD, Adam, CosineLR, StepLR
 from repro.nn.quant import (
     symmetric_quantize,
     QuantizationSpec,
+    QuantizedInferencePlan,
     TensorQuantization,
+    activation_dtype,
+    build_quantized_plan,
+    dequantize_batch,
     quantization_sweep,
+    quantize_batch,
     quantize_network,
+    quantize_plan,
     quantize_tensor,
 )
 from repro.nn.fixed_point import DatapathReport, emulate_fixed_point
@@ -79,6 +90,7 @@ __all__ = [
     "BufferArena",
     "ClassificationReport",
     "CompiledPlan",
+    "CompiledQuantizedPlan",
     "BatchNorm2D",
     "Conv2D",
     "CosineLR",
@@ -100,6 +112,7 @@ __all__ = [
     "Module",
     "Parameter",
     "QuantizationSpec",
+    "QuantizedInferencePlan",
     "ReLU",
     "SGD",
     "SHAPE_CLASSES",
@@ -109,12 +122,16 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "Upsample",
+    "activation_dtype",
     "additive_noise",
     "augment_dataset",
     "build_inference_plan",
+    "build_quantized_plan",
     "classification_report",
     "compile_plan",
+    "compile_quantized_plan",
     "compose",
+    "dequantize_batch",
     "fold_batchnorm",
     "is_grad_enabled",
     "no_grad",
@@ -124,7 +141,9 @@ __all__ = [
     "load_checkpoint",
     "make_shapes_dataset",
     "quantization_sweep",
+    "quantize_batch",
     "quantize_network",
+    "quantize_plan",
     "quantize_tensor",
     "symmetric_quantize",
     "random_horizontal_flip",

@@ -58,7 +58,8 @@ from repro.nn.infer import (
 )
 from repro.nn.module import Identity, no_grad
 
-__all__ = ["CompiledPlan", "CompiledProgram", "compile_plan"]
+__all__ = ["CompiledPlan", "CompiledProgram", "CompiledQuantizedPlan",
+           "compile_plan", "compile_quantized_plan"]
 
 #: Static-arena offsets are aligned so every float64 view is at least
 #: cache-line aligned, matching the shm weight packing discipline.
@@ -124,16 +125,23 @@ class _StaticAllocator:
 
 @dataclass
 class _Buf:
-    """One region of the static arena."""
+    """One region of the static arena.
+
+    ``dtype`` sizes the region: the float program allocates everything
+    as float64, the quantized program stores activations/scratch as
+    int16 (int8 at ``bits<=8``) so its pre-resolved layout lands ~4x
+    (8x) smaller.
+    """
 
     shape: Tuple[int, ...]
     alloc_at: int
     free_at: int
     offset: int = -1
+    dtype: np.dtype = _F64
 
     @property
     def nbytes(self) -> int:
-        return int(np.prod(self.shape, dtype=np.int64)) * _F64.itemsize
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
 
 
 @dataclass
@@ -311,7 +319,7 @@ class CompiledProgram:
         views: List[Optional[np.ndarray]] = []
         for buf in self._bufs:
             raw = block[buf.offset:buf.offset + buf.nbytes]
-            views.append(raw.view(_F64).reshape(buf.shape))
+            views.append(raw.view(buf.dtype).reshape(buf.shape))
         slots: List[Optional[np.ndarray]] = [None] * len(self._steps)
 
         def static_view(idx: int) -> Optional[np.ndarray]:
@@ -1160,3 +1168,665 @@ def compile_plan(plan: InferencePlan,
     """
     return CompiledPlan(plan, input_shape, batch_sizes, parallel=parallel,
                         autocompile=autocompile)
+
+
+# -- quantized compilation ---------------------------------------------------
+#
+# The integer twin of the float compiler: a QuantizedInferencePlan
+# (repro.nn.quant) lowers to batch-specialized programs whose static
+# arena stores activations, padded inputs and im2col scratch in the
+# plan's narrow integer dtype — the pre-resolved layout lands ~4x
+# smaller at int16 (8x at int8), with only the per-conv accumulator
+# regions staying float64 (exact integer containers for the BLAS GEMM).
+# The requantizing epilogue is the *same code object* the interpreted
+# plan runs (QuantizedConv2D.requantize_into), so compiled and
+# interpreted integer outputs are bit-identical by construction.
+
+
+@dataclass
+class _QValue:
+    """Where a quantized step's output lives."""
+
+    shape: Tuple[int, ...]
+    buf: int = -1          # static buffer index (-1 for alias)
+    base: int = -1         # alias: producer step index
+    quantized: bool = True
+    scale_src: int = -1    # step index owning the per-sample scale array
+
+
+@dataclass
+class _QStepIR:
+    """Compile-time record for one quantized plan step."""
+
+    index: int
+    name: str
+    kind: str  # input | qconv | qdense | qmaxpool | qrelu | alias | concat | add | module
+    inputs: Tuple[int, ...]
+    op: object = None
+    value: Optional[_QValue] = None
+    padded_buf: int = -1
+    padded_shape: Tuple[int, ...] = ()
+    scratch_buf: int = -1
+    acc_buf: int = -1
+    module: Optional[_ModuleStep] = None
+
+
+def _compile_qprogram(qplan, batch: int,
+                      input_shape: Tuple[int, int, int]) -> "_QProgram":
+    from repro.nn.quant import (
+        QuantizedConv2D,
+        QuantizedDense,
+        QuantizedIdentity,
+        QuantizedMaxPool,
+        QuantizedReLU,
+        QuantizedReshape,
+    )
+
+    n = batch
+    steps = qplan.steps
+    index = {s.name: i for i, s in enumerate(steps)}
+    qdtype = np.dtype(qplan.dtype)
+    allocator = _StaticAllocator()
+    bufs: List[_Buf] = []
+    total = 0
+
+    def is_alias(st) -> bool:
+        return st.kind == "qop" and (
+            isinstance(st.op, QuantizedIdentity)
+            or (isinstance(st.op, QuantizedReshape) and not st.op.relu))
+
+    # Storage owners: an alias shares its producer's buffer, so frees
+    # key off the owning step.
+    owner_of: Dict[int, int] = {}
+    for i, st in enumerate(steps):
+        if is_alias(st):
+            owner_of[i] = owner_of[index[st.inputs[0]]]
+        else:
+            owner_of[i] = i
+    last_use: Dict[int, int] = {}
+    for i, st in enumerate(steps):
+        last_use[owner_of[i]] = i
+        for nm in st.inputs:
+            last_use[owner_of[index[nm]]] = i
+    protected = owner_of[len(steps) - 1]
+
+    def alloc_buf(shape: Tuple[int, ...], dtype: np.dtype, at: int) -> int:
+        nonlocal total
+        buf = _Buf(tuple(int(d) for d in shape), at, at, dtype=np.dtype(dtype))
+        buf.offset = allocator.alloc(buf.nbytes)
+        total = max(total, buf.offset + _align(buf.nbytes))
+        bufs.append(buf)
+        return len(bufs) - 1
+
+    def free_buf(bi: int) -> None:
+        allocator.free(bufs[bi].offset, bufs[bi].nbytes)
+
+    irs: List[_QStepIR] = []
+    out_buf: Dict[int, int] = {}  # owning step -> its output buffer
+
+    for i, st in enumerate(steps):
+        ir = _QStepIR(i, st.name, "", tuple(index[nm] for nm in st.inputs),
+                      op=st.op)
+        transients: List[int] = []
+        if st.kind == "input":
+            ir.kind = "input"
+            shape = (n,) + tuple(int(d) for d in input_shape)
+            bi = alloc_buf(shape, qdtype, i)
+            ir.value = _QValue(shape, buf=bi, scale_src=i)
+        elif st.kind == "qconv":
+            ir.kind = "qconv"
+            op = st.op
+            src = irs[ir.inputs[0]].value
+            in_sh = src.shape
+            oh, ow = conv_output_plane(in_sh[2], in_sh[3], op.kernel_size,
+                                       op.stride, op.padding)
+            shape = (n, op.out_channels, oh, ow)
+            ph, pw = op.padding
+            # A float producer (module fallback) is quantized at run
+            # time, so the integer levels need a staging buffer even
+            # when the convolution itself is unpadded.
+            if ph or pw or not src.quantized:
+                ir.padded_shape = (n, in_sh[1], in_sh[2] + 2 * ph,
+                                   in_sh[3] + 2 * pw)
+                ir.padded_buf = alloc_buf(ir.padded_shape, qdtype, i)
+                transients.append(ir.padded_buf)
+            # Pointwise (1x1/s1/p0) convolutions read a reshaped view of
+            # the input instead of a gathered scratch copy.  Exact
+            # integer arithmetic is order-independent, so skipping the
+            # gather cannot perturb the GEMM result — output stays
+            # bit-identical to the interpreted (always-gathering) op.
+            pointwise = (not op.depthwise and op.kernel_size == (1, 1)
+                         and op.stride == (1, 1) and op.padding == (0, 0))
+            if not op.depthwise and not pointwise:
+                kh, kw = op.kernel_size
+                ir.scratch_buf = alloc_buf((n, in_sh[1], kh, kw, oh, ow),
+                                           qdtype, i)
+                transients.append(ir.scratch_buf)
+            ir.acc_buf = alloc_buf(shape, _F64, i)
+            transients.append(ir.acc_buf)
+            bi = alloc_buf(shape, qdtype, i)
+            ir.value = _QValue(shape, buf=bi, scale_src=i)
+        elif st.kind == "qdense":
+            ir.kind = "qdense"
+            shape = (n, st.op.out_features)
+            ir.acc_buf = alloc_buf(shape, _F64, i)
+            transients.append(ir.acc_buf)
+            bi = alloc_buf(shape, qdtype, i)
+            ir.value = _QValue(shape, buf=bi, scale_src=i)
+        elif st.kind == "qop" and isinstance(st.op, QuantizedMaxPool):
+            ir.kind = "qmaxpool"
+            op = st.op
+            src = irs[ir.inputs[0]].value
+            in_sh = src.shape
+            oh, ow = conv_output_plane(in_sh[2], in_sh[3], op.kernel_size,
+                                       op.stride, op.padding)
+            shape = (n, in_sh[1], oh, ow)
+            ph, pw = op.padding
+            if ph or pw or not src.quantized:
+                ir.padded_shape = (n, in_sh[1], in_sh[2] + 2 * ph,
+                                   in_sh[3] + 2 * pw)
+                ir.padded_buf = alloc_buf(ir.padded_shape, qdtype, i)
+                transients.append(ir.padded_buf)
+            bi = alloc_buf(shape, qdtype, i)
+            ir.value = _QValue(shape, buf=bi,
+                               scale_src=src.scale_src if src.quantized
+                               else i)
+        elif st.kind == "qop" and isinstance(st.op, (QuantizedReLU,
+                                                     QuantizedReshape)):
+            src = irs[ir.inputs[0]].value
+            if is_alias(st):
+                ir.kind = "alias"
+                shape = (n, int(np.prod(src.shape[1:], dtype=np.int64)))
+                ir.value = _QValue(shape, base=ir.inputs[0],
+                                   quantized=src.quantized,
+                                   scale_src=src.scale_src)
+            else:
+                ir.kind = "qrelu"
+                shape = (src.shape if isinstance(st.op, QuantizedReLU)
+                         else (n, int(np.prod(src.shape[1:],
+                                              dtype=np.int64))))
+                bi = alloc_buf(shape, qdtype, i)
+                ir.value = _QValue(shape, buf=bi,
+                                   scale_src=src.scale_src if src.quantized
+                                   else i)
+        elif st.kind == "qop":  # QuantizedIdentity
+            src = irs[ir.inputs[0]].value
+            ir.kind = "alias"
+            ir.value = _QValue(src.shape, base=ir.inputs[0],
+                               quantized=src.quantized,
+                               scale_src=src.scale_src)
+        elif st.kind == "concat":
+            ir.kind = "concat"
+            parts = [irs[j].value.shape for j in ir.inputs]
+            shape = list(parts[0])
+            shape[1] = sum(p[1] for p in parts)
+            shape = tuple(shape)
+            bi = alloc_buf(shape, qdtype, i)
+            ir.value = _QValue(shape, buf=bi, scale_src=i)
+        elif st.kind == "add":
+            ir.kind = "add"
+            shape = irs[ir.inputs[0]].value.shape
+            ir.acc_buf = alloc_buf(shape, _F64, i)
+            transients.append(ir.acc_buf)
+            bi = alloc_buf(shape, qdtype, i)
+            ir.value = _QValue(shape, buf=bi, scale_src=i)
+        else:  # float module fallback
+            ir.kind = "module"
+            ir.module = st.op
+            probe = st.op(np.zeros((n,) + tuple(
+                irs[ir.inputs[0]].value.shape[1:]), dtype=np.float64))
+            shape = tuple(int(d) for d in probe.shape)
+            bi = alloc_buf(shape, _F64, i)
+            ir.value = _QValue(shape, buf=bi, quantized=False)
+        irs.append(ir)
+        if ir.value.buf >= 0:
+            out_buf[i] = ir.value.buf
+        # Transient regions become reusable only after the output
+        # buffer was placed, so the epilogue's accumulator and its
+        # destination can never overlap.
+        for tb in transients:
+            free_buf(tb)
+        for o, last in last_use.items():
+            if last == i and o != protected and o in out_buf:
+                free_buf(out_buf[o])
+                bufs[out_buf[o]].free_at = i
+
+    return _QProgram(irs, bufs, total, batch,
+                     tuple(int(d) for d in input_shape), qplan.bits)
+
+
+class _QProgram:
+    """Immutable compiled quantized program for one batch size."""
+
+    def __init__(self, irs: List[_QStepIR], bufs: List[_Buf],
+                 total_bytes: int, batch: int,
+                 input_shape: Tuple[int, int, int], bits: int) -> None:
+        self._irs = irs
+        self._bufs = bufs
+        self.total_bytes = total_bytes
+        self.batch = batch
+        self.input_shape = input_shape
+        self.bits = bits
+        self._local = threading.local()
+        self._bind_lock = threading.Lock()
+        self._replicas = 0
+
+    def describe(self) -> str:
+        return "\n".join(f"{ir.name:<24} {ir.kind}" for ir in self._irs)
+
+    @property
+    def bound_replicas(self) -> int:
+        return self._replicas
+
+    def bound(self) -> "_QBound":
+        prog = getattr(self._local, "bound", None)
+        if prog is None:
+            prog = self._bind()
+            self._local.bound = prog
+            with self._bind_lock:
+                self._replicas += 1
+            obs.count("infer.qcompiled.bind")
+            obs.gauge("infer.qcompiled.arena_bytes", self.total_bytes)
+        return prog
+
+    def _bind(self) -> "_QBound":
+        from repro.nn.functional import sliding_windows
+        from repro.nn.quant import dequantize_batch, quantize_batch
+
+        n = self.batch
+        bits = self.bits
+        qmax = 2 ** (bits - 1) - 1
+        block = np.empty(max(self.total_bytes, ALIGN), dtype=np.uint8)
+        views = [
+            block[b.offset:b.offset + b.nbytes].view(b.dtype).reshape(b.shape)
+            for b in self._bufs
+        ]
+        vals: List[Optional[np.ndarray]] = [None] * len(self._irs)
+        scales: List[Optional[np.ndarray]] = [None] * len(self._irs)
+        for ir in self._irs:
+            v = ir.value
+            if v.buf >= 0:
+                vals[ir.index] = views[v.buf]
+            else:
+                vals[ir.index] = vals[v.base].reshape(v.shape)
+            if v.quantized:
+                if v.scale_src == ir.index:
+                    scales[ir.index] = np.empty(n, dtype=np.float64)
+                else:
+                    scales[ir.index] = scales[v.scale_src]
+
+        def quantized_input(j: int):
+            """(levels, scales) accessor for step ``j``'s output.
+
+            Float producers (module fallbacks) are quantized afresh per
+            run — the same math :meth:`QuantizedInferencePlan.run_quantized`
+            applies through its ``as_quantized`` helper, so levels match
+            the interpreted plan bit for bit.
+            """
+            xv, sx = vals[j], scales[j]
+            if self._irs[j].value.quantized:
+                return lambda: (xv, sx)
+            return lambda: quantize_batch(xv, bits)
+
+        ops: List[Callable[[], None]] = []
+        for ir in self._irs:
+            if ir.kind in ("input", "alias"):
+                continue
+            qv = vals[ir.index]
+            sy = scales[ir.index]
+            if ir.kind in ("qconv", "qdense"):
+                op = ir.op
+                get_in = quantized_input(ir.inputs[0])
+                accv = views[ir.acc_buf]
+                if ir.kind == "qdense":
+                    wt = op._wt
+
+                    def run_qdense(get_in=get_in, accv=accv, qv=qv, sy=sy,
+                                   op=op, wt=wt) -> None:
+                        qx, sx = get_in()
+                        np.matmul(qx.reshape(qx.shape[0], -1), wt, out=accv)
+                        sy[:] = op.requantize_into(accv, sx, qv)
+
+                    ops.append(run_qdense)
+                    continue
+                in_sh = self._irs[ir.inputs[0]].value.shape
+                pv = views[ir.padded_buf] if ir.padded_buf >= 0 else None
+                interior = None
+                if pv is not None:
+                    ph, pw = op.padding
+                    interior = pv[:, :, ph:ph + in_sh[2], pw:pw + in_sh[3]]
+                src = pv if pv is not None else vals[ir.inputs[0]]
+                windows = sliding_windows(src, op.kernel_size, op.stride,
+                                          (0, 0))
+                g = op.groups
+                oh, ow = ir.value.shape[2:]
+                if op.depthwise:
+                    acc5 = accv.reshape(n, g, op._cout_g, oh, ow)
+
+                    def run_qdw(get_in=get_in, pv=pv, op=op,
+                                windows=windows, acc5=acc5, accv=accv,
+                                qv=qv, sy=sy, interior=interior) -> None:
+                        qx, sx = get_in()
+                        if pv is not None:
+                            pv.fill(0)
+                            np.copyto(interior, qx)
+                        np.einsum("ncijpq,cmij->ncmpq", windows, op._wdw,
+                                  out=acc5)
+                        sy[:] = op.requantize_into(accv, sx, qv)
+
+                    ops.append(run_qdw)
+                    continue
+                k = op._cin_g * op.kernel_size[0] * op.kernel_size[1]
+                accg = accv.reshape(n, g, op._cout_g, oh * ow)
+                if ir.scratch_buf < 0:
+                    # Pointwise: the (padded-or-direct) input *is* the
+                    # column matrix, just viewed as (n, g, cin_g, P).
+                    cols = src.reshape(n, g, op._cin_g, oh * ow)
+
+                    def run_qpw(get_in=get_in, pv=pv, op=op, cols=cols,
+                                accg=accg, accv=accv, qv=qv, sy=sy,
+                                interior=interior) -> None:
+                        qx, sx = get_in()
+                        if pv is not None:
+                            np.copyto(interior, qx)
+                        np.matmul(op._wmat[None], cols, out=accg)
+                        sy[:] = op.requantize_into(accv, sx, qv)
+
+                    ops.append(run_qpw)
+                    continue
+                sv = views[ir.scratch_buf]
+                cols = sv.reshape(n, g, k, oh * ow)
+
+                def run_qconv(get_in=get_in, pv=pv, op=op, sv=sv,
+                              windows=windows, cols=cols, accg=accg,
+                              accv=accv, qv=qv, sy=sy,
+                              interior=interior) -> None:
+                    qx, sx = get_in()
+                    if pv is not None:
+                        pv.fill(0)
+                        np.copyto(interior, qx)
+                    np.copyto(sv, windows)
+                    np.matmul(op._wmat[None], cols, out=accg)
+                    sy[:] = op.requantize_into(accv, sx, qv)
+
+                ops.append(run_qconv)
+            elif ir.kind == "qmaxpool":
+                op = ir.op
+                in_sh = self._irs[ir.inputs[0]].value.shape
+                get_in = quantized_input(ir.inputs[0])
+                own_scale = ir.value.scale_src == ir.index
+                pv = views[ir.padded_buf] if ir.padded_buf >= 0 else None
+                interior = None
+                if pv is not None:
+                    ph, pw = op.padding
+                    interior = pv[:, :, ph:ph + in_sh[2], pw:pw + in_sh[3]]
+                src = pv if pv is not None else vals[ir.inputs[0]]
+                windows = sliding_windows(src, op.kernel_size, op.stride,
+                                          (0, 0))
+                minval = int(np.iinfo(qv.dtype).min)
+
+                def run_qpool(get_in=get_in, pv=pv, windows=windows, qv=qv,
+                              sy=sy, own_scale=own_scale, relu=op.relu,
+                              minval=minval, interior=interior) -> None:
+                    qx, sx = get_in()
+                    if pv is not None:
+                        pv.fill(minval)
+                        np.copyto(interior, qx)
+                    np.max(windows, axis=(2, 3), out=qv)
+                    if relu:
+                        np.maximum(qv, 0, out=qv)
+                    if own_scale:
+                        sy[:] = sx
+
+                ops.append(run_qpool)
+            elif ir.kind == "qrelu":
+                get_in = quantized_input(ir.inputs[0])
+                own_scale = ir.value.scale_src == ir.index
+
+                def run_qrelu(get_in=get_in, qv=qv, sy=sy,
+                              own_scale=own_scale) -> None:
+                    qx, sx = get_in()
+                    np.maximum(qx.reshape(qv.shape), 0, out=qv)
+                    if own_scale:
+                        sy[:] = sx
+
+                ops.append(run_qrelu)
+            elif ir.kind == "concat":
+                getters = []
+                slices = []
+                offset = 0
+                for j in ir.inputs:
+                    width = self._irs[j].value.shape[1]
+                    getters.append(quantized_input(j))
+                    slices.append(qv[:, offset:offset + width])
+                    offset += width
+                extra = (1,) * (len(ir.value.shape) - 1)
+
+                def run_concat(getters=getters, slices=slices, sy=sy,
+                               extra=extra) -> None:
+                    parts = [g() for g in getters]
+                    sy[:] = np.stack([p[1] for p in parts], axis=0).max(axis=0)
+                    for (qp, sp), sl in zip(parts, slices):
+                        ratio = (sp / sy).reshape((n,) + extra)
+                        np.copyto(sl, np.round(qp * ratio), casting="unsafe")
+
+                ops.append(run_concat)
+            elif ir.kind == "add":
+                accv = views[ir.acc_buf]
+                getters = [quantized_input(j) for j in ir.inputs]
+                extra = (1,) * (len(ir.value.shape) - 1)
+
+                def run_add(getters=getters, accv=accv, qv=qv, sy=sy,
+                            extra=extra) -> None:
+                    q0, s0 = getters[0]()
+                    np.copyto(accv, q0)
+                    accv *= s0.reshape((n,) + extra)
+                    for g in getters[1:]:
+                        qk, sk = g()
+                        part = qk.astype(np.float64)
+                        part *= sk.reshape((n,) + extra)
+                        accv += part
+                    flat = accv.reshape(n, -1)
+                    max_abs = np.abs(flat).max(axis=1)
+                    sy[:] = np.where(max_abs == 0.0, 1.0, max_abs / qmax)
+                    accv /= sy.reshape((n,) + extra)
+                    np.round(accv, out=accv)
+                    np.clip(accv, -qmax, qmax, out=accv)
+                    np.copyto(qv, accv, casting="unsafe")
+
+                ops.append(run_add)
+            elif ir.kind == "module":
+                mstep = ir.module.clone()
+                j = ir.inputs[0]
+                xv, sx = vals[j], scales[j]
+                src_quant = self._irs[j].value.quantized
+
+                def run_module(mstep=mstep, xv=xv, sx=sx,
+                               src_quant=src_quant, fv=qv) -> None:
+                    xf = dequantize_batch(xv, sx) if src_quant else xv
+                    np.copyto(fv, mstep(xf))
+
+                ops.append(run_module)
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unhandled quantized step {ir.kind}")
+
+        input_ir = next(ir for ir in self._irs if ir.kind == "input")
+        in_view = vals[input_ir.index]
+        in_scales = scales[input_ir.index]
+        final = self._irs[-1]
+        fvals, fscales = vals[final.index], scales[final.index]
+
+        bound = _QBound()
+        bound.batch = n
+        bound.ops = ops
+
+        def write_input(x: np.ndarray) -> None:
+            q, s = quantize_batch(x, bits)
+            np.copyto(in_view, q)
+            in_scales[:] = s
+
+        def write_quantized(q: np.ndarray, s: np.ndarray) -> None:
+            np.copyto(in_view, q)
+            in_scales[:] = s
+
+        if final.value.quantized:
+            bound.output_fn = lambda: dequantize_batch(fvals, fscales)
+        else:
+            bound.output_fn = lambda: fvals.copy()
+        bound.write_input = write_input
+        bound.write_quantized = write_quantized
+        return bound
+
+
+class _QBound:
+    """One thread's bound quantized program (block + closures)."""
+
+    __slots__ = ("ops", "write_input", "write_quantized", "output_fn",
+                 "batch")
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        self.write_input(x)
+        for op in self.ops:
+            op()
+        return self.output_fn()
+
+    def execute_quantized(self, q: np.ndarray,
+                          scales: np.ndarray) -> np.ndarray:
+        self.write_quantized(q, scales)
+        for op in self.ops:
+            op()
+        return self.output_fn()
+
+
+class CompiledQuantizedPlan:
+    """Batch-specialized AOT programs over a quantized plan.
+
+    The integer sibling of :class:`CompiledPlan`: static int16/int8
+    arenas with pre-resolved offsets (~4x/8x smaller than the float
+    compiled arena), pre-bound integer kernels, and the same
+    requantizing epilogue code the interpreted quantized plan runs —
+    outputs are bit-identical to :meth:`QuantizedInferencePlan.run`.
+    Unseen batch sizes fall back to the interpreted quantized plan (or
+    compile on first use with ``autocompile=True``).
+    """
+
+    def __init__(self, qplan, input_shape: Tuple[int, int, int],
+                 batch_sizes: Sequence[int] = (1,), *,
+                 autocompile: bool = False) -> None:
+        if not batch_sizes and not autocompile:
+            raise ValueError("need at least one batch size or autocompile")
+        self._qplan = qplan
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.autocompile = autocompile
+        self._programs: Dict[int, _QProgram] = {}
+        self._compile_lock = threading.Lock()
+        self._fallback_lock = threading.Lock()
+        self.fallbacks = 0
+        self.runs = 0
+        for b in batch_sizes:
+            self._ensure(int(b))
+
+    def _ensure(self, batch: int) -> _QProgram:
+        prog = self._programs.get(batch)
+        if prog is None:
+            with self._compile_lock:
+                prog = self._programs.get(batch)
+                if prog is None:
+                    with obs.span("infer.qcompile", batch=batch,
+                                  steps=len(self._qplan.steps)):
+                        prog = _compile_qprogram(self._qplan, batch,
+                                                 self.input_shape)
+                    programs = dict(self._programs)
+                    programs[batch] = prog
+                    self._programs = programs
+        return prog
+
+    @property
+    def plan(self):
+        return self._qplan
+
+    @property
+    def bits(self) -> int:
+        return self._qplan.bits
+
+    @property
+    def batch_sizes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._programs))
+
+    @property
+    def fused_step_count(self) -> int:
+        return self._qplan.fused_step_count
+
+    def program(self, batch: int) -> _QProgram:
+        return self._ensure(int(batch))
+
+    def describe(self, batch: Optional[int] = None) -> str:
+        batch = batch if batch is not None else self.batch_sizes[0]
+        return self._programs[batch].describe()
+
+    def static_arena_bytes(self, batch: int) -> int:
+        return self._programs[batch].total_bytes
+
+    def clone(self) -> "CompiledQuantizedPlan":
+        """Replica sharing the compiled programs and quantized weights."""
+        replica = CompiledQuantizedPlan.__new__(CompiledQuantizedPlan)
+        replica._qplan = self._qplan.clone()
+        replica.input_shape = self.input_shape
+        replica.autocompile = self.autocompile
+        replica._programs = self._programs
+        replica._compile_lock = self._compile_lock
+        replica._fallback_lock = threading.Lock()
+        replica.fallbacks = 0
+        replica.runs = 0
+        return replica
+
+    def _fallback(self, x: np.ndarray) -> np.ndarray:
+        self.fallbacks += 1
+        obs.count("infer.qcompiled.fallback")
+        with self._fallback_lock:
+            return self._qplan.run(x)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        self.runs += 1
+        if x.ndim != 4 or tuple(x.shape[1:]) != self.input_shape:
+            return self._fallback(x)
+        batch = int(x.shape[0])
+        prog = self._programs.get(batch)
+        if prog is None:
+            if not self.autocompile:
+                return self._fallback(x)
+            prog = self._ensure(batch)
+        return prog.bound().execute(np.asarray(x, dtype=np.float64))
+
+    def run_quantized(self, q: np.ndarray,
+                      scales: np.ndarray) -> np.ndarray:
+        """Run on pre-quantized input (serving ring payloads)."""
+        self.runs += 1
+        batch = int(q.shape[0])
+        prog = self._programs.get(batch)
+        if prog is None or tuple(q.shape[1:]) != self.input_shape:
+            if prog is None and self.autocompile and (
+                    tuple(q.shape[1:]) == self.input_shape):
+                prog = self._ensure(batch)
+            else:
+                self.fallbacks += 1
+                with self._fallback_lock:
+                    return self._qplan.run_quantized(q, scales)
+        return prog.bound().execute_quantized(q, scales)
+
+    __call__ = run
+
+
+def compile_quantized_plan(qplan, input_shape: Tuple[int, int, int],
+                           batch_sizes: Sequence[int] = (1,), *,
+                           autocompile: bool = False
+                           ) -> CompiledQuantizedPlan:
+    """Lower a :class:`~repro.nn.quant.QuantizedInferencePlan` AOT.
+
+    ``input_shape`` is the per-sample ``(C, H, W)``.  The compiled
+    program's static arena stores activations, padded inputs and
+    gather scratch in the plan's integer dtype; only per-layer GEMM
+    accumulators stay float64 (exact integer containers).
+    """
+    return CompiledQuantizedPlan(qplan, input_shape, batch_sizes,
+                                 autocompile=autocompile)

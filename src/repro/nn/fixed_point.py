@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.graph import layer_spec as spec
+from repro.nn.module import no_grad
 from repro.nn.network import GraphNetwork
 from repro.nn.quant import symmetric_quantize
 
@@ -71,10 +72,41 @@ def emulate_fixed_point(
     Activations are re-quantized at every layer boundary (the global
     buffer stores 16-bit values), convolutions/FCs run in exact integer
     arithmetic, and the widest intermediate accumulator value per layer
-    is recorded against the configured accumulator width.
+    is recorded against the configured accumulator width.  The bias is
+    quantized at ``in_scale * w_scale`` and added *inside* the integer
+    accumulation — the accelerator adds it in the accumulator register,
+    so it belongs in the saturation report.
+
+    Emulation always has inference semantics: the walk runs under
+    :func:`~repro.nn.module.no_grad` with every module flipped to eval
+    for the duration (and restored afterwards), so BatchNorm reads its
+    running statistics without mutating them and no module retains
+    backward caches — even when the caller's network is mid-training.
 
     Returns the dequantized output and the datapath report.
     """
+    modules = [m for node in network._nodes  # noqa: SLF001 - sibling module
+               for m in (node.module, node.activation) if m is not None]
+    modules.extend(network._bn.values())
+    previous = [m.training for m in modules]
+    for m in modules:
+        m.training = False
+    try:
+        with no_grad():
+            return _emulate(network, x, weight_bits, activation_bits,
+                            accumulator_bits)
+    finally:
+        for m, mode in zip(modules, previous):
+            m.training = mode
+
+
+def _emulate(
+    network: GraphNetwork,
+    x: np.ndarray,
+    weight_bits: int,
+    activation_bits: int,
+    accumulator_bits: int,
+) -> Tuple[np.ndarray, DatapathReport]:
     report = DatapathReport(weight_bits, activation_bits, accumulator_bits)
     acc_limit = 2 ** (accumulator_bits - 1) - 1
     values: Dict[str, np.ndarray] = {}
@@ -102,6 +134,15 @@ def emulate_fixed_point(
                 acc = _integer_conv(q_in, q_w, s)
             else:
                 acc = q_in.reshape(q_in.shape[0], -1) @ q_w.T
+            if getattr(node.module, "bias", None) is not None:
+                # The accelerator adds the bias in the accumulator, so
+                # quantize it at the accumulator's scale and include it
+                # in the integer sum (and hence the saturation report).
+                q_b = np.round(
+                    node.module.bias.value / (in_scale * w_scale)
+                ).astype(np.int64)
+                acc = acc + (q_b.reshape(1, -1, 1, 1)
+                             if acc.ndim == 4 else q_b)
             peak = int(np.abs(acc).max()) if acc.size else 0
             bits_used = _bits_needed(peak)
             report.per_layer_acc_bits[node.name] = bits_used
@@ -109,12 +150,7 @@ def emulate_fixed_point(
                 report.max_accumulator_bits_used, bits_used)
             if peak > acc_limit:
                 report.saturated_layers.append(node.name)
-            out = acc.astype(np.float64) * (in_scale * w_scale)
-            if getattr(node.module, "bias", None) is not None:
-                bias = node.module.bias.value
-                out += (bias.reshape(1, -1, 1, 1)
-                        if out.ndim == 4 else bias)
-            value = out
+            value = acc.astype(np.float64) * (in_scale * w_scale)
         else:
             # Pooling / flatten / activation run through the float
             # modules (they are value-preserving or trivially exact).
@@ -129,21 +165,24 @@ def emulate_fixed_point(
 
 def _integer_conv(q_in: np.ndarray, q_w: np.ndarray,
                   s: spec.Conv2D) -> np.ndarray:
-    """Exact integer grouped convolution via im2col on int64 arrays."""
+    """Exact integer grouped convolution via im2col on int64 arrays.
+
+    ``im2col`` is dtype-preserving, so the int64 patches never leave
+    the integer domain: products and sums are exact for any accumulator
+    magnitude that fits int64, not merely below float64's 2**53.
+    """
     from repro.nn.functional import conv_output_plane, im2col
 
     n, _, h, w = q_in.shape
     g = s.groups
     cin_g = s.in_channels // g
     cout_g = s.out_channels // g
-    kh, kw = s.kernel_size
     out_h, out_w = conv_output_plane(h, w, s.kernel_size, s.stride,
                                      s.padding)
     out = np.empty((n, s.out_channels, out_h, out_w), dtype=np.int64)
     for gi in range(g):
-        xg = q_in[:, gi * cin_g:(gi + 1) * cin_g].astype(np.float64)
+        xg = q_in[:, gi * cin_g:(gi + 1) * cin_g]
         cols = im2col(xg, s.kernel_size, s.stride, s.padding)
-        cols = cols.astype(np.int64)
         wmat = q_w[gi * cout_g:(gi + 1) * cout_g].reshape(cout_g, -1)
         out[:, gi * cout_g:(gi + 1) * cout_g] = (
             np.einsum("kp,npq->nkq", wmat, cols)

@@ -20,7 +20,10 @@ def pad2d(x: np.ndarray, padding: Tuple[int, int],
 
     The default (zero) is correct for convolution and average pooling;
     max pooling must pad with ``-inf`` so a padded window can never
-    prefer the pad over a negative activation.
+    prefer the pad over a negative activation.  Dtype-preserving:
+    ``np.pad`` casts ``value`` to the input's dtype, so integer inputs
+    stay integer (integer max pooling pads with the dtype minimum
+    instead of ``-inf``).
     """
     ph, pw = padding
     if ph == 0 and pw == 0:
@@ -85,6 +88,12 @@ def im2col(
     """Unfold sliding windows into a matrix.
 
     Input ``(N, C, H, W)`` becomes ``(N, C * kh * kw, out_h * out_w)``.
+
+    Dtype-preserving: integer inputs stay integer (the gather copy and
+    reshape never change dtype), which the exact-integer convolution in
+    :mod:`repro.nn.fixed_point` and the int16/int8 plan in
+    :mod:`repro.nn.quant` rely on — routing patches through float64
+    would silently cap exactness at 2**53.
     """
     n, c, h, w = x.shape
     kh, kw = kernel

@@ -545,6 +545,19 @@ class InferencePlan:
         ]
         return InferencePlan(steps, set(self.input_names), BufferArena())
 
+    def quantize(self, bits: int = 16):
+        """Lower this plan to integer execution.
+
+        Convenience for :func:`repro.nn.quant.quantize_plan` — the
+        fused conv steps already carry BatchNorm-folded weights, so the
+        quantized plan's per-channel requantization multipliers absorb
+        the BN scale for free.  Returns a
+        :class:`~repro.nn.quant.QuantizedInferencePlan`.
+        """
+        from repro.nn.quant import quantize_plan
+
+        return quantize_plan(self, bits)
+
     def run(self, x: np.ndarray) -> np.ndarray:
         values: Dict[str, np.ndarray] = {}
         peak = 0

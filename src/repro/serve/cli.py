@@ -9,6 +9,7 @@ report and server statistics::
     repro-serve --model sqnxt_23 --rps 100 --sim --time-scale 0.1
     repro-serve --model sqnxt_23_v5 --worker-mode process --workers 4
     repro-serve --model mobilenet --compiled --rps 50 --duration 5
+    repro-serve --model squeezenet_v1_1 --quantized-bits 16 --rps 100
 
 ``--rps`` selects the open-loop generator (Poisson arrivals by
 default — seeded, bursty, the honest tail-latency experiment; pass
@@ -128,6 +129,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run workers on the AOT-compiled executor "
                              "(static arena, pre-bound kernels; see "
                              "repro.nn.compile)")
+    parser.add_argument("--quantized-bits", type=int, default=None,
+                        metavar="BITS",
+                        help="serve through the integer plan at this "
+                             "width (16 = int16, 8 = int8); request "
+                             "rings carry narrow payloads and workers "
+                             "run integer GEMM (see repro.nn.quant)")
     parser.add_argument("--no-warmup", action="store_true",
                         help="skip the dummy warm-up batch each worker "
                              "runs at start")
@@ -194,6 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         arena_trim_bytes=args.arena_trim_bytes,
         compiled=args.compiled,
         warmup=not args.no_warmup,
+        quantized_bits=args.quantized_bits,
     )
     shape = model_spec.input_shape
     inputs = rng.normal(

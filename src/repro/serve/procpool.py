@@ -12,7 +12,9 @@ The process-mode backend of :class:`repro.serve.Server`.  Topology:
 * **Requests** — one small :class:`~repro.serve.shm.ShmRing` per worker
   (single producer, single consumer).  The parent's dispatcher stacks
   a batch, writes it into the next worker's ring (header + monotonic
-  deadline/submit stamps + raw float64 payload — no pickling) and
+  deadline/submit stamps + raw activation payload in the ring's
+  ``payload_dtype`` — float64 by default, int16/int8 with
+  ``quantized_bits`` plus a per-sample scales block — no pickling) and
   round-robins.  Per-worker rings also mean the parent always knows
   which worker holds which batch, so a killed worker fails exactly its
   own batches.
@@ -97,6 +99,7 @@ class _WorkerSetup:
     stats_len: int
     compiled: bool = False
     warmup: bool = True
+    quantized_bits: Optional[int] = None
 
 
 def _choose_context(start_method: Optional[str]):
@@ -153,6 +156,16 @@ def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
         executor = CompiledPlan(plan, setup.input_shape,
                                 batch_sizes=(1, setup.max_batch),
                                 autocompile=True)
+    qdtype = None
+    if setup.quantized_bits is not None:
+        # Quantization is deterministic, so re-deriving the integer
+        # plan from the shared float weights gives every worker (and
+        # the dispatching parent) the same levels — no second weight
+        # segment needed.
+        from repro.nn.quant import activation_dtype
+        executor = plan.quantize(setup.quantized_bits)
+        qdtype = activation_dtype(setup.quantized_bits)
+    run_arena = getattr(executor, "arena", plan.arena)
     if setup.warmup:
         # One dummy batch so the first real request doesn't pay
         # arena/bind cold-start. Failures surface on real traffic.
@@ -188,9 +201,19 @@ def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
             submits = np.frombuffer(message, "<f8", count=size,
                                     offset=offset)
             offset += 8 * size
-            xs = np.frombuffer(message, "<f8", count=size * in_elems,
-                               offset=offset).reshape(
-                                   (size,) + tuple(setup.input_shape))
+            scales = None
+            if qdtype is not None:
+                scales = np.frombuffer(message, "<f8", count=size,
+                                       offset=offset)
+                offset += 8 * size
+                xs = np.frombuffer(message, qdtype.str,
+                                   count=size * in_elems,
+                                   offset=offset).reshape(
+                                       (size,) + tuple(setup.input_shape))
+            else:
+                xs = np.frombuffer(message, "<f8", count=size * in_elems,
+                                   offset=offset).reshape(
+                                       (size,) + tuple(setup.input_shape))
             # The parent stamped these deadlines; monotonic() is the
             # same system-wide clock here, so late ring pickup expires.
             now = time.monotonic()
@@ -203,7 +226,8 @@ def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
             if alive:
                 began = time.monotonic()
                 try:
-                    out = executor.run(xs)
+                    out = (executor.run_quantized(xs, scales)
+                           if qdtype is not None else executor.run(xs))
                     if setup.service_time is not None:
                         pause = (setup.service_time(size)
                                  - (time.monotonic() - began))
@@ -235,16 +259,16 @@ def _worker_main(setup: _WorkerSetup, req_handle: RingHandle,
                     for stamp in submits[~expired]:
                         state.latency.record((done - stamp) * 1e6)
             if setup.arena_trim_bytes is not None:
-                plan.arena.trim(setup.arena_trim_bytes)
+                run_arena.trim(setup.arena_trim_bytes)
             # Publish stats *before* the response becomes visible, so a
             # stats() read triggered by a resolved future already sees
             # this batch counted.
             with stats_lock:
-                state.publish(stats_view, plan.arena)
+                state.publish(stats_view, run_arena)
             responses.put(chunks, abort=abort)
     finally:
         with stats_lock:
-            state.publish(stats_view, plan.arena)
+            state.publish(stats_view, run_arena)
         # Drop every view into the mappings before unmapping them.
         del executor, plan, arrays
         stats_view = None
@@ -273,7 +297,8 @@ class ProcessWorkerPool:
                  service_time: Optional[Callable[[int], float]] = None,
                  arena_trim_bytes: Optional[int] = None,
                  start_method: Optional[str] = None,
-                 compiled: bool = False, warmup: bool = True) -> None:
+                 compiled: bool = False, warmup: bool = True,
+                 quantized_bits: Optional[int] = None) -> None:
         self.workers = workers
         self.input_shape = tuple(input_shape)
         self.output_shape = tuple(output_shape)
@@ -285,6 +310,12 @@ class ProcessWorkerPool:
         self._arena_trim_bytes = arena_trim_bytes
         self._compiled = compiled
         self._warmup = warmup
+        self.quantized_bits = quantized_bits
+        if quantized_bits is not None:
+            from repro.nn.quant import activation_dtype
+            self._payload_dtype = np.dtype(activation_dtype(quantized_bits))
+        else:
+            self._payload_dtype = np.dtype(np.float64)
         self.processes: List[object] = []
         self._req_rings: List[ShmRing] = []
         self._resp_ring: Optional[ShmRing] = None
@@ -302,15 +333,22 @@ class ProcessWorkerPool:
     def start(self) -> "ProcessWorkerPool":
         arrays, template = export_plan(self._plan)
         self._weights_seg, manifest = pack_arrays(f"{self._base}_w", arrays)
-        req_bytes = (_REQ_HEADER * 8 + self.max_batch * 16
-                     + self.max_batch * self._in_elems * 8)
+        # Request layout: header | deadlines f8 | submits f8
+        # [| per-sample scales f8, quantized mode] | activation payload
+        # in the ring's payload dtype.  At int16 the payload — by far
+        # the dominant term — shrinks 4x.
+        stamp_bytes = 16 if self.quantized_bits is None else 24
+        req_bytes = (_REQ_HEADER * 8 + self.max_batch * stamp_bytes
+                     + self.max_batch * self._in_elems
+                     * self._payload_dtype.itemsize)
         resp_bytes = (_RESP_HEADER * 8 + self.max_batch * 8
                       + max(self.max_batch * self._out_elems * 8,
                             _ERROR_MAX))
         for i in range(self.workers):
-            self._req_rings.append(ShmRing.create(
-                self._ctx, slots=2, slot_bytes=req_bytes,
-                name=f"{self._base}_q{i}"))
+            ring = ShmRing.create(self._ctx, slots=2, slot_bytes=req_bytes,
+                                  name=f"{self._base}_q{i}")
+            ring.handle.payload_dtype = self._payload_dtype.str
+            self._req_rings.append(ring)
         self._resp_ring = ShmRing.create(
             self._ctx, slots=2 * self.workers + 2, slot_bytes=resp_bytes,
             name=f"{self._base}_r")
@@ -345,6 +383,7 @@ class ProcessWorkerPool:
                 stats_len=slice_len,
                 compiled=self._compiled,
                 warmup=self._warmup,
+                quantized_bits=self.quantized_bits,
             )
             process = self._ctx.Process(
                 target=_worker_main,
@@ -365,15 +404,28 @@ class ProcessWorkerPool:
                  deadlines: Sequence[float], submits: Sequence[float],
                  timeout: Optional[float] = None,
                  abort: Optional[Callable[[], bool]] = None) -> bool:
-        """Write one stacked batch into a worker's request ring."""
+        """Write one stacked batch into a worker's request ring.
+
+        In quantized mode the batch is quantized here — per-sample
+        symmetric scales ride in an extra float64 block and the payload
+        crosses the ring at the narrow integer dtype.
+        """
         size = len(xs)
         header = np.array([MSG_BATCH, batch_id, size], dtype="<i8")
-        return self._req_rings[worker].put(
-            [header,
-             np.asarray(deadlines, dtype="<f8"),
-             np.asarray(submits, dtype="<f8"),
-             np.ascontiguousarray(xs, dtype=np.float64)],
-            timeout=timeout, abort=abort)
+        chunks: List[object] = [header,
+                                np.asarray(deadlines, dtype="<f8"),
+                                np.asarray(submits, dtype="<f8")]
+        if self.quantized_bits is not None:
+            from repro.nn.quant import quantize_batch
+            q, scales = quantize_batch(
+                np.ascontiguousarray(xs, dtype=np.float64),
+                self.quantized_bits)
+            chunks.append(np.ascontiguousarray(scales, dtype="<f8"))
+            chunks.append(np.ascontiguousarray(q))
+        else:
+            chunks.append(np.ascontiguousarray(xs, dtype=np.float64))
+        return self._req_rings[worker].put(chunks, timeout=timeout,
+                                           abort=abort)
 
     def send_stop(self, worker: int,
                   timeout: Optional[float] = 2.0) -> bool:

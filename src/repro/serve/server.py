@@ -112,6 +112,17 @@ class ServerConfig:
     provides it).  ``warmup`` (default on when the input shape is
     known) runs one dummy batch through every worker at start so the
     first real request pays no arena/bind cold-start.
+
+    ``quantized_bits`` (e.g. ``16``) serves through a
+    :class:`~repro.nn.quant.QuantizedInferencePlan`: thread workers
+    clone one shared quantized lowering of the plan; process workers
+    re-derive it from the shared float weights (quantization is
+    deterministic, so every worker runs the identical integer plan)
+    and the request rings carry int16/int8 payloads plus per-sample
+    scales instead of float64.  Combining ``compiled`` with
+    ``quantized_bits`` is not supported — the integer path has its own
+    AOT compiler (:func:`repro.nn.compile.compile_quantized_plan`)
+    that the serving runtime does not drive yet.
     """
 
     workers: int = 2
@@ -125,6 +136,7 @@ class ServerConfig:
     start_method: Optional[str] = None
     compiled: bool = False
     warmup: bool = True
+    quantized_bits: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -144,6 +156,15 @@ class ServerConfig:
                 f"got {self.worker_mode!r}")
         if self.arena_trim_bytes is not None and self.arena_trim_bytes < 0:
             raise ValueError("arena_trim_bytes must be >= 0")
+        if self.quantized_bits is not None:
+            if not 2 <= self.quantized_bits <= 16:
+                raise ValueError("quantized_bits must be in [2, 16]")
+            if self.compiled:
+                raise ValueError(
+                    "compiled=True cannot be combined with "
+                    "quantized_bits: the integer path has its own AOT "
+                    "compiler (repro.nn.compile.compile_quantized_plan) "
+                    "that serving does not drive yet")
 
 
 @dataclass(frozen=True)
@@ -302,6 +323,12 @@ class Server:
             for i in range(self.config.workers):
                 executor = base.clone()
                 self._workers.append(_Worker(i, executor.plan, executor))
+        elif self.config.quantized_bits is not None:
+            # One shared quantized lowering; clones share the integer
+            # weights and add only a private arena per worker.
+            base_q = plan.quantize(self.config.quantized_bits)
+            self._workers = [_Worker(i, base_q.clone())
+                             for i in range(self.config.workers)]
         else:
             self._workers = [_Worker(i, plan.clone())
                              for i in range(self.config.workers)]
@@ -386,7 +413,8 @@ class Server:
             arena_trim_bytes=self.config.arena_trim_bytes,
             start_method=self.config.start_method,
             compiled=self.config.compiled,
-            warmup=self.config.warmup).start()
+            warmup=self.config.warmup,
+            quantized_bits=self.config.quantized_bits).start()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name=f"{self.name}-dispatch",
             daemon=True)

@@ -179,6 +179,11 @@ class RingHandle:
     spaces: object      # mp.Semaphore: free slots
     head_lock: object   # mp.Lock: consumer index
     tail_lock: object   # mp.Lock: producer index
+    #: Advisory dtype of the activation payload carried in each slot
+    #: ("<f8" float64, "<i2" int16, "<i1" int8 ...).  The ring itself is
+    #: byte-level; producers and consumers agree on the layout through
+    #: this field instead of hardcoding float64.
+    payload_dtype: str = "<f8"
 
 
 class ShmRing:
