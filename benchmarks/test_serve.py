@@ -35,8 +35,18 @@ Three experiments against the issue's acceptance bar, written to
 A sampled subset of served responses is checked bit-identical against
 direct plan execution before any load runs.
 
+* **fleet** (``test_fleet_serving``) — the multi-tenant fleet: Tiny
+  Darknet and MobileNet resident behind one admission plane, paced to
+  the simulated Squeezelerator.  An interactive tenant starts on the
+  accurate variant (predicted latency fits its budget), live tail
+  percentiles breach under batching, and the router demotes it down
+  the frontier while the loose analytics tenant stays on MobileNet; a
+  quota-capped tenant sheds at its token bucket without touching the
+  others.  Results merge into ``BENCH_serve.json`` under ``"fleet"``.
+
 ``SERVE_SMOKE=1`` swaps in a tiny MobileNet, shrinks the request
 counts, and skips the floors — the CI smoke configuration.
+``FLEET_SMOKE=1`` (or ``SERVE_SMOKE``) shortens the fleet mix run.
 ``SERVE_WORKER_MODE=process`` routes the correctness spot-check
 through the multiprocessing backend (CI runs the smoke both ways).
 """
@@ -54,6 +64,7 @@ from repro.serve import LoadGenerator, Server, ServerConfig, \
     accelerator_service_time
 
 SMOKE = os.environ.get("SERVE_SMOKE") == "1"
+FLEET_SMOKE = os.environ.get("FLEET_SMOKE") == "1" or SMOKE
 WORKER_MODE = os.environ.get("SERVE_WORKER_MODE", "thread")
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -317,3 +328,182 @@ def test_serving_throughput_and_overload():
     assert overload.latency_ms["p99"] <= OVERLOAD_DEADLINE_MS, (
         f"p99 of accepted requests {overload.latency_ms['p99']:.1f} ms "
         f"exceeds the {OVERLOAD_DEADLINE_MS} ms deadline")
+
+
+# -- multi-tenant fleet: SLO routing, quotas, workload export ------------
+
+#: Paced per-image time for the *fast* frontier variant (Tiny Darknet);
+#: MobileNet scales by its simulated cycle ratio (~2.3x).  Both sit
+#: above the host's per-image compute so pacing, not BLAS, sets the
+#: observed latencies.
+FLEET_FAST_PER_IMAGE_S = 0.15
+#: Interactive SLO.  MobileNet's *predicted* ~343 ms fits the 0.8x
+#: headroom budget (400 ms), so initial placement is the accurate
+#: variant; batched service (2 x 343 ms) breaches the live tail and
+#: the router must demote online.
+FLEET_INTERACTIVE_DEADLINE_MS = 500.0
+FLEET_ANALYTICS_DEADLINE_MS = 5000.0
+
+
+def test_fleet_serving():
+    from repro.core.search import CandidateSpec, hardware_aware_search
+    from repro.nn import make_shapes_dataset
+    from repro.serve import (
+        FleetConfig,
+        ModelFleet,
+        ServeError,
+        TenantProfile,
+        accelerator_service_time,
+    )
+    from repro.serve.cli import build_spec
+
+    tiny_sim = accelerator_service_time(build_spec("tiny_darknet"))
+    time_scale = FLEET_FAST_PER_IMAGE_S / tiny_sim.per_image_s
+    config = FleetConfig.from_dict({
+        "models": [
+            {"slug": "tiny_darknet", "workers": 2, "max_batch_size": 2},
+            {"slug": "mobilenet", "workers": 2, "max_batch_size": 2},
+        ],
+        "tenants": [
+            {"name": "interactive",
+             "deadline_ms": FLEET_INTERACTIVE_DEADLINE_MS,
+             "route": ["tiny_darknet", "mobilenet"], "weight": 2.0},
+            {"name": "analytics",
+             "deadline_ms": FLEET_ANALYTICS_DEADLINE_MS,
+             "route": ["tiny_darknet", "mobilenet"]},
+            {"name": "capped", "deadline_ms": 2000.0,
+             "model": "tiny_darknet",
+             "quota_rps": 1.5, "quota_burst": 2.0},
+        ],
+        "pacing": {"sim": True, "time_scale": round(time_scale, 3)},
+        # The slow paced completions (~0.7 s/batch) need a wide
+        # observation window to gather min_samples; the long
+        # hysteresis keeps the benchmark one-directional (demote).
+        "router": {"min_samples": 6, "refresh_s": 0.5,
+                   "window_refreshes": 8, "hysteresis_s": 60.0},
+    })
+
+    with ModelFleet(config) as fleet:
+        inputs = fleet.sample_inputs(n=8, seed=7)
+        group = "tiny_darknet+mobilenet"
+        assert fleet.stats().tenants["interactive"]["current_model"] \
+            == "mobilenet", "predicted fit should start accurate"
+
+        # -- phase 1: drive the interactive tail into breach.  Bursts
+        # force batched (2 x per-image) service on MobileNet; the
+        # router watches the live window and demotes down-frontier.
+        demoted = []
+        drive_deadline = time.monotonic() + 120.0
+        while time.monotonic() < drive_deadline:
+            futures = [fleet.submit("interactive", inputs["interactive"][i])
+                       for i in range(4)]
+            for future in futures:
+                try:
+                    future.result(timeout=60)
+                except ServeError:
+                    pass  # tail-breach expiries are part of the story
+            switches = fleet.stats().routing[group]["classes"][
+                "interactive"]["switches"]
+            demoted = [s for s in switches if s["reason"] == "demote"]
+            if demoted:
+                break
+        assert demoted, "live tail never breached: no online demotion"
+        assert demoted[0]["from"] == "1 MobileNet-224"
+        assert demoted[0]["to"] == "Tiny Darknet"
+        assert demoted[0]["observed_ms"] > 0.8 * \
+            FLEET_INTERACTIVE_DEADLINE_MS
+
+        # -- phase 2: steady mixed traffic on the post-demotion fleet.
+        mix_duration = 3.0 if FLEET_SMOKE else 8.0
+        mix_rps = 10.0
+        mix = LoadGenerator(fleet, inputs).run_mix(
+            [TenantProfile("interactive", share=2.0),
+             TenantProfile("analytics", share=1.0),
+             TenantProfile("capped", share=2.0)],
+            rps=mix_rps, duration_s=mix_duration, seed=11)
+        stats = fleet.stats()
+        workload = fleet.export_workload()
+
+    tenants = stats.tenants
+    # Routed placements: tight SLO on the fast variant, loose on the
+    # accurate one — decided online, from observed percentiles.
+    assert tenants["interactive"]["current_model"] == "tiny_darknet"
+    assert tenants["analytics"]["current_model"] == "mobilenet"
+    assert tenants["analytics"]["dispatched"].get("mobilenet", 0) > 0
+    assert tenants["interactive"]["completed"] > 0
+    assert tenants["analytics"]["completed"] > 0
+    # Quota: only the capped tenant sheds, and only via its bucket.
+    assert mix.tenants["capped"].quota_rejected > 0
+    assert tenants["capped"]["quota_rejected"] \
+        == mix.tenants["capped"].quota_rejected
+    assert tenants["capped"]["completed"] > 0
+    for free in ("interactive", "analytics"):
+        assert tenants[free]["quota_rejected"] == 0
+        assert tenants[free]["failed"] == 0
+
+    # Telemetry export closes the co-design loop: observed shares,
+    # binding deadline, and inputs hardware_aware_search accepts as-is.
+    assert sum(e.share for e in workload.entries) == 1.0
+    assert workload.latency_budget_ms == FLEET_INTERACTIVE_DEADLINE_MS
+    search = hardware_aware_search(
+        **workload.search_inputs(),
+        candidates=[CandidateSpec(width=4, conv1_kernel=3,
+                                  early_fires=1, late_fires=1),
+                    CandidateSpec(width=8, conv1_kernel=3,
+                                  early_fires=1, late_fires=1)],
+        dataset=make_shapes_dataset(40, image_size=16, seed=0),
+        epochs=1)
+    assert search.best_under_latency(workload.latency_budget_ms) is not None
+
+    routing = stats.routing[group]
+    per_tenant = {
+        name: {
+            "deadline_ms": report["deadline_ms"],
+            "completed": report["completed"],
+            "expired": report["expired"],
+            "quota_rejected": report["quota_rejected"],
+            "dispatched": report["dispatched"],
+            "p99_ms": round(report["latency_ms"]["p99"], 1),
+            "p99_within_deadline": (report["latency_ms"]["p99"]
+                                    <= report["deadline_ms"]),
+        }
+        for name, report in tenants.items()
+    }
+    for name, report in per_tenant.items():
+        print(f"fleet tenant {name}: p99 {report['p99_ms']:.0f} ms vs "
+              f"{report['deadline_ms']:.0f} ms deadline, completed "
+              f"{report['completed']}, quota_rejected "
+              f"{report['quota_rejected']}, dispatched "
+              f"{report['dispatched']}")
+    print(f"fleet routing: demoted interactive "
+          f"{demoted[0]['from']} -> {demoted[0]['to']} at observed "
+          f"{demoted[0]['observed_ms']:.0f} ms; decisions "
+          f"{routing['classes']['interactive']['decisions']}")
+
+    # Merge (read-modify-write) so the serving sections survive.
+    try:
+        payload = json.loads(RESULTS_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        payload = {"benchmark": "serve_runtime"}
+    payload["fleet"] = {
+        "smoke": FLEET_SMOKE,
+        "models": {
+            "tiny_darknet": {"per_image_ms": round(
+                FLEET_FAST_PER_IMAGE_S * 1e3, 1)},
+            "mobilenet": {"per_image_ms": round(
+                FLEET_FAST_PER_IMAGE_S * 1e3
+                * 2.56 / 1.12, 1)},
+        },
+        "offered_rps": mix_rps,
+        "duration_s": mix_duration,
+        "tenants": per_tenant,
+        "routing": {
+            "frontier": [v["model"] for v in routing["frontier"]],
+            "decisions": {name: cls["decisions"] for name, cls in
+                          routing["classes"].items()},
+            "switches": [dict(s) for cls in routing["classes"].values()
+                         for s in cls["switches"]],
+        },
+        "workload_export": workload.as_dict(),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -150,6 +150,54 @@ class LatencyHistogram:
         self.max = max(self.max, float(state[n + 3]))
         return self
 
+    def copy(self) -> "LatencyHistogram":
+        """An independent snapshot with the same layout and contents."""
+        out = LatencyHistogram(self.low, self.high, self.buckets_per_decade)
+        out._counts = list(self._counts)
+        out.count = self.count
+        out.total = self.total
+        out.min = self.min
+        out.max = self.max
+        return out
+
+    def since(self, earlier: "LatencyHistogram") -> "LatencyHistogram":
+        """The observations recorded between ``earlier`` and now.
+
+        Both histograms must share a layout and ``earlier`` must be a
+        previous snapshot of the same (monotonically growing) series —
+        cumulative lifetime histograms like the per-model latency
+        replicas the serving runtime merges.  The delta is what an
+        *online* consumer (the fleet's variant router) needs: lifetime
+        percentiles never forget a breach, windowed ones do.
+
+        The exact per-window min/max are not recoverable from bucket
+        deltas, so they are approximated by the occupied buckets' edges
+        (clamped to the lifetime extremes); percentile interpolation is
+        unaffected beyond that clamping.
+        """
+        if (earlier.low != self.low or earlier.high != self.high
+                or earlier.buckets_per_decade != self.buckets_per_decade):
+            raise ValueError("cannot diff histograms with different layouts")
+        out = LatencyHistogram(self.low, self.high, self.buckets_per_decade)
+        for i, c in enumerate(self._counts):
+            delta = c - earlier._counts[i]
+            if delta < 0:
+                raise ValueError(
+                    "earlier snapshot is not a prefix of this histogram "
+                    f"(bucket {i} shrank)")
+            out._counts[i] = delta
+        out.count = self.count - earlier.count
+        out.total = self.total - earlier.total
+        if out.count:
+            occupied = [i for i, c in enumerate(out._counts) if c]
+            first, last = occupied[0], occupied[-1]
+            lo = self._edges[first - 1] if first > 0 else 0.0
+            hi = (self._edges[last] if last < len(self._edges)
+                  else self.max)
+            out.min = max(lo, self.min)
+            out.max = min(max(hi, out.min), self.max)
+        return out
+
     # -- queries -----------------------------------------------------------
 
     @property

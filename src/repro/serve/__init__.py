@@ -36,29 +36,68 @@ process dying mid-batch fails exactly its own requests with
 :class:`WorkerCrashed`; the rest of the pool keeps serving.
 """
 
-from repro.serve.loadgen import LoadGenerator, LoadReport
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetModelSpec,
+    FleetStats,
+    FleetWorkload,
+    ModelFleet,
+    PacingSpec,
+    WorkloadEntry,
+)
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    MixReport,
+    TenantProfile,
+)
 from repro.serve.request import (
     DeadlineExceeded,
     PendingResponse,
     QueueFull,
+    QuotaExceeded,
     ServeError,
     ServerClosed,
     WorkerCrashed,
 )
+from repro.serve.router import (
+    RoutedVariant,
+    RouterConfig,
+    VariantRouter,
+    build_candidate_set,
+)
 from repro.serve.server import Server, ServerConfig, ServerStats
 from repro.serve.simtime import accelerator_service_time
+from repro.serve.tenancy import SLOClass, TokenBucket, WeightedFairQueue
 
 __all__ = [
     "DeadlineExceeded",
+    "FleetConfig",
+    "FleetModelSpec",
+    "FleetStats",
+    "FleetWorkload",
     "LoadGenerator",
     "LoadReport",
+    "MixReport",
+    "ModelFleet",
+    "PacingSpec",
     "PendingResponse",
     "QueueFull",
+    "QuotaExceeded",
+    "RoutedVariant",
+    "RouterConfig",
+    "SLOClass",
     "ServeError",
     "Server",
     "ServerClosed",
     "ServerConfig",
     "ServerStats",
+    "TenantProfile",
+    "TokenBucket",
+    "VariantRouter",
+    "WeightedFairQueue",
     "WorkerCrashed",
+    "WorkloadEntry",
     "accelerator_service_time",
+    "build_candidate_set",
 ]

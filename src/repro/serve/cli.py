@@ -10,6 +10,7 @@ report and server statistics::
     repro-serve --model sqnxt_23_v5 --worker-mode process --workers 4
     repro-serve --model mobilenet --compiled --rps 50 --duration 5
     repro-serve --model squeezenet_v1_1 --quantized-bits 16 --rps 100
+    repro-serve --fleet fleet.json --rps 40 --duration 10 --json out.json
 
 ``--rps`` selects the open-loop generator (Poisson arrivals by
 default — seeded, bursty, the honest tail-latency experiment; pass
@@ -34,13 +35,16 @@ import numpy as np
 
 from repro.graph.network_spec import NetworkSpec
 from repro.models import MODEL_FACTORIES
+from repro.models.squeezedet import squeezedet
+from repro.models.squeezeseg import squeezeseg
 from repro.models.squeezenext import squeezenext
 from repro.nn.network import GraphNetwork
 from repro.serve.loadgen import LoadGenerator, LoadReport
 from repro.serve.server import Server, ServerConfig, ServerStats
 from repro.serve.simtime import accelerator_service_time
 
-__all__ = ["MODEL_SLUGS", "build_spec", "format_report", "main"]
+__all__ = ["MODEL_SLUGS", "build_spec", "format_fleet_report",
+           "format_report", "main", "run_fleet"]
 
 #: Slug -> factory.  Covers the zoo plus the SqueezeNext co-design
 #: variants v2..v5 (Figure 3), which only exist as factory arguments.
@@ -57,6 +61,10 @@ MODEL_SLUGS: Dict[str, Callable[[], NetworkSpec]] = {
     "sqnxt_23_v3": lambda: squeezenext(variant=3),
     "sqnxt_23_v4": lambda: squeezenext(variant=4),
     "sqnxt_23_v5": lambda: squeezenext(variant=5),
+    # Task networks (§4): the KITTI-sized detector and the LiDAR
+    # segmenter are servable residents too, not just sim subjects.
+    "squeezedet": squeezedet,
+    "squeezeseg": squeezeseg,
 }
 
 
@@ -98,6 +106,69 @@ def format_report(load: LoadReport, stats: ServerStats,
     return "\n".join(lines)
 
 
+def format_fleet_report(mix, stats) -> str:
+    """The human-readable fleet run summary printed by ``--fleet``."""
+    lines = ["== repro-serve fleet =="]
+    for name, report in mix.tenants.items():
+        tenant = stats.tenants[name]
+        lat = report.latency_ms
+        lines.append(
+            f"tenant {name}: model {tenant['current_model']}  "
+            f"sent {report.sent}  completed {report.completed}  "
+            f"quota_rejected {report.quota_rejected}  "
+            f"expired {report.expired}")
+        lines.append(
+            f"  deadline {tenant['deadline_ms']:g} ms  latency p50 "
+            f"{lat['p50']:.2f}  p95 {lat['p95']:.2f}  p99 "
+            f"{lat['p99']:.2f}")
+    for group, routing in stats.routing.items():
+        frontier = " -> ".join(
+            f"{v['model']} ({v['top1_accuracy']:.1f}%, "
+            f"{v['predicted_ms']:.1f}ms)"
+            for v in routing["frontier"])
+        lines.append(f"route group {group}: frontier {frontier}")
+        for cls, state in routing["classes"].items():
+            decisions = " ".join(f"{m}x{c}" for m, c in
+                                 sorted(state["decisions"].items()))
+            lines.append(
+                f"  class {cls}: on {state['current']}  decisions "
+                f"{decisions or '-'}  switches {len(state['switches'])}")
+    return "\n".join(lines)
+
+
+def run_fleet(args) -> int:
+    """The ``--fleet fleet.json`` code path of :func:`main`."""
+    from repro.serve.fleet import FleetConfig, ModelFleet
+    from repro.serve.loadgen import TenantProfile
+
+    config = FleetConfig.from_json(args.fleet)
+    rps = args.rps if args.rps is not None else 20.0
+    profiles = [TenantProfile(tenant=t.name, share=t.share)
+                for t in config.tenants]
+    print(f"fleet: {len(config.models)} resident models, "
+          f"{len(config.tenants)} tenants, {rps:g} rps offered",
+          file=sys.stderr)
+    with ModelFleet(config) as fleet:
+        generator = LoadGenerator(fleet, fleet.sample_inputs(
+            seed=config.seed))
+        mix = generator.run_mix(profiles, rps=rps,
+                                duration_s=args.duration,
+                                seed=config.seed)
+        stats = fleet.stats()
+        workload = fleet.export_workload()
+
+    print(format_fleet_report(mix, stats))
+    if args.json:
+        document = {"fleet": config.as_dict(),
+                    "mix": mix.as_dict(),
+                    "stats": stats.as_dict(),
+                    "workload": workload.as_dict()}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"report written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -106,6 +177,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--model", default="sqnxt_23_v5",
                         help="model slug or zoo name (default: "
                              "sqnxt_23_v5)")
+    parser.add_argument("--fleet", metavar="FLEET.json", default=None,
+                        help="serve a multi-tenant model fleet from this "
+                             "config instead of one --model (drives a "
+                             "traffic mix; honors --rps, --duration, "
+                             "--json)")
     parser.add_argument("--rps", type=float, default=None,
                         help="open-loop offered load in requests/s "
                              "(default: closed loop)")
@@ -170,6 +246,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", metavar="OUT.json", default=None,
                         help="also dump the reports as JSON")
     args = parser.parse_args(argv)
+
+    if args.fleet is not None:
+        try:
+            return run_fleet(args)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"fleet config error: {error}", file=sys.stderr)
+            return 2
 
     try:
         model_spec = build_spec(args.model)

@@ -32,10 +32,11 @@ from repro.serve.request import (
     DeadlineExceeded,
     PendingResponse,
     QueueFull,
+    QuotaExceeded,
 )
 from repro.serve.server import Server
 
-__all__ = ["LoadGenerator", "LoadReport"]
+__all__ = ["LoadGenerator", "LoadReport", "MixReport", "TenantProfile"]
 
 _US = 1e6
 
@@ -55,6 +56,7 @@ class LoadReport:
     failed: int
     latency_ms: Dict[str, float]
     achieved_rps: float
+    quota_rejected: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -65,11 +67,53 @@ class LoadReport:
             "sent": self.sent,
             "completed": self.completed,
             "rejected": self.rejected,
+            "quota_rejected": self.quota_rejected,
             "expired": self.expired,
             "failed": self.failed,
             "latency_ms": {k: round(v, 3)
                            for k, v in self.latency_ms.items()},
             "achieved_rps": round(self.achieved_rps, 2),
+        }
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's slice of a traffic mix.
+
+    ``share`` is relative (normalized over the mix), ``deadline_ms``
+    overrides the per-request deadline (a fleet falls back to the
+    tenant's SLO deadline when ``None``).
+    """
+
+    tenant: str
+    share: float = 1.0
+    deadline_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if self.share <= 0:
+            raise ValueError(f"tenant {self.tenant!r}: share must be "
+                             f"positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"tenant {self.tenant!r}: deadline_ms must "
+                             f"be positive")
+
+
+@dataclass(frozen=True)
+class MixReport:
+    """Outcome of a multi-tenant mix run: one report per tenant."""
+
+    tenants: Dict[str, LoadReport]
+    duration_s: float
+    offered_rps: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "duration_s": round(self.duration_s, 3),
+            "offered_rps": self.offered_rps,
+            "tenants": {name: report.as_dict()
+                        for name, report in self.tenants.items()},
         }
 
 
@@ -80,6 +124,7 @@ class _ThreadTally:
         self.sent = 0
         self.completed = 0
         self.rejected = 0
+        self.quota_rejected = 0
         self.expired = 0
         self.failed = 0
         self.latency = LatencyHistogram()
@@ -102,22 +147,60 @@ InputSource = Union[np.ndarray, Sequence[np.ndarray],
 
 
 class LoadGenerator:
-    """Drives a started :class:`Server` with synthetic request traffic.
+    """Drives a started :class:`Server` (or fleet) with synthetic traffic.
 
     ``inputs`` is either a pre-built batch (``(N, C, H, W)`` array or a
     sequence of ``(C, H, W)`` images, cycled round-robin) or a callable
-    ``index -> image`` for caller-controlled payloads.
+    ``index -> image`` for caller-controlled payloads.  For
+    :meth:`run_mix` against a multi-tenant fleet, ``inputs`` may also
+    be a dict keyed by tenant name (each value any of the above) —
+    exactly what :meth:`repro.serve.fleet.ModelFleet.sample_inputs`
+    produces; tenants with different input shapes each get their own
+    pool.
     """
 
-    def __init__(self, server: Server, inputs: InputSource) -> None:
+    def __init__(self, server, inputs) -> None:
         self.server = server
-        if callable(inputs):
-            self._input_fn = inputs
+        if isinstance(inputs, dict):
+            self._tenant_input_fns = {
+                tenant: self._make_input_fn(source)
+                for tenant, source in inputs.items()}
+            self._input_fn = None
         else:
-            pool = [np.asarray(x) for x in inputs]
-            if not pool:
-                raise ValueError("need at least one input image")
-            self._input_fn = lambda i: pool[i % len(pool)]
+            self._input_fn = self._make_input_fn(inputs)
+            self._tenant_input_fns = {}
+
+    @staticmethod
+    def _make_input_fn(inputs: InputSource) -> Callable[[int], np.ndarray]:
+        if callable(inputs):
+            return inputs
+        pool = [np.asarray(x) for x in inputs]
+        if not pool:
+            raise ValueError("need at least one input image")
+        return lambda i: pool[i % len(pool)]
+
+    def _tenant_input_fn(self, tenant: str) -> Callable[[int], np.ndarray]:
+        if tenant in self._tenant_input_fns:
+            return self._tenant_input_fns[tenant]
+        if self._input_fn is None:
+            raise KeyError(
+                f"no inputs for tenant {tenant!r}; dict inputs cover "
+                f"{sorted(self._tenant_input_fns)}")
+        return self._input_fn
+
+    def _single_input_fn(self) -> Callable[[int], np.ndarray]:
+        if self._input_fn is None:
+            raise ValueError(
+                "dict inputs are tenant-keyed (for run_mix); run_open/"
+                "run_closed need a single input source")
+        return self._input_fn
+
+    def _submit(self, tenant: Optional[str], x: np.ndarray,
+                deadline_ms: Optional[float]) -> PendingResponse:
+        """Submit to a plain server or, tenant-tagged, to a fleet."""
+        if tenant is not None and hasattr(self.server, "tenants"):
+            return self.server.submit(tenant, x, deadline_ms=deadline_ms)
+        return self.server.submit(x, deadline_ms=deadline_ms)
 
     # -- closed loop -------------------------------------------------------
 
@@ -135,6 +218,7 @@ class LoadGenerator:
             raise ValueError("clients must be >= 1")
         if duration_s is None and requests is None:
             raise ValueError("need duration_s and/or requests")
+        input_fn = self._single_input_fn()
         tallies = [_ThreadTally() for _ in range(clients)]
         ticket = {"next": 0}
         ticket_lock = threading.Lock()
@@ -156,7 +240,7 @@ class LoadGenerator:
                 tally.sent += 1
                 try:
                     response = self.server.submit(
-                        self._input_fn(index), deadline_ms=deadline_ms)
+                        input_fn(index), deadline_ms=deadline_ms)
                 except QueueFull:
                     tally.rejected += 1
                     continue
@@ -214,6 +298,7 @@ class LoadGenerator:
             interval = 1.0 / rps
             total = max(1, int(round(rps * duration_s)))
             offsets = [index * interval for index in range(total)]
+        input_fn = self._single_input_fn()
         tally = _ThreadTally()
         inflight: List[PendingResponse] = []
         started = time.monotonic()
@@ -224,13 +309,93 @@ class LoadGenerator:
             tally.sent += 1
             try:
                 inflight.append(self.server.submit(
-                    self._input_fn(index), deadline_ms=deadline_ms))
+                    input_fn(index), deadline_ms=deadline_ms))
             except QueueFull:
                 tally.rejected += 1
         for response in inflight:
             tally.absorb_result(response)
         elapsed = time.monotonic() - started
         return self._report("open", elapsed, rps, None, [tally])
+
+    # -- multi-tenant mix --------------------------------------------------
+
+    @staticmethod
+    def _poisson_offsets(rng: np.random.Generator, rps: float,
+                         duration_s: float) -> List[float]:
+        offsets: List[float] = []
+        at = 0.0
+        while True:
+            at += float(rng.exponential(1.0 / rps))
+            if at >= duration_s:
+                break
+            offsets.append(at)
+        return offsets or [0.0]
+
+    def run_mix(self, profiles: Sequence[TenantProfile], rps: float,
+                duration_s: float, seed: int = 0) -> MixReport:
+        """Drive a multi-tenant traffic mix against a fleet.
+
+        ``rps`` is the total offered load; each profile gets
+        ``rps * share / sum(shares)`` of it as its own independently
+        seeded Poisson stream (``seed + profile index``) on its own
+        submitter thread — tenant streams interleave the way real
+        mixed traffic does instead of taking turns.  The target is
+        normally a :class:`~repro.serve.fleet.ModelFleet` (submissions
+        are tenant-tagged); a plain :class:`~repro.serve.Server` also
+        works, with the tenant names only labelling the report.
+        """
+        if not profiles:
+            raise ValueError("need at least one tenant profile")
+        names = [p.tenant for p in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenants in mix: {names}")
+        if rps <= 0 or duration_s <= 0:
+            raise ValueError("rps and duration_s must be positive")
+        total_share = sum(p.share for p in profiles)
+        tallies = {p.tenant: _ThreadTally() for p in profiles}
+
+        def stream(index: int, profile: TenantProfile) -> None:
+            tally = tallies[profile.tenant]
+            input_fn = self._tenant_input_fn(profile.tenant)
+            rng = np.random.default_rng(seed + index)
+            tenant_rps = rps * profile.share / total_share
+            offsets = self._poisson_offsets(rng, tenant_rps, duration_s)
+            inflight: List[PendingResponse] = []
+            started = time.monotonic()
+            for i, offset in enumerate(offsets):
+                pause = started + offset - time.monotonic()
+                if pause > 0:
+                    time.sleep(pause)
+                tally.sent += 1
+                try:
+                    inflight.append(self._submit(
+                        profile.tenant, input_fn(i),
+                        deadline_ms=profile.deadline_ms))
+                except QuotaExceeded:
+                    tally.quota_rejected += 1
+                except QueueFull:
+                    tally.rejected += 1
+            for response in inflight:
+                tally.absorb_result(response)
+
+        started = time.monotonic()
+        threads = [threading.Thread(target=stream, args=(i, profile),
+                                    name=f"loadgen-mix-{profile.tenant}",
+                                    daemon=True)
+                   for i, profile in enumerate(profiles)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = max(time.monotonic() - started, 1e-9)
+        reports = {
+            profile.tenant: self._report(
+                "mix", elapsed, rps * profile.share / total_share, None,
+                [tallies[profile.tenant]])
+            for profile in profiles
+        }
+        return MixReport(tenants=reports, duration_s=elapsed,
+                         offered_rps=rps)
 
     # -- reporting ---------------------------------------------------------
 
@@ -239,11 +404,13 @@ class LoadGenerator:
                 clients: Optional[int],
                 tallies: Sequence[_ThreadTally]) -> LoadReport:
         latency = LatencyHistogram()
-        sent = completed = rejected = expired = failed = 0
+        sent = completed = rejected = quota_rejected = 0
+        expired = failed = 0
         for tally in tallies:
             sent += tally.sent
             completed += tally.completed
             rejected += tally.rejected
+            quota_rejected += tally.quota_rejected
             expired += tally.expired
             failed += tally.failed
             latency.merge(tally.latency)
@@ -260,6 +427,7 @@ class LoadGenerator:
             sent=sent,
             completed=completed,
             rejected=rejected,
+            quota_rejected=quota_rejected,
             expired=expired,
             failed=failed,
             latency_ms=latency_ms,

@@ -24,6 +24,7 @@ __all__ = [
     "DeadlineExceeded",
     "PendingResponse",
     "QueueFull",
+    "QuotaExceeded",
     "ServeError",
     "ServerClosed",
     "WorkerCrashed",
@@ -38,6 +39,15 @@ class QueueFull(ServeError):
     """Admission control rejected the request: the bounded queue is at
     capacity.  Raised synchronously by ``submit`` — the request was
     never accepted, so backing off and retrying is safe."""
+
+
+class QuotaExceeded(ServeError):
+    """The tenant's token-bucket quota rejected the request (multi-
+    tenant fleet admission).  Like :class:`QueueFull` it is raised
+    synchronously at submit time — the request was never accepted —
+    but it is the *tenant's* budget that ran out, not the server's
+    queue, so other tenants are unaffected and retrying only helps
+    after the bucket refills."""
 
 
 class DeadlineExceeded(ServeError):
@@ -64,13 +74,15 @@ class PendingResponse:
     the recorded error.
     """
 
-    __slots__ = ("_event", "_value", "_error", "submitted_at",
-                 "completed_at")
+    __slots__ = ("_event", "_value", "_error", "_cb_lock", "_callbacks",
+                 "submitted_at", "completed_at")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: Optional[list] = None
         # time.monotonic(), not perf_counter(): monotonic is documented
         # system-wide on Linux/Windows/macOS (3.10+), so the stamp stays
         # comparable when a deadline derived from it crosses into a
@@ -110,14 +122,43 @@ class PendingResponse:
             return None
         return self.completed_at - self.submitted_at
 
+    def on_done(self, fn) -> None:
+        """Register ``fn(self)`` to run when the request completes.
+
+        Runs immediately (on the calling thread) when the request is
+        already done, otherwise on whichever thread completes it — a
+        server worker, the process-mode collector, or shutdown
+        bookkeeping.  This is how a fronting layer (the model fleet)
+        chains its own future to a per-model server's response without
+        parking a thread per in-flight request.  Callbacks must not
+        block and must not raise; exceptions are swallowed (the worker
+        that delivered the response is not the right place to crash).
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
     # -- producer side (server internals) ----------------------------------
+
+    def _finish(self) -> None:
+        self.completed_at = time.monotonic()
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, None
+        for fn in callbacks or ():
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - see on_done contract
+                pass
 
     def _complete(self, value: np.ndarray) -> None:
         self._value = value
-        self.completed_at = time.monotonic()
-        self._event.set()
+        self._finish()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self.completed_at = time.monotonic()
-        self._event.set()
+        self._finish()

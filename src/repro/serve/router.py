@@ -1,0 +1,408 @@
+"""Online Pareto-driven variant routing.
+
+The paper computes an accuracy/latency/energy frontier *offline*
+(Figure 4, :mod:`repro.core.pareto`); this module consults it *online*.
+A :class:`VariantRouter` owns a candidate set of resident model
+variants — each scored once by the analytical accelerator simulator
+(predicted latency/energy) and by the published-accuracy table
+(:func:`repro.models.accuracy.top1_accuracy`) — keeps only the
+accuracy/latency Pareto frontier of that set, and picks, per SLO
+class, the most accurate variant whose *observed* tail latency fits
+the class's deadline:
+
+* **Initial placement** — the most accurate frontier variant whose
+  expected per-request time fits within ``headroom x deadline``.
+* **Demotion** — when the live windowed p95/p99 of the variant a class
+  is on breaches ``headroom x deadline``, step one variant down the
+  frontier (faster, less accurate) immediately.
+* **Promotion** — after ``hysteresis_s`` without a switch, if the next
+  variant up would fit comfortably (observed tail extrapolated by the
+  predicted-latency ratio stays under ``promote_margin x deadline``),
+  step back up.  ``promote_margin < headroom`` gives the loop a dead
+  band so it cannot flap between two variants.
+
+Observed tails come from the per-model cumulative latency histograms
+the servers already keep (:meth:`repro.serve.Server.latency_histogram`)
+— the router diffs successive snapshots (:meth:`LatencyHistogram.since`)
+into a rolling window, because lifetime percentiles never forget a
+breach and would pin every class to the floor forever.
+
+The router itself is transport-agnostic: it never touches a server.
+:class:`repro.serve.fleet.ModelFleet` feeds it snapshots and asks it
+``route(class_name)`` per request; tests drive it with synthetic
+histograms and a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
+
+from repro import obs
+from repro.core.pareto import ParetoFrontier
+from repro.graph.network_spec import NetworkSpec
+from repro.models.accuracy import top1_accuracy
+from repro.obs.hist import LatencyHistogram
+
+__all__ = [
+    "RoutedVariant",
+    "RouterConfig",
+    "VariantRouter",
+    "build_candidate_set",
+]
+
+_MS = 1e3  # histograms record microseconds; the router reasons in ms
+
+
+@dataclass(frozen=True)
+class RoutedVariant:
+    """One resident variant as the router sees it.
+
+    ``predicted_ms`` and ``energy`` come from the accelerator
+    simulator; ``expected_ms`` is the per-request service time the
+    fleet actually imposes (the sim-paced per-image time, or the
+    predicted time when nothing better is known) and seeds initial
+    placement before any live observations exist.
+    """
+
+    model: str
+    top1_accuracy: float
+    predicted_ms: float
+    energy: float
+    expected_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.predicted_ms <= 0:
+            raise ValueError(f"{self.model}: predicted_ms must be positive")
+        if self.expected_ms <= 0:
+            object.__setattr__(self, "expected_ms", self.predicted_ms)
+
+    def dominates(self, other: "RoutedVariant") -> bool:
+        """Two-axis dominance: accuracy up, per-request latency down.
+
+        The latency axis is ``expected_ms`` — what a request actually
+        pays (sim-paced service time when available, the simulator's
+        prediction otherwise).  Energy is carried for reporting but
+        kept out of the dominance test — the router trades accuracy
+        against deadline fit, and a two-axis frontier sorted by
+        latency has strictly increasing accuracy, which is what makes
+        "one step down = faster, one step up = more accurate" well
+        defined.
+        """
+        at_least = (self.top1_accuracy >= other.top1_accuracy
+                    and self.expected_ms <= other.expected_ms)
+        strictly = (self.top1_accuracy > other.top1_accuracy
+                    or self.expected_ms < other.expected_ms)
+        return at_least and strictly
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs of the routing control loop.
+
+    ``tail`` is which percentile of the observation window is compared
+    against ``headroom x deadline``; ``min_samples`` gates decisions
+    until the window is statistically meaningful; ``refresh_s`` rate-
+    limits snapshotting; the window spans the last
+    ``window_refreshes`` snapshot deltas.  ``promote_margin`` must be
+    strictly below ``headroom`` (the anti-flap dead band).
+    """
+
+    array_size: int = 32
+    rf_entries: int = 8
+    tail: str = "p95"
+    headroom: float = 0.8
+    promote_margin: float = 0.5
+    min_samples: int = 16
+    hysteresis_s: float = 2.0
+    refresh_s: float = 0.25
+    window_refreshes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tail not in ("p50", "p95", "p99"):
+            raise ValueError(f"tail must be p50/p95/p99, got {self.tail!r}")
+        if not 0 < self.headroom <= 1:
+            raise ValueError("headroom must be in (0, 1]")
+        if not 0 < self.promote_margin < self.headroom:
+            raise ValueError(
+                "promote_margin must be in (0, headroom) — the gap is the "
+                "anti-flap dead band")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.hysteresis_s < 0 or self.refresh_s <= 0:
+            raise ValueError("hysteresis_s must be >= 0, refresh_s > 0")
+        if self.window_refreshes < 1:
+            raise ValueError("window_refreshes must be >= 1")
+
+    @property
+    def tail_q(self) -> float:
+        return {"p50": 50.0, "p95": 95.0, "p99": 99.0}[self.tail]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "array_size": self.array_size,
+            "rf_entries": self.rf_entries,
+            "tail": self.tail,
+            "headroom": self.headroom,
+            "promote_margin": self.promote_margin,
+            "min_samples": self.min_samples,
+            "hysteresis_s": self.hysteresis_s,
+            "refresh_s": self.refresh_s,
+            "window_refreshes": self.window_refreshes,
+        }
+
+
+def build_candidate_set(
+    specs: Sequence[NetworkSpec],
+    config: Optional[RouterConfig] = None,
+    accuracy_of: Optional[Callable[[str], float]] = None,
+    accelerator=None,
+    expected_ms_of: Optional[Mapping[str, float]] = None,
+) -> List[RoutedVariant]:
+    """Score ``specs`` into :class:`RoutedVariant` candidates.
+
+    Latency/energy come from one simulator run per spec on the
+    configured machine; accuracy from the published table.  A spec with
+    no published accuracy is a hard error, not a silent skip — a
+    variant the router cannot place on the accuracy axis must be
+    excluded *explicitly* by the operator, otherwise the candidate set
+    silently shrinks and the "most accurate that fits" guarantee is
+    hollow.  ``expected_ms_of`` (slug/name -> ms) overrides the
+    per-request time used for initial placement — the fleet passes the
+    sim-paced service times here so placement matches what requests
+    will actually experience.
+    """
+    from repro.accel.hybrid import Squeezelerator
+
+    config = config or RouterConfig()
+    accuracy_of = accuracy_of or top1_accuracy
+    accelerator = accelerator or Squeezelerator(
+        array_size=config.array_size, rf_entries=config.rf_entries)
+    missing = []
+    variants: List[RoutedVariant] = []
+    for spec in specs:
+        try:
+            accuracy = accuracy_of(spec.name)
+        except KeyError:
+            missing.append(spec.name)
+            continue
+        report = accelerator.run(spec)
+        expected = (expected_ms_of or {}).get(spec.name, 0.0)
+        variants.append(RoutedVariant(
+            model=spec.name,
+            top1_accuracy=accuracy,
+            predicted_ms=report.inference_ms,
+            energy=report.total_energy,
+            expected_ms=expected,
+        ))
+    if missing:
+        raise ValueError(
+            "no published accuracy for routable variant(s) "
+            f"{sorted(missing)}: every candidate must appear in "
+            "repro.models.accuracy (or the accuracy_of override) — "
+            "drop it from the route group explicitly instead")
+    return variants
+
+
+@dataclass
+class _TailTracker:
+    """Rolling window of histogram deltas for one resident model."""
+
+    window: int
+    last: Optional[LatencyHistogram] = None
+    deltas: Deque[LatencyHistogram] = field(default_factory=deque)
+
+    def observe(self, cumulative: LatencyHistogram) -> None:
+        if self.last is not None:
+            try:
+                delta = cumulative.since(self.last)
+            except ValueError:
+                # Layout change or reset (e.g. a restarted server):
+                # start the window over rather than crash the loop.
+                self.deltas.clear()
+                delta = None
+            if delta is not None and delta.count:
+                self.deltas.append(delta)
+                while len(self.deltas) > self.window:
+                    self.deltas.popleft()
+        self.last = cumulative.copy()
+
+    def tail_ms(self, q: float, min_samples: int) -> Optional[float]:
+        """Windowed q-th percentile in ms; None until enough samples."""
+        if not self.deltas:
+            return None
+        merged = self.deltas[0].copy()
+        for delta in list(self.deltas)[1:]:
+            merged.merge(delta)
+        if merged.count < min_samples:
+            return None
+        return merged.percentile(q) / _MS
+
+
+@dataclass
+class _ClassState:
+    deadline_ms: float
+    index: int            # position in the latency-sorted frontier
+    last_switch: float
+    decisions: Dict[str, int] = field(default_factory=dict)
+    switches: List[Dict[str, object]] = field(default_factory=list)
+
+
+class VariantRouter:
+    """Per-SLO-class variant selection over a live Pareto frontier.
+
+    Construct with the scored candidate set (``build_candidate_set``),
+    register each SLO class, then feed it cumulative latency
+    histograms (``observe``) and periodic ``refresh`` calls; ``route``
+    answers which variant a class's next request should hit.  All
+    entry points are thread-safe; ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, variants: Sequence[RoutedVariant],
+                 config: Optional[RouterConfig] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not variants:
+            raise ValueError("need at least one candidate variant")
+        self.config = config or RouterConfig()
+        self._clock = clock
+        frontier: ParetoFrontier[RoutedVariant] = ParetoFrontier(variants)
+        # Latency-sorted: index 0 is the fastest (least accurate);
+        # two-axis dominance makes accuracy strictly increase with it.
+        self.frontier: List[RoutedVariant] = frontier.sorted(
+            key=lambda v: v.expected_ms)
+        self.dominated: List[RoutedVariant] = [
+            v for v in variants if v not in frontier]
+        self._classes: Dict[str, _ClassState] = {}
+        self._tails: Dict[str, _TailTracker] = {
+            v.model: _TailTracker(window=self.config.window_refreshes)
+            for v in self.frontier}
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------
+
+    def register_class(self, name: str, deadline_ms: float) -> str:
+        """Place an SLO class on the frontier; returns the initial model.
+
+        Initial placement is prediction-only (no live stats yet): the
+        most accurate variant whose expected per-request time fits in
+        ``headroom x deadline``, or the fastest variant when nothing
+        fits (serve best-effort rather than refuse).
+        """
+        if deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        budget = self.config.headroom * deadline_ms
+        index = 0
+        for i, variant in enumerate(self.frontier):
+            if variant.expected_ms <= budget:
+                index = i
+        with self._lock:
+            self._classes[name] = _ClassState(
+                deadline_ms=deadline_ms, index=index,
+                last_switch=self._clock())
+            return self.frontier[index].model
+
+    # -- live feedback -----------------------------------------------------
+
+    def observe(self, model: str, cumulative: LatencyHistogram) -> None:
+        """Feed one model's cumulative latency histogram snapshot."""
+        with self._lock:
+            tracker = self._tails.get(model)
+            if tracker is not None:
+                tracker.observe(cumulative)
+
+    def refresh(self, now: Optional[float] = None) -> List[Dict[str, object]]:
+        """Run one control-loop step; returns the switches it made.
+
+        Demotion is immediate (a breached tail is an emergency);
+        promotion waits out ``hysteresis_s`` since the last switch and
+        extrapolates the observed tail by the predicted-latency ratio
+        of the next variant up — the simulator's relative speeds are
+        trusted even where its absolute times are not.
+        """
+        now = self._clock() if now is None else now
+        switches: List[Dict[str, object]] = []
+        with self._lock:
+            for name, state in self._classes.items():
+                current = self.frontier[state.index]
+                observed = self._tails[current.model].tail_ms(
+                    self.config.tail_q, self.config.min_samples)
+                if observed is None:
+                    continue
+                budget = self.config.headroom * state.deadline_ms
+                if observed > budget and state.index > 0:
+                    switches.append(self._switch(
+                        name, state, state.index - 1, now,
+                        reason="demote", observed_ms=observed))
+                    continue
+                if (state.index + 1 < len(self.frontier)
+                        and now - state.last_switch
+                        >= self.config.hysteresis_s):
+                    nxt = self.frontier[state.index + 1]
+                    est = observed * (nxt.expected_ms
+                                      / current.expected_ms)
+                    if est <= self.config.promote_margin * state.deadline_ms:
+                        switches.append(self._switch(
+                            name, state, state.index + 1, now,
+                            reason="promote", observed_ms=observed))
+        for switch in switches:
+            obs.count("fleet.route.switch")
+        return switches
+
+    def _switch(self, name: str, state: _ClassState, to_index: int,
+                now: float, reason: str, observed_ms: float
+                ) -> Dict[str, object]:
+        record = {
+            "class": name,
+            "reason": reason,
+            "from": self.frontier[state.index].model,
+            "to": self.frontier[to_index].model,
+            "observed_ms": observed_ms,
+            "deadline_ms": state.deadline_ms,
+        }
+        state.index = to_index
+        state.last_switch = now
+        state.switches.append(record)
+        return record
+
+    # -- dispatch ----------------------------------------------------------
+
+    def route(self, class_name: str) -> str:
+        """The variant the class's next request should be served by."""
+        with self._lock:
+            state = self._classes[class_name]
+            model = self.frontier[state.index].model
+            state.decisions[model] = state.decisions.get(model, 0) + 1
+        obs.count("fleet.route.decision")
+        obs.count(f"fleet.route.{class_name}.{model}")
+        return model
+
+    def current(self, class_name: str) -> str:
+        """The class's current variant, without counting a decision."""
+        with self._lock:
+            return self.frontier[self._classes[class_name].index].model
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready routing state: frontier, per-class placement,
+        decision counts, and the switch history."""
+        with self._lock:
+            return {
+                "frontier": [
+                    {"model": v.model, "top1_accuracy": v.top1_accuracy,
+                     "predicted_ms": v.predicted_ms, "energy": v.energy,
+                     "expected_ms": v.expected_ms}
+                    for v in self.frontier],
+                "dominated": [v.model for v in self.dominated],
+                "classes": {
+                    name: {
+                        "deadline_ms": state.deadline_ms,
+                        "current": self.frontier[state.index].model,
+                        "decisions": dict(state.decisions),
+                        "switches": list(state.switches),
+                    }
+                    for name, state in self._classes.items()},
+            }

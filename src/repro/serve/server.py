@@ -811,6 +811,31 @@ class Server:
 
     # -- telemetry ---------------------------------------------------------
 
+    def latency_histogram(self) -> LatencyHistogram:
+        """A merged snapshot of the per-worker latency replicas.
+
+        Unlike :meth:`stats` this returns the raw cumulative histogram
+        (microseconds), which is what an online consumer — the fleet's
+        variant router — needs: successive snapshots can be diffed
+        (:meth:`~repro.obs.LatencyHistogram.since`) into windowed tail
+        percentiles, where ``stats()`` only exposes lifetime ones.
+        """
+        latency = LatencyHistogram()
+        if self.config.worker_mode == "process":
+            if self._final_snapshots is not None:
+                snapshots = self._final_snapshots
+            elif self._procpool is not None:
+                snapshots = self._procpool.worker_snapshots()
+            else:
+                snapshots = []
+            for snap in snapshots:
+                latency.merge_state(snap["latency_state"])
+        else:
+            for worker in self._workers:
+                with worker.lock:
+                    latency.merge(worker.latency)
+        return latency
+
     def stats(self) -> ServerStats:
         """Merge server counters and per-worker replicas into a snapshot."""
         latency = LatencyHistogram()

@@ -1,0 +1,274 @@
+"""Multi-tenant admission primitives: SLO classes, quotas, fair queuing.
+
+A fleet (:mod:`repro.serve.fleet`) serves several tenants with
+different service objectives from the same pool of resident models.
+Three primitives keep them honest with each other:
+
+* :class:`SLOClass` — the per-tenant contract: a deadline, a
+  weighted-fair share, an optional token-bucket quota, and either a
+  pinned model or a *route group* the variant router
+  (:mod:`repro.serve.router`) picks from at dispatch time.
+* :class:`TokenBucket` — the quota: ``quota_rps`` sustained requests
+  per second with ``quota_burst`` of headroom.  Over-quota submits are
+  rejected synchronously with
+  :class:`~repro.serve.QuotaExceeded` — the tenant's budget ran out,
+  not the fleet's capacity, so other tenants never notice.
+* :class:`WeightedFairQueue` — start-time fair queuing over per-tenant
+  bounded FIFOs.  Each enqueued request is stamped with a virtual
+  finish tag ``start + 1/weight``; the dispatcher always pops the
+  globally smallest tag, so backlogged tenants drain in proportion to
+  their weights while an idle tenant's first request goes (nearly)
+  straight through.  Per-tenant depth bounds keep one tenant's
+  backlog from occupying another's memory.
+
+These sit *in front of* the per-model servers: the existing bounded
+queue and dynamic batcher are unchanged, the fleet's scheduler thread
+simply feeds them in weighted-fair order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["SLOClass", "TokenBucket", "WeightedFairQueue"]
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One tenant's service contract.
+
+    ``deadline_ms`` is the default deadline stamped on every request
+    the tenant submits (overridable per request).  ``weight`` is the
+    tenant's weighted-fair share of dispatch capacity when backlogged.
+    ``quota_rps``/``quota_burst`` parameterize the token bucket
+    (``None`` = unmetered; burst defaults to one second of rate).
+
+    Exactly one of ``model`` (a pinned slug — the tenant always hits
+    that model) or ``route`` (a candidate group the variant router
+    picks from, per request, against this class's deadline) must be
+    set.  ``share`` is the tenant's fraction of offered load in a
+    traffic mix (:meth:`repro.serve.LoadGenerator.run_mix`) — a
+    load-generation hint, not an admission parameter.
+    """
+
+    name: str
+    deadline_ms: float
+    weight: float = 1.0
+    quota_rps: Optional[float] = None
+    quota_burst: Optional[float] = None
+    queue_depth: int = 64
+    model: Optional[str] = None
+    route: Tuple[str, ...] = ()
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.deadline_ms <= 0:
+            raise ValueError(f"tenant {self.name!r}: deadline_ms must be "
+                             f"positive, got {self.deadline_ms}")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be positive")
+        if self.queue_depth < 1:
+            raise ValueError(f"tenant {self.name!r}: queue_depth must be "
+                             f">= 1")
+        if self.share <= 0:
+            raise ValueError(f"tenant {self.name!r}: share must be positive")
+        if self.quota_rps is not None and self.quota_rps <= 0:
+            raise ValueError(f"tenant {self.name!r}: quota_rps must be "
+                             f"positive")
+        if self.quota_burst is not None and self.quota_rps is None:
+            raise ValueError(f"tenant {self.name!r}: quota_burst needs "
+                             f"quota_rps")
+        if self.quota_burst is not None and self.quota_burst < 1:
+            raise ValueError(f"tenant {self.name!r}: quota_burst must be "
+                             f">= 1")
+        # Normalize route to a tuple so frozen instances hash/compare.
+        object.__setattr__(self, "route", tuple(self.route))
+        if bool(self.model) == bool(self.route):
+            raise ValueError(
+                f"tenant {self.name!r}: set exactly one of model= (pinned) "
+                f"or route= (router candidate group)")
+
+    @property
+    def routed(self) -> bool:
+        return bool(self.route)
+
+    def bucket(self, clock: Callable[[], float] = time.monotonic
+               ) -> Optional["TokenBucket"]:
+        """The tenant's quota bucket, or ``None`` when unmetered."""
+        if self.quota_rps is None:
+            return None
+        burst = (self.quota_burst if self.quota_burst is not None
+                 else max(1.0, self.quota_rps))
+        return TokenBucket(self.quota_rps, burst, clock=clock)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "deadline_ms": self.deadline_ms,
+            "weight": self.weight,
+            "quota_rps": self.quota_rps,
+            "quota_burst": self.quota_burst,
+            "queue_depth": self.queue_depth,
+            "model": self.model,
+            "route": list(self.route),
+            "share": self.share,
+        }
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    Starts full.  ``try_acquire`` refills lazily from the injected
+    monotonic clock and never blocks — admission control wants a
+    synchronous yes/no, not a wait.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, rate)
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1 (one whole request)")
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token count (after a lazy refill)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+@dataclass
+class _TenantLane:
+    weight: float
+    depth: int
+    items: Deque[Tuple[float, object]] = field(default_factory=deque)
+    last_finish: float = 0.0
+
+
+class WeightedFairQueue:
+    """Start-time fair queuing (SFQ) over per-tenant bounded FIFOs.
+
+    ``put`` stamps each item with a virtual finish tag
+    ``max(vtime, tenant.last_finish) + 1/weight``; ``get`` pops the
+    item with the globally smallest tag and advances virtual time to
+    it.  When every tenant is backlogged the dequeue rate per tenant
+    is proportional to its weight; a tenant waking from idle starts at
+    the current virtual time instead of catching up on credit it never
+    used.  O(#tenants) per ``get`` — fleets have a handful of SLO
+    classes, not thousands.
+
+    ``put`` returns ``False`` when that tenant's lane is full (the
+    caller maps this to :class:`~repro.serve.QueueFull`); ``get``
+    returns ``None`` on timeout or when the queue is closed and
+    drained.
+    """
+
+    def __init__(self, tenants: Mapping[str, "SLOClass"]) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        self._cond = threading.Condition()
+        self._lanes: Dict[str, _TenantLane] = {
+            name: _TenantLane(weight=slo.weight, depth=slo.queue_depth)
+            for name, slo in tenants.items()
+        }
+        self._vtime = 0.0
+        self._closed = False
+
+    def put(self, tenant: str, item: object) -> bool:
+        """Enqueue for ``tenant``; False when its lane is at depth."""
+        with self._cond:
+            lane = self._lanes[tenant]
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if len(lane.items) >= lane.depth:
+                return False
+            start = max(self._vtime, lane.last_finish)
+            finish = start + 1.0 / lane.weight
+            lane.last_finish = finish
+            lane.items.append((finish, item))
+            self._cond.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None
+            ) -> Optional[Tuple[str, object]]:
+        """Pop the weighted-fair next ``(tenant, item)``.
+
+        Blocks up to ``timeout`` (forever when ``None``); returns
+        ``None`` on timeout, or immediately when closed and empty.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._cond:
+            while True:
+                best_name = None
+                best_tag = 0.0
+                for name, lane in self._lanes.items():
+                    if lane.items and (best_name is None
+                                       or lane.items[0][0] < best_tag):
+                        best_name = name
+                        best_tag = lane.items[0][0]
+                if best_name is not None:
+                    lane = self._lanes[best_name]
+                    tag, item = lane.items.popleft()
+                    self._vtime = max(self._vtime, tag)
+                    return best_name, item
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return None
+
+    def close(self) -> None:
+        """Stop admissions and wake blocked getters (items stay queued)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> List[Tuple[str, object]]:
+        """Remove and return everything still queued (for cancellation)."""
+        with self._cond:
+            out: List[Tuple[str, object]] = []
+            for name, lane in self._lanes.items():
+                out.extend((name, item) for _, item in lane.items)
+                lane.items.clear()
+            return out
+
+    def qsize(self, tenant: Optional[str] = None) -> int:
+        with self._cond:
+            if tenant is not None:
+                return len(self._lanes[tenant].items)
+            return sum(len(lane.items) for lane in self._lanes.values())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,5 +1,6 @@
 """Model zoo tests: shapes, parameter/MAC counts, Table 1 structure."""
 
+import numpy as np
 import pytest
 
 from repro.graph import LayerCategory, TensorShape
@@ -210,6 +211,21 @@ class TestAccuracyTable:
         for name, net in build_all().items():
             assert maybe_top1_accuracy(net.name) is not None, net.name
 
+    def test_every_routable_serving_variant_has_accuracy(self):
+        # The fleet router places variants on an accuracy/latency
+        # frontier; a routable slug whose spec has no published
+        # accuracy would crash candidate-set construction, so pin the
+        # whole routable set here.
+        from repro.serve.cli import build_spec
+        routable = ["sqnxt_23", "sqnxt_23_v2", "sqnxt_23_v3",
+                    "sqnxt_23_v4", "sqnxt_23_v5", "squeezenet_v1_0",
+                    "squeezenet_v1_1", "mobilenet"]
+        for slug in routable:
+            spec = build_spec(slug)
+            assert maybe_top1_accuracy(spec.name) is not None, (
+                f"routable slug {slug} ({spec.name}) missing from the "
+                f"accuracy table")
+
     def test_variants_slightly_improve(self):
         base = top1_accuracy("1.0-SqNxt-23")
         v5 = top1_accuracy("1.0-SqNxt-23-v5")
@@ -268,3 +284,27 @@ class TestExtraModels:
         config = dataclasses.replace(squeezelerator(32), batch_size=32)
         batch32 = Squeezelerator(config=config).run(net).total_cycles
         assert batch1 / batch32 > 1.5
+
+
+class TestTaskNetworksServable:
+    """The detector and segmenter are addressable for serving (fleet
+    residents), not just simulation subjects: their slugs resolve and
+    their specs lower to an executable `InferencePlan`."""
+
+    @pytest.mark.parametrize("slug,prefix", [
+        ("squeezedet", "SqueezeDet"),
+        ("squeezeseg", "SqueezeSeg"),
+    ])
+    def test_slug_builds_inference_plan(self, slug, prefix):
+        from repro.nn import GraphNetwork
+        from repro.serve.cli import build_spec
+        spec = build_spec(slug)
+        assert spec.name.startswith(prefix)
+        net = GraphNetwork(spec, rng=np.random.default_rng(0),
+                           batch_norm=True).eval()
+        plan = net.inference_plan()
+        shape = spec.input_shape
+        out = plan.run(np.zeros((1, shape.channels, shape.height,
+                                 shape.width)))
+        assert out.shape[0] == 1
+        assert np.all(np.isfinite(out))

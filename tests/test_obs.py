@@ -406,3 +406,62 @@ class TestHistogramState:
             hist.merge_state(np.zeros(3))
         with pytest.raises(ValueError):
             hist.write_state(np.zeros(3))
+
+
+class TestHistogramWindows:
+    """`copy()` / `since()` — the snapshot-delta primitives the fleet's
+    variant router turns cumulative latency series into windowed tails
+    with."""
+
+    def test_copy_is_independent(self):
+        hist = obs.LatencyHistogram()
+        hist.record(100.0)
+        snapshot = hist.copy()
+        hist.record(1e6)
+        assert snapshot.count == 1
+        assert snapshot.summary() != hist.summary()
+
+    def test_since_isolates_the_delta(self):
+        rng = np.random.default_rng(3)
+        hist = obs.LatencyHistogram()
+        for value in rng.uniform(10.0, 100.0, size=200):
+            hist.record(value)
+        snapshot = hist.copy()
+        late = rng.uniform(1e5, 2e5, size=50)
+        for value in late:
+            hist.record(value)
+        delta = hist.since(snapshot)
+        assert delta.count == 50
+        # The window sees only the slow tail, not the fast lifetime.
+        exact = float(np.percentile(late, 95))
+        assert abs(delta.percentile(95) - exact) / exact < 0.06
+        assert hist.percentile(50) < 1e5 < delta.percentile(50)
+
+    def test_since_of_identical_snapshots_is_empty(self):
+        hist = obs.LatencyHistogram()
+        hist.record(42.0)
+        delta = hist.since(hist.copy())
+        assert delta.count == 0
+        assert delta.percentile(99) == 0.0
+
+    def test_since_rejects_non_prefix(self):
+        a, b = obs.LatencyHistogram(), obs.LatencyHistogram()
+        b.record(10.0)
+        with pytest.raises(ValueError, match="not a prefix"):
+            a.since(b)
+
+    def test_since_rejects_layout_mismatch(self):
+        a = obs.LatencyHistogram()
+        b = obs.LatencyHistogram(buckets_per_decade=12)
+        with pytest.raises(ValueError, match="layout"):
+            a.since(b)
+
+    def test_delta_min_max_clamped_to_lifetime(self):
+        hist = obs.LatencyHistogram()
+        hist.record(50.0)
+        snapshot = hist.copy()
+        hist.record(500.0)
+        delta = hist.since(snapshot)
+        assert delta.count == 1
+        assert delta.min <= 500.0 <= delta.max
+        assert delta.max <= hist.max

@@ -212,6 +212,15 @@ class TestDeadlines:
         with pytest.raises(ValueError):
             ServerConfig(arena_trim_bytes=-1)
 
+    def test_compiled_plus_quantized_rejected_at_construction(self):
+        # The conflict must surface when the config is built, not
+        # later when a worker pool tries to lower the plan.
+        with pytest.raises(ValueError, match="compiled"):
+            ServerConfig(compiled=True, quantized_bits=16)
+        # Each alone is fine.
+        ServerConfig(compiled=True)
+        ServerConfig(quantized_bits=16)
+
     def test_thread_mode_arena_trim_caps_held_bytes(self):
         net = make_net()
         cap = 64 * 1024

@@ -1,0 +1,387 @@
+"""Tests for the multi-tenant model fleet (`repro.serve.fleet`).
+
+End-to-end behaviour on tiny synthetic models with exact service
+times: SLO-driven placement (tight tenant on the fast variant, loose
+tenant on the accurate one), online demotion from live tail
+percentiles, token-bucket quota enforcement that leaves other tenants
+untouched, config validation and JSON round-trips, the multi-tenant
+load-generator mix, the `repro-serve --fleet` CLI path, and the
+telemetry export that feeds observed traffic back into
+`hardware_aware_search` / `CoDesignLoop`.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.codesign import CoDesignLoop
+from repro.core.search import CandidateSpec, hardware_aware_search
+from repro.graph import NetworkBuilder, TensorShape
+from repro.nn import make_shapes_dataset
+from repro.serve import (
+    DeadlineExceeded,
+    FleetConfig,
+    FleetModelSpec,
+    LoadGenerator,
+    ModelFleet,
+    QuotaExceeded,
+    RouterConfig,
+    SLOClass,
+    TenantProfile,
+)
+from repro.serve import cli
+
+
+def tiny_spec(name: str, channels: int = 4):
+    b = NetworkBuilder(name, TensorShape(3, 8, 8))
+    b.conv("c", channels, kernel_size=3, padding=1)
+    b.global_avg_pool("gap")
+    b.dense("fc", 5, activation="identity")
+    b.softmax("prob")
+    return b.build()
+
+
+def paced(per_image_s: float):
+    def service_time(batch_size: int) -> float:
+        return per_image_s * batch_size
+    service_time.per_image_s = per_image_s
+    return service_time
+
+
+ACCURACY = {"tiny-fast": 60.0, "tiny-slow": 70.0}
+
+
+@pytest.fixture
+def tiny_slugs(monkeypatch):
+    """Register two routable tiny models in the CLI slug table."""
+    monkeypatch.setitem(cli.MODEL_SLUGS, "tiny_fast",
+                        lambda: tiny_spec("tiny-fast", channels=4))
+    monkeypatch.setitem(cli.MODEL_SLUGS, "tiny_slow",
+                        lambda: tiny_spec("tiny-slow", channels=8))
+
+
+def routed_config(fast_s: float = 0.005, slow_s: float = 0.08,
+                  tight_deadline: float = 50.0,
+                  loose_deadline: float = 2000.0,
+                  **router_overrides) -> FleetConfig:
+    return FleetConfig(
+        tenants=(
+            SLOClass(name="tight", deadline_ms=tight_deadline,
+                     route=("tiny_fast", "tiny_slow")),
+            SLOClass(name="loose", deadline_ms=loose_deadline, weight=0.5,
+                     route=("tiny_fast", "tiny_slow")),
+        ),
+        models=(
+            FleetModelSpec(slug="tiny_fast", service_time=paced(fast_s)),
+            FleetModelSpec(slug="tiny_slow", service_time=paced(slow_s)),
+        ),
+        router=RouterConfig(min_samples=4, refresh_s=0.05,
+                            hysteresis_s=1.0, **router_overrides),
+    )
+
+
+def image(seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(3, 8, 8))
+
+
+class TestRoutingEndToEnd:
+    def test_tight_and_loose_tenants_get_distinct_variants(self, tiny_slugs):
+        # fast: 5ms/image, slow: 80ms/image.  tight budget 0.8*50=40ms
+        # fits only the fast variant; loose (2s) takes the accurate one.
+        config = routed_config()
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            futures = [fleet.submit(t, image())
+                       for t in ("tight", "loose") for _ in range(4)]
+            for future in futures:
+                future.result(timeout=30)
+            stats = fleet.stats()
+        assert stats.tenants["tight"]["dispatched"] == {"tiny_fast": 4}
+        assert stats.tenants["loose"]["dispatched"] == {"tiny_slow": 4}
+        routing = stats.routing["tiny_fast+tiny_slow"]
+        assert routing["classes"]["tight"]["current"] == "tiny-fast"
+        assert routing["classes"]["loose"]["current"] == "tiny-slow"
+        assert routing["classes"]["tight"]["decisions"]["tiny-fast"] == 4
+        # Responses really came from different-width models.
+        assert stats.models["tiny_fast"].completed == 4
+        assert stats.models["tiny_slow"].completed == 4
+
+    def test_breached_tail_demotes_down_frontier_online(self, tiny_slugs):
+        # Placement picks the accurate 150ms variant (budget 240ms);
+        # bursts of 3 make batched service blow the deadline, and the
+        # router must notice *from live stats* and fall down-frontier.
+        config = routed_config(fast_s=0.01, slow_s=0.15,
+                               tight_deadline=300.0)
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            assert fleet.stats().tenants["tight"]["current_model"] \
+                == "tiny_slow"
+            deadline = time.monotonic() + 15.0
+            switched = False
+            while time.monotonic() < deadline and not switched:
+                futures = []
+                for _ in range(3):
+                    try:
+                        futures.append(fleet.submit("tight", image()))
+                    except Exception:
+                        pass
+                for future in futures:
+                    try:
+                        future.result(timeout=30)
+                    except DeadlineExceeded:
+                        pass
+                routing = fleet.stats().routing["tiny_fast+tiny_slow"]
+                switched = bool(routing["classes"]["tight"]["switches"])
+            # Post-switch traffic lands on the demoted-to variant.
+            for future in [fleet.submit("tight", image())
+                           for _ in range(3)]:
+                future.result(timeout=30)
+            stats = fleet.stats()
+        switches = (stats.routing["tiny_fast+tiny_slow"]
+                    ["classes"]["tight"]["switches"])
+        assert switches, "router never demoted despite breached tail"
+        assert switches[0]["reason"] == "demote"
+        assert switches[0]["from"] == "tiny-slow"
+        assert switches[0]["to"] == "tiny-fast"
+        assert switches[0]["observed_ms"] > 0.8 * 300.0
+        assert stats.tenants["tight"]["current_model"] == "tiny_fast"
+        assert stats.tenants["tight"]["dispatched"].get("tiny_fast", 0) > 0
+
+
+class TestQuota:
+    def test_over_quota_rejected_others_unaffected(self, tiny_slugs):
+        config = FleetConfig(
+            tenants=(
+                SLOClass(name="capped", deadline_ms=1000, model="tiny_fast",
+                         quota_rps=2.0, quota_burst=2.0),
+                SLOClass(name="free", deadline_ms=1000, model="tiny_fast"),
+            ),
+            models=(FleetModelSpec(slug="tiny_fast",
+                                   service_time=paced(0.005)),),
+        )
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            outcomes = {"ok": 0, "rejected": 0}
+            futures = []
+            for _ in range(8):
+                try:
+                    futures.append(fleet.submit("capped", image()))
+                    outcomes["ok"] += 1
+                except QuotaExceeded:
+                    outcomes["rejected"] += 1
+                # The unmetered tenant is admitted every single time.
+                futures.append(fleet.submit("free", image()))
+            for future in futures:
+                future.result(timeout=30)
+            stats = fleet.stats()
+        assert outcomes["rejected"] >= 4
+        assert outcomes["ok"] >= 2
+        assert stats.tenants["capped"]["quota_rejected"] \
+            == outcomes["rejected"]
+        assert stats.tenants["free"]["quota_rejected"] == 0
+        assert stats.tenants["free"]["completed"] == 8
+
+    def test_bucket_refills_over_time(self, tiny_slugs):
+        config = FleetConfig(
+            tenants=(SLOClass(name="capped", deadline_ms=1000,
+                              model="tiny_fast", quota_rps=50.0,
+                              quota_burst=1.0),),
+            models=(FleetModelSpec(slug="tiny_fast",
+                                   service_time=paced(0.001)),),
+        )
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            fleet.submit("capped", image()).result(timeout=30)
+            with pytest.raises(QuotaExceeded):
+                fleet.submit("capped", image())
+            time.sleep(0.1)  # 50/s refill: >1 token back
+            fleet.submit("capped", image()).result(timeout=30)
+
+
+class TestConfigValidation:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet config key"):
+            FleetConfig.from_dict({"tenants": [], "models": [],
+                                   "typo": 1})
+
+    def test_non_resident_model_rejected(self, tiny_slugs):
+        with pytest.raises(ValueError, match="non-resident"):
+            FleetConfig(
+                tenants=(SLOClass(name="t", deadline_ms=100,
+                                  model="missing"),),
+                models=(FleetModelSpec(slug="tiny_fast"),))
+
+    def test_duplicate_tenants_rejected(self, tiny_slugs):
+        tenant = SLOClass(name="t", deadline_ms=100, model="tiny_fast")
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            FleetConfig(tenants=(tenant, tenant),
+                        models=(FleetModelSpec(slug="tiny_fast"),))
+
+    def test_single_candidate_route_group_rejected(self, tiny_slugs):
+        with pytest.raises(ValueError, match=">= 2"):
+            FleetConfig(
+                tenants=(SLOClass(name="t", deadline_ms=100,
+                                  route=("tiny_fast",)),),
+                models=(FleetModelSpec(slug="tiny_fast"),))
+
+    def test_unknown_tenant_and_bad_shape_at_submit(self, tiny_slugs):
+        config = FleetConfig(
+            tenants=(SLOClass(name="t", deadline_ms=1000,
+                              model="tiny_fast"),),
+            models=(FleetModelSpec(slug="tiny_fast"),))
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            with pytest.raises(KeyError, match="unknown tenant"):
+                fleet.submit("nobody", image())
+            with pytest.raises(ValueError, match="shape"):
+                fleet.submit("t", np.zeros((1, 8, 8)))
+
+    def test_json_round_trip(self, tiny_slugs, tmp_path):
+        config = routed_config()
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(config.as_dict()))
+        rebuilt = FleetConfig.from_json(path)
+        assert rebuilt.as_dict() == config.as_dict()
+        assert rebuilt.tenants == config.tenants
+        assert rebuilt.router == config.router
+
+
+class TestLoadMix:
+    def test_run_mix_drives_tenants_with_separate_streams(self, tiny_slugs):
+        config = FleetConfig(
+            tenants=(
+                SLOClass(name="tight", deadline_ms=500,
+                         route=("tiny_fast", "tiny_slow"), share=3.0),
+                SLOClass(name="capped", deadline_ms=500, model="tiny_fast",
+                         share=1.0, quota_rps=2.0, quota_burst=2.0),
+            ),
+            models=(
+                FleetModelSpec(slug="tiny_fast", service_time=paced(0.004)),
+                FleetModelSpec(slug="tiny_slow", service_time=paced(0.02)),
+            ),
+        )
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            generator = LoadGenerator(fleet, fleet.sample_inputs(seed=1))
+            mix = generator.run_mix(
+                [TenantProfile(tenant="tight", share=3.0),
+                 TenantProfile(tenant="capped", share=1.0)],
+                rps=40.0, duration_s=1.0, seed=7)
+            stats = fleet.stats()
+        assert set(mix.tenants) == {"tight", "capped"}
+        tight, capped = mix.tenants["tight"], mix.tenants["capped"]
+        # 3:1 share split of 40 rps total.
+        assert tight.offered_rps == pytest.approx(30.0)
+        assert capped.offered_rps == pytest.approx(10.0)
+        assert tight.sent > capped.sent
+        assert tight.completed > 0
+        # 10 rps offered against a 2 rps quota: the bucket must bite,
+        # and the dedicated counter (not `rejected`) records it.
+        assert capped.quota_rejected > 0
+        assert stats.tenants["capped"]["quota_rejected"] \
+            == capped.quota_rejected
+        # Mix reports are JSON-ready.
+        json.dumps(mix.as_dict())
+
+    def test_mix_requires_known_profiles(self, tiny_slugs):
+        config = FleetConfig(
+            tenants=(SLOClass(name="t", deadline_ms=500,
+                              model="tiny_fast"),),
+            models=(FleetModelSpec(slug="tiny_fast"),))
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            generator = LoadGenerator(fleet, fleet.sample_inputs())
+            with pytest.raises(ValueError, match="duplicate"):
+                generator.run_mix([TenantProfile(tenant="t"),
+                                   TenantProfile(tenant="t")],
+                                  rps=10, duration_s=0.1)
+
+
+class TestCli:
+    def test_fleet_flag_runs_and_dumps_json(self, tiny_slugs, tmp_path,
+                                            capsys):
+        config = FleetConfig(
+            tenants=(
+                SLOClass(name="a", deadline_ms=500, model="tiny_fast",
+                         share=1.0),
+                SLOClass(name="b", deadline_ms=500, model="tiny_slow",
+                         share=1.0),
+            ),
+            models=(FleetModelSpec(slug="tiny_fast"),
+                    FleetModelSpec(slug="tiny_slow")),
+        )
+        fleet_path = tmp_path / "fleet.json"
+        fleet_path.write_text(json.dumps(config.as_dict()))
+        out_path = tmp_path / "report.json"
+        code = cli.main(["--fleet", str(fleet_path), "--rps", "30",
+                         "--duration", "0.5", "--json", str(out_path)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "repro-serve fleet" in stdout
+        assert "tenant a" in stdout and "tenant b" in stdout
+        document = json.loads(out_path.read_text())
+        assert set(document) == {"fleet", "mix", "stats", "workload"}
+        assert document["stats"]["tenants"]["a"]["completed"] > 0
+
+    def test_fleet_flag_reports_config_errors(self, tmp_path, capsys):
+        bad = tmp_path / "fleet.json"
+        bad.write_text(json.dumps({"tenants": [], "models": [],
+                                   "oops": True}))
+        assert cli.main(["--fleet", str(bad)]) == 2
+        assert "fleet config error" in capsys.readouterr().err
+
+
+class TestWorkloadExport:
+    def test_round_trips_into_hardware_aware_search(self, tiny_slugs):
+        config = routed_config()
+        with ModelFleet(config, accuracy_of=ACCURACY.get) as fleet:
+            futures = [fleet.submit(t, image())
+                       for t in ("tight", "loose") for _ in range(3)]
+            for future in futures:
+                future.result(timeout=30)
+            workload = fleet.export_workload()
+        # Shares reflect observed dispatch (3 requests each) and the
+        # budget is the binding (tight) deadline.
+        assert sum(e.share for e in workload.entries) == pytest.approx(1.0)
+        assert workload.latency_budget_ms == pytest.approx(50.0)
+        json.dumps(workload.as_dict())
+
+        # The export is directly consumable by the design-time tools.
+        result = hardware_aware_search(
+            **workload.search_inputs(),
+            candidates=[CandidateSpec(width=4, conv1_kernel=3,
+                                      early_fires=1, late_fires=1),
+                        CandidateSpec(width=8, conv1_kernel=3,
+                                      early_fires=1, late_fires=1)],
+            dataset=make_shapes_dataset(40, image_size=16, seed=0),
+            epochs=1)
+        assert result.best_under_latency(workload.latency_budget_ms) \
+            is not None
+
+        loop = CoDesignLoop(workload.seed_network(),
+                            array_sizes=(8,), rf_entries=(4,))
+        assert loop.seed_network.name in {"tiny-fast", "tiny-slow"}
+
+    def test_export_before_traffic_uses_configured_mix(self, tiny_slugs):
+        config = routed_config()
+        fleet = ModelFleet(config, accuracy_of=ACCURACY.get)
+        workload = fleet.export_workload()
+        assert workload.entries
+        assert workload.seed_network() is not None
+
+
+class TestShutdown:
+    def test_drain_completes_every_accepted_request(self, tiny_slugs):
+        config = routed_config(fast_s=0.002, slow_s=0.01,
+                               tight_deadline=5000.0)
+        fleet = ModelFleet(config, accuracy_of=ACCURACY.get).start()
+        futures = [fleet.submit(t, image())
+                   for t in ("tight", "loose") for _ in range(10)]
+        fleet.shutdown(drain=True)
+        outcomes = [f.done() for f in futures]
+        assert all(outcomes)
+        completed = sum(1 for f in futures if f.exception(0) is None)
+        assert completed == len(futures)
+
+    def test_non_drain_cancels_queued_loudly(self, tiny_slugs):
+        config = routed_config(fast_s=0.05, slow_s=0.2)
+        fleet = ModelFleet(config, accuracy_of=ACCURACY.get).start()
+        futures = [fleet.submit("loose", image()) for _ in range(20)]
+        fleet.shutdown(drain=False)
+        # Every future resolved: completed, or failed loudly.
+        assert all(f.done() for f in futures)

@@ -1,0 +1,203 @@
+"""Tests for the multi-tenant admission primitives (`repro.serve.tenancy`).
+
+Covers token-bucket refill semantics under a fake clock, SLO-class
+validation (exactly-one-of pinned model / route group, positive
+parameters), and the weighted-fair queue: proportional drain under
+backlog, no credit accumulation for idle tenants, per-tenant depth
+bounds, and close/drain shutdown behaviour.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.tenancy import SLOClass, TokenBucket, WeightedFairQueue
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_starts_full_and_rejects_when_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)          # 0.5s * 2/s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == pytest.approx(3.0)
+
+    def test_burst_defaults_to_one_second_of_rate(self):
+        assert TokenBucket(rate=5.0).burst == pytest.approx(5.0)
+        # Sub-1rps rates still admit one whole request.
+        assert TokenBucket(rate=0.25).burst == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestSLOClass:
+    def test_exactly_one_of_model_or_route(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SLOClass(name="t", deadline_ms=100)
+        with pytest.raises(ValueError, match="exactly one"):
+            SLOClass(name="t", deadline_ms=100, model="m",
+                     route=("a", "b"))
+        SLOClass(name="t", deadline_ms=100, model="m")
+        SLOClass(name="t", deadline_ms=100, route=("a", "b"))
+
+    def test_positive_parameters_enforced(self):
+        with pytest.raises(ValueError):
+            SLOClass(name="t", deadline_ms=0, model="m")
+        with pytest.raises(ValueError):
+            SLOClass(name="t", deadline_ms=100, model="m", weight=0)
+        with pytest.raises(ValueError):
+            SLOClass(name="t", deadline_ms=100, model="m", queue_depth=0)
+        with pytest.raises(ValueError):
+            SLOClass(name="t", deadline_ms=100, model="m", quota_rps=-1)
+        with pytest.raises(ValueError):
+            SLOClass(name="t", deadline_ms=100, model="m", share=0)
+        with pytest.raises(ValueError, match="quota_burst needs"):
+            SLOClass(name="t", deadline_ms=100, model="m", quota_burst=4)
+
+    def test_bucket_construction(self):
+        unmetered = SLOClass(name="t", deadline_ms=100, model="m")
+        assert unmetered.bucket() is None
+        metered = SLOClass(name="t", deadline_ms=100, model="m",
+                           quota_rps=3.0, quota_burst=6.0)
+        bucket = metered.bucket(clock=FakeClock())
+        assert bucket.rate == pytest.approx(3.0)
+        assert bucket.burst == pytest.approx(6.0)
+
+    def test_as_dict_round_trips(self):
+        slo = SLOClass(name="t", deadline_ms=250, weight=2.0,
+                       route=("a", "b"), quota_rps=5.0)
+        payload = slo.as_dict()
+        rebuilt = SLOClass(**{**payload,
+                              "route": tuple(payload["route"])})
+        assert rebuilt == slo
+
+
+def _two_tenant_queue(weight_a: float = 2.0, weight_b: float = 1.0,
+                      depth: int = 64) -> WeightedFairQueue:
+    return WeightedFairQueue({
+        "a": SLOClass(name="a", deadline_ms=10, model="m",
+                      weight=weight_a, queue_depth=depth),
+        "b": SLOClass(name="b", deadline_ms=10, model="m",
+                      weight=weight_b, queue_depth=depth),
+    })
+
+
+class TestWeightedFairQueue:
+    def test_backlogged_drain_is_weight_proportional(self):
+        queue = _two_tenant_queue(weight_a=2.0, weight_b=1.0)
+        for i in range(30):
+            assert queue.put("a", f"a{i}")
+            assert queue.put("b", f"b{i}")
+        # Over any window of the drain, tenant a (weight 2) should get
+        # about twice tenant b's dequeues.
+        first_24 = [queue.get(0.1)[0] for _ in range(24)]
+        assert first_24.count("a") == 16
+        assert first_24.count("b") == 8
+
+    def test_fifo_within_tenant(self):
+        queue = _two_tenant_queue()
+        for i in range(5):
+            queue.put("a", i)
+        got = [queue.get(0.1)[1] for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_idle_tenant_accumulates_no_credit(self):
+        queue = _two_tenant_queue(weight_a=1.0, weight_b=1.0)
+        # Tenant a drains 50 items alone, advancing virtual time.
+        for i in range(50):
+            queue.put("a", i)
+        for _ in range(50):
+            queue.get(0.1)
+        # When b wakes up it starts at current virtual time: with both
+        # backlogged, service alternates instead of b burst-draining a
+        # 50-item debt it never queued through.
+        for i in range(6):
+            queue.put("a", f"a{i}")
+            queue.put("b", f"b{i}")
+        window = [queue.get(0.1)[0] for _ in range(6)]
+        assert window.count("a") == 3
+        assert window.count("b") == 3
+
+    def test_put_rejects_at_tenant_depth(self):
+        queue = _two_tenant_queue(depth=3)
+        assert all(queue.put("a", i) for i in range(3))
+        assert not queue.put("a", 99)
+        # Tenant b's lane is unaffected by a's full lane.
+        assert queue.put("b", 0)
+
+    def test_get_times_out_empty(self):
+        queue = _two_tenant_queue()
+        started = time.monotonic()
+        assert queue.get(timeout=0.05) is None
+        assert time.monotonic() - started >= 0.04
+
+    def test_close_wakes_blocked_getter(self):
+        queue = _two_tenant_queue()
+        got = []
+
+        def getter():
+            got.append(queue.get(timeout=5.0))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_closed_queue_rejects_put_and_drain_returns_rest(self):
+        queue = _two_tenant_queue()
+        queue.put("a", 1)
+        queue.put("b", 2)
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put("a", 3)
+        drained = sorted(queue.drain())
+        assert drained == [("a", 1), ("b", 2)]
+        assert queue.qsize() == 0
+
+    def test_closed_nonempty_queue_still_serves(self):
+        # close() stops admissions but items queued before it drain
+        # (the fleet's graceful shutdown relies on this).
+        queue = _two_tenant_queue()
+        queue.put("a", 1)
+        queue.close()
+        assert queue.get(0.1) == ("a", 1)
+        assert queue.get(0.1) is None
+
+    def test_needs_at_least_one_tenant(self):
+        with pytest.raises(ValueError):
+            WeightedFairQueue({})
